@@ -1,0 +1,67 @@
+(* Command-line model-checking driver (the paper's §2.5 verification).
+
+     dune exec bin/pcc_check.exe -- --nodes 3 --ops 2 *)
+
+open Cmdliner
+module Checker = Pcc_mcheck.Checker
+module Model = Pcc_mcheck.Protocol_model
+
+let bug_of_string = function
+  | "" -> Ok None
+  | "skip-invals" -> Ok (Some Model.Skip_invals_on_delegate)
+  | "no-poison" -> Ok (Some Model.No_poison_on_inval)
+  | "no-resharing" -> Ok (Some Model.Updates_without_resharing)
+  | other -> Error (Printf.sprintf "unknown bug %S" other)
+
+let run nodes ops delegation updates bug max_states =
+  match bug_of_string bug with
+  | Error message ->
+      prerr_endline message;
+      1
+  | Ok bug ->
+      let params =
+        {
+          Model.default_params with
+          Model.nodes;
+          max_ops_per_node = ops;
+          enable_delegation = delegation;
+          enable_updates = updates;
+          bug;
+        }
+      in
+      let (module M) = Model.make params in
+      let outcome = Checker.run (module M) ~max_states () in
+      Format.printf "%a@." (Checker.pp_outcome M.pp) outcome;
+      (match outcome with Checker.Ok _ -> 0 | _ -> 2)
+
+let nodes_arg = Arg.(value & opt int 3 & info [ "n"; "nodes" ] ~doc:"Nodes in the model.")
+
+let ops_arg = Arg.(value & opt int 2 & info [ "ops" ] ~doc:"Memory operations per node.")
+
+let delegation_arg =
+  Arg.(value & opt bool true & info [ "delegation" ] ~doc:"Enable directory delegation.")
+
+let updates_arg =
+  Arg.(value & opt bool true & info [ "updates" ] ~doc:"Enable speculative updates.")
+
+let bug_arg =
+  Arg.(
+    value
+    & opt string ""
+    & info [ "bug" ]
+        ~doc:"Inject a protocol bug: skip-invals, no-poison, no-resharing.")
+
+let max_states_arg =
+  Arg.(value & opt int 3_000_000 & info [ "max-states" ] ~doc:"Exploration bound.")
+
+let cmd =
+  let term =
+    Term.(
+      const run $ nodes_arg $ ops_arg $ delegation_arg $ updates_arg $ bug_arg
+      $ max_states_arg)
+  in
+  Cmd.v
+    (Cmd.info "pcc_check" ~doc:"Model-check the adaptive coherence protocol")
+    term
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,123 @@
+(* Command-line simulator driver: run one workload under one machine
+   configuration and print the run statistics.
+
+     dune exec bin/pcc_sim.exe -- --app em3d --machine full --scale 0.5 *)
+
+open Pcc_core
+open Cmdliner
+
+let machine_of_string nodes = function
+  | "base" -> Ok (Config.base ~nodes ())
+  | "rac" -> Ok (Config.rac_only ~nodes ())
+  | "delegation" -> Ok (Config.delegation_only ~nodes ())
+  | "small" | "full" -> Ok (Config.small_full ~nodes ())
+  | "large" -> Ok (Config.large_full ~nodes ())
+  | other -> Error (Printf.sprintf "unknown machine %S" other)
+
+let run app_name machine nodes scale seed delegate_entries rac_kb intervention_delay
+    hop_latency verbose =
+  match Pcc_workload.Apps.find app_name with
+  | None ->
+      Printf.eprintf "unknown app %S (try: %s)\n" app_name
+        (String.concat ", "
+           (List.map (fun a -> a.Pcc_workload.Apps.name) Pcc_workload.Apps.all));
+      1
+  | Some app -> (
+      match machine_of_string nodes machine with
+      | Error message ->
+          prerr_endline message;
+          1
+      | Ok config ->
+          let config =
+            {
+              config with
+              Config.delegate_entries =
+                Option.value delegate_entries ~default:config.Config.delegate_entries;
+              rac_bytes =
+                (match rac_kb with
+                | Some kb -> kb * 1024
+                | None -> config.Config.rac_bytes);
+              intervention_delay =
+                Option.value intervention_delay ~default:config.Config.intervention_delay;
+            }
+          in
+          let config =
+            match hop_latency with
+            | Some hop -> Config.with_hop_latency config hop
+            | None -> config
+          in
+          let programs = Pcc_workload.Apps.programs app ~scale ~seed ~nodes () in
+          Format.printf "app=%s machine=%s nodes=%d scale=%.2f ops=%d@." app.name
+            (Config.describe config) nodes scale
+            (Pcc_workload.Gen.total_ops programs);
+          let result = System.run ~config ~programs () in
+          Format.printf "cycles            %d@." result.System.cycles;
+          Format.printf "network messages  %d (%d KB)@." result.System.network_messages
+            (result.System.network_bytes / 1024);
+          Format.printf "remote misses     %d@." (Run_stats.remote_misses result.System.stats);
+          Format.printf "%a@." Run_stats.pp result.System.stats;
+          Format.printf "updates consumed  %d, wasted %d@." result.System.updates_consumed
+            result.System.updates_wasted;
+          Format.printf "violations        %d@." result.System.violations;
+          List.iter (Format.printf "INVARIANT ERROR: %s@.") result.System.invariant_errors;
+          if verbose then begin
+            Format.printf "@.per-class network messages:@.";
+            Format.printf "%a@." Pcc_stats.Counter.pp
+              result.System.stats.Run_stats.message_classes
+          end;
+          if result.System.violations = 0 && result.System.invariant_errors = [] then 0
+          else 2)
+
+let app_arg =
+  Arg.(value & opt string "Em3D" & info [ "a"; "app" ] ~docv:"APP" ~doc:"Workload name.")
+
+let machine_arg =
+  Arg.(
+    value
+    & opt string "full"
+    & info [ "m"; "machine" ] ~docv:"MACHINE"
+        ~doc:"Machine configuration: base, rac, delegation, small/full, large.")
+
+let nodes_arg =
+  Arg.(value & opt int 16 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let scale_arg =
+  Arg.(value & opt float 0.5 & info [ "s"; "scale" ] ~docv:"S" ~doc:"Run-length scale.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+
+let delegate_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "delegate-entries" ] ~docv:"E" ~doc:"Override delegate-table entries.")
+
+let rac_arg =
+  Arg.(value & opt (some int) None & info [ "rac-kb" ] ~docv:"KB" ~doc:"Override RAC size.")
+
+let delay_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "intervention-delay" ] ~docv:"CYCLES" ~doc:"Override intervention delay.")
+
+let hop_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "hop-latency" ] ~docv:"CYCLES" ~doc:"Override network hop latency.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-class message counters.")
+
+let cmd =
+  let term =
+    Term.(
+      const run $ app_arg $ machine_arg $ nodes_arg $ scale_arg $ seed_arg $ delegate_arg
+      $ rac_arg $ delay_arg $ hop_arg $ verbose_arg)
+  in
+  Cmd.v
+    (Cmd.info "pcc_sim" ~doc:"Simulate a workload on the adaptive coherence protocol")
+    term
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,77 @@
+(* Parameter-sweep driver: vary one knob of the machine configuration and
+   print a row per setting.
+
+     dune exec bin/pcc_sweep.exe -- --app MG --knob delegate --values 32,64,128,1024 *)
+
+open Pcc_core
+open Cmdliner
+module Table = Pcc_stats.Table
+
+let apply_knob config knob value =
+  match knob with
+  | "delegate" -> Ok { config with Config.delegate_entries = value }
+  | "rac-kb" -> Ok { config with Config.rac_bytes = value * 1024 }
+  | "delay" -> Ok { config with Config.intervention_delay = value }
+  | "hop" -> Ok (Config.with_hop_latency config value)
+  | other -> Error (Printf.sprintf "unknown knob %S (delegate, rac-kb, delay, hop)" other)
+
+let run app_name knob values nodes scale =
+  match Pcc_workload.Apps.find app_name with
+  | None ->
+      Printf.eprintf "unknown app %S\n" app_name;
+      1
+  | Some app ->
+      let programs = Pcc_workload.Apps.programs app ~scale ~nodes () in
+      let base = System.run ~config:(Config.base ~nodes ()) ~programs () in
+      let table =
+        Table.create
+          ~title:(Printf.sprintf "%s: sweep of %s (baseline %d cycles)" app.name knob
+                    base.System.cycles)
+          ~columns:[ knob; "cycles"; "speedup"; "net msgs"; "remote misses"; "violations" ]
+      in
+      let failed = ref false in
+      List.iter
+        (fun value ->
+          match apply_knob (Config.small_full ~nodes ()) knob value with
+          | Error message ->
+              prerr_endline message;
+              failed := true
+          | Ok config ->
+              let r = System.run ~config ~programs () in
+              if r.System.violations > 0 || r.System.invariant_errors <> [] then
+                failed := true;
+              Table.add_row table
+                [
+                  Table.Int value;
+                  Table.Int r.System.cycles;
+                  Table.Float (float_of_int base.System.cycles /. float_of_int r.System.cycles);
+                  Table.Int r.System.network_messages;
+                  Table.Int (Run_stats.remote_misses r.System.stats);
+                  Table.Int r.System.violations;
+                ])
+        values;
+      Table.print table;
+      if !failed then 2 else 0
+
+let app_arg = Arg.(value & opt string "MG" & info [ "a"; "app" ] ~doc:"Workload name.")
+
+let knob_arg =
+  Arg.(
+    value & opt string "delegate"
+    & info [ "k"; "knob" ] ~doc:"Parameter: delegate, rac-kb, delay, hop.")
+
+let values_arg =
+  Arg.(
+    value
+    & opt (list int) [ 32; 64; 128; 256; 512; 1024 ]
+    & info [ "values" ] ~doc:"Comma-separated settings.")
+
+let nodes_arg = Arg.(value & opt int 16 & info [ "n"; "nodes" ] ~doc:"Number of nodes.")
+
+let scale_arg = Arg.(value & opt float 0.5 & info [ "s"; "scale" ] ~doc:"Run-length scale.")
+
+let cmd =
+  let term = Term.(const run $ app_arg $ knob_arg $ values_arg $ nodes_arg $ scale_arg) in
+  Cmd.v (Cmd.info "pcc_sweep" ~doc:"Sweep one machine parameter over a workload") term
+
+let () = exit (Cmd.eval' cmd)

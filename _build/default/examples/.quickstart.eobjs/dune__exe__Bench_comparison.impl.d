@@ -1,0 +1,1 @@
+examples/bench_comparison.ml: Array Config Format List Pcc_core Pcc_stats Pcc_workload Printf Run_stats Sys System

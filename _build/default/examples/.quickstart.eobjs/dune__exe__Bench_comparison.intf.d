@@ -1,0 +1,1 @@
+examples/bench_comparison.mli:

@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Config Format Fun List Pcc_core Pcc_workload Run_stats System

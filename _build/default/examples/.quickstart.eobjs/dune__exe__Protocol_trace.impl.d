@@ -1,0 +1,1 @@
+examples/protocol_trace.ml: Array Config Format List Message Node Pcc_core System Types

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Config Format List Pcc_core Run_stats System Types

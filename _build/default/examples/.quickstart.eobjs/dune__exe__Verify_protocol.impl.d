@@ -1,0 +1,1 @@
+examples/verify_protocol.ml: Array Format Pcc_mcheck Sys

@@ -1,0 +1,63 @@
+(* Run all seven evaluation workloads under the paper's machine
+   configurations and print a compact comparison.
+
+     dune exec examples/bench_comparison.exe -- [scale]
+
+   [scale] (default 0.6) multiplies run length; larger is slower but
+   closer to the asymptotic behaviour. *)
+
+open Pcc_core
+module Table = Pcc_stats.Table
+
+let () =
+  let scale =
+    if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 0.6
+  in
+  let nodes = 16 in
+  let configs =
+    [
+      ("base", Config.base ~nodes ());
+      ("RAC only", Config.rac_only ~nodes ());
+      ("small (32/32K)", Config.small_full ~nodes ());
+      ("large (1K/1M)", Config.large_full ~nodes ());
+    ]
+  in
+  let table =
+    Table.create ~title:(Printf.sprintf "Seven workloads, %d nodes, scale %.2f" nodes scale)
+      ~columns:
+        [ "app"; "config"; "cycles"; "speedup"; "net msgs"; "remote misses"; "RAC hits" ]
+  in
+  let speedups = ref [] in
+  List.iter
+    (fun (app : Pcc_workload.Apps.app) ->
+      let programs = Pcc_workload.Apps.programs app ~scale ~nodes () in
+      let baseline = ref None in
+      List.iter
+        (fun (name, config) ->
+          let r = System.run ~config ~programs () in
+          assert (r.System.violations = 0);
+          let base_cycles =
+            match !baseline with
+            | None ->
+                baseline := Some r.System.cycles;
+                r.System.cycles
+            | Some c -> c
+          in
+          let speedup = float_of_int base_cycles /. float_of_int r.System.cycles in
+          if name = "large (1K/1M)" then speedups := speedup :: !speedups;
+          Table.add_row table
+            [
+              Table.String app.Pcc_workload.Apps.name;
+              Table.String name;
+              Table.Int r.System.cycles;
+              Table.Float speedup;
+              Table.Int r.System.network_messages;
+              Table.Int (Run_stats.remote_misses r.System.stats);
+              Table.Int r.System.stats.Run_stats.rac_hits;
+            ])
+        configs;
+      Table.add_separator table)
+    Pcc_workload.Apps.all;
+  Table.print table;
+  Format.printf "@.Geometric-mean speedup of the large configuration: %.2fx@."
+    (Pcc_stats.Summary.geometric_mean !speedups)

@@ -1,0 +1,1 @@
+lib/core/analytic.ml: Printf Run_stats

@@ -1,0 +1,1 @@
+lib/core/analytic.mli: Run_stats

@@ -1,0 +1,1 @@
+lib/core/config.ml: Pcc_interconnect Pcc_memory Printf

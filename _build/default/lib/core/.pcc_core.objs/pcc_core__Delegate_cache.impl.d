@@ -1,0 +1,1 @@
+lib/core/delegate_cache.ml: Pcc_memory Types

@@ -1,0 +1,1 @@
+lib/core/delegate_cache.mli: Pcc_engine Types

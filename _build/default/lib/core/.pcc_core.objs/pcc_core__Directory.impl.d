@@ -1,0 +1,1 @@
+lib/core/directory.ml: Config Hashtbl List Nodeset Pcc_memory Predictor Types

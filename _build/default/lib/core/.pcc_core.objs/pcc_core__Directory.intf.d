@@ -1,0 +1,1 @@
+lib/core/directory.mli: Config Nodeset Pcc_engine Predictor Types

@@ -1,0 +1,1 @@
+lib/core/hw_cost.ml: Config Delegate_cache List

@@ -1,0 +1,1 @@
+lib/core/l2.ml: Pcc_memory Types

@@ -1,0 +1,1 @@
+lib/core/l2.mli: Pcc_engine Types

@@ -1,0 +1,1 @@
+lib/core/memory_check.ml: Hashtbl List Printf String Types

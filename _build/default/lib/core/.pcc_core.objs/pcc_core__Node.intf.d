@@ -1,0 +1,1 @@
+lib/core/node.mli: Config Directory L2 Memory_check Message Pcc_engine Pcc_interconnect Run_stats Types

@@ -1,0 +1,1 @@
+lib/core/nodeset.ml: Format List String

@@ -1,0 +1,1 @@
+lib/core/predictor.ml: Config Format

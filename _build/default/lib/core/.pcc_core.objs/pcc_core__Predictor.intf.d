@@ -1,0 +1,1 @@
+lib/core/predictor.mli: Config Format Types

@@ -1,0 +1,1 @@
+lib/core/rac.ml: Pcc_memory

@@ -1,0 +1,1 @@
+lib/core/rac.mli: Pcc_engine Types

@@ -1,0 +1,1 @@
+lib/core/run_stats.ml: Format Pcc_stats Types

@@ -1,0 +1,1 @@
+lib/core/run_stats.mli: Format Pcc_stats Types

@@ -1,0 +1,1 @@
+lib/core/system.ml: Array Config Format Hashtbl List Memory_check Message Node Pcc_engine Pcc_interconnect Printf Run_stats Types

@@ -1,0 +1,1 @@
+lib/core/system.mli: Config Format Node Pcc_engine Run_stats Types

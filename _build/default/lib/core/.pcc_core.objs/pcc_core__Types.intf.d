@@ -1,0 +1,1 @@
+lib/core/types.mli: Pcc_memory

@@ -1,0 +1,35 @@
+let check_unit name v =
+  if v < 0.0 || v > 1.0 then invalid_arg (Printf.sprintf "Analytic: %s not in [0,1]" name)
+
+let speedup_model ~remote_time_fraction ~accuracy =
+  check_unit "remote_time_fraction" remote_time_fraction;
+  check_unit "accuracy" accuracy;
+  1.0 /. (1.0 -. (remote_time_fraction *. accuracy))
+
+let latency_limit ~accuracy =
+  check_unit "accuracy" accuracy;
+  if accuracy >= 1.0 then invalid_arg "Analytic.latency_limit: accuracy = 1";
+  1.0 /. (1.0 -. accuracy)
+
+let accuracy ~updates_sent ~updates_consumed ~updates_as_reply =
+  if updates_sent <= 0 then 0.0
+  else
+    min 1.0
+      (float_of_int (updates_consumed + updates_as_reply) /. float_of_int updates_sent)
+
+let remote_time_fraction (stats : Run_stats.t) ~cycles ~nodes =
+  if cycles <= 0 || nodes <= 0 then 0.0
+  else begin
+    (* miss_latency_total sums stall cycles across all processors *)
+    let aggregate_time = float_of_int (cycles * nodes) in
+    let remote_latency =
+      (* approximate the remote share of total miss latency by miss-count
+         weighting (remote misses dominate the latency sum) *)
+      let total = Run_stats.total_misses stats in
+      if total = 0 then 0.0
+      else
+        float_of_int stats.Run_stats.miss_latency_total
+        *. (float_of_int (Run_stats.remote_misses stats) /. float_of_int total)
+    in
+    min 1.0 (remote_latency /. aggregate_time)
+  end

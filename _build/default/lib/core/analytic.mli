@@ -1,0 +1,29 @@
+(** Analytical performance model (paper §5).
+
+    The paper states that, as network latency grows, the achievable
+    speedup of the update mechanism is limited to [1 / (1 - accuracy)],
+    where {e accuracy} is the fraction of speculative pushes that are
+    actually consumed.  This module is that simple model: execution time
+    splits into a local part and a remote-miss part; the mechanisms
+    eliminate the consumed fraction of the remote part. *)
+
+val speedup_model : remote_time_fraction:float -> accuracy:float -> float
+(** [speedup_model ~remote_time_fraction:f ~accuracy:a] is
+    [1 /. (1 -. f *. a)]: the speedup from eliminating fraction [a] of a
+    remote-stall fraction [f] of execution time.  Both arguments must be
+    in [0, 1]. *)
+
+val latency_limit : accuracy:float -> float
+(** The [f -> 1] limit of {!speedup_model}: [1 /. (1 -. accuracy)].
+    Raises [Invalid_argument] at accuracy 1. *)
+
+val accuracy :
+  updates_sent:int -> updates_consumed:int -> updates_as_reply:int -> float
+(** Measured push accuracy of a run: consumed (either read from the RAC
+    or used as the response to an in-flight read) over sent; 0 when no
+    updates were sent. *)
+
+val remote_time_fraction : Run_stats.t -> cycles:int -> nodes:int -> float
+(** Estimate of the fraction of per-processor time spent in remote
+    misses: total remote-miss latency over aggregate processor time.
+    Clamped to [0, 1]. *)

@@ -1,0 +1,85 @@
+(** Machine configuration.
+
+    Field defaults follow Table 1 of the paper: 2 GHz 4-issue processors,
+    2 MB 4-way L2 with 128-byte lines and 10-cycle latency, 200-cycle DRAM,
+    100-cycle network hops, a 1 GHz hub.  The protocol-extension fields
+    (RAC, delegation, speculative updates) correspond to the machine
+    variants evaluated in §3. *)
+
+type t = {
+  nodes : int;
+  (* Processor-side caches *)
+  l2_bytes : int;
+  l2_ways : int;
+  l2_hit_latency : int;
+  line_bytes : int;
+  (* Remote access cache (§2.1) *)
+  rac_enabled : bool;
+  rac_bytes : int;
+  rac_ways : int;
+  rac_hit_latency : int;  (** a "local miss": hub + RAC lookup *)
+  (* Directory *)
+  dir_cache_entries : int;
+  dir_cache_ways : int;
+  dir_hit_latency : int;  (** directory-cache hit processing, cycles *)
+  dir_miss_latency : int;  (** fetch directory entry from memory *)
+  dram_latency : int;
+  (* Delegation (§2.3) *)
+  delegation_enabled : bool;
+  delegate_entries : int;  (** producer- and consumer-table entries each *)
+  delegate_ways : int;
+  (* Speculative updates (§2.4) *)
+  speculative_updates : bool;
+  intervention_delay : int;  (** cycles between write grant and downgrade *)
+  adaptive_intervention : bool;
+      (** §5 future work: instead of the fixed delay, track each delegated
+          line's write-burst span (EWMA) and downgrade shortly after the
+          observed burst length *)
+  flush_window : int;
+      (** undelegation skips its update-flush round when the last push is
+          older than this many cycles — a safe shortcut on an interconnect
+          with bounded delivery latency (set very conservatively; the
+          model checker verifies the unconditional-flush protocol) *)
+  (* Predictor (§2.2) *)
+  write_repeat_threshold : int;  (** 2-bit saturating counter: saturates at 3 *)
+  reader_count_bits : int;
+  (* Miscellaneous protocol timing *)
+  hub_latency : int;  (** per-message hub processing *)
+  nack_retry_delay : int;
+  barrier_latency : int;
+  (* Interconnect *)
+  network : Pcc_interconnect.Network.config;
+  seed : int;
+}
+
+val base : ?nodes:int -> unit -> t
+(** The baseline CC-NUMA system: no RAC, no delegation, no updates. *)
+
+val rac_only : ?nodes:int -> ?rac_bytes:int -> unit -> t
+(** Baseline plus a RAC used purely as a remote-data victim cache. *)
+
+val delegation_only : ?nodes:int -> ?rac_bytes:int -> ?delegate_entries:int -> unit -> t
+(** Delegation without speculative updates (§3.2 ablation). *)
+
+val full : ?nodes:int -> ?rac_bytes:int -> ?delegate_entries:int -> unit -> t
+(** Delegation + speculative updates.  Defaults to the small configuration
+    (32-entry delegate tables, 32 KB RAC). *)
+
+val small_full : ?nodes:int -> unit -> t
+(** 32-entry delegate tables + 32 KB RAC, delegation + updates. *)
+
+val large_full : ?nodes:int -> unit -> t
+(** 1K-entry delegate tables + 1 MB RAC, delegation + updates. *)
+
+val with_hop_latency : t -> int -> t
+(** Functional update of the network hop latency (Fig. 10 sweeps). *)
+
+val l2_lines : t -> int
+
+val rac_lines : t -> int
+
+val describe : t -> string
+(** Short label such as "32-entry deledc & 32K RAC". *)
+
+val table1 : (string * string) list
+(** The system-configuration rows of Table 1, for report headers. *)

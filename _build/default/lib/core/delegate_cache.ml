@@ -1,0 +1,56 @@
+module Cache = Pcc_memory.Cache
+
+let sets_of ~entries ~ways =
+  assert (entries > 0 && ways > 0 && entries mod ways = 0);
+  entries / ways
+
+module Producer = struct
+  type 'a t = 'a Cache.t
+
+  let create ~rng ~entries ~ways () =
+    Cache.create ~policy:Lru ~rng ~sets:(sets_of ~entries ~ways) ~ways ()
+
+  let find t line = Cache.find t line
+
+  type 'a insert_result = Inserted of (Types.line * 'a) option | Set_locked
+
+  let insert t line state =
+    match Cache.insert t line state with
+    | Cache.Inserted victim -> Inserted victim
+    | Cache.All_ways_pinned -> Set_locked
+
+  let remove t line =
+    Cache.unpin t line;
+    Cache.remove t line
+
+  let lock t line = Cache.pin t line
+
+  let unlock t line = Cache.unpin t line
+
+  let size t = Cache.size t
+
+  let capacity t = Cache.capacity t
+
+  let iter f t = Cache.iter f t
+end
+
+module Consumer = struct
+  type t = Types.node_id Cache.t
+
+  let create ~rng ~entries ~ways () =
+    Cache.create ~policy:Random ~rng ~sets:(sets_of ~entries ~ways) ~ways ()
+
+  let find t line = Cache.find t line
+
+  let insert t line home =
+    match Cache.insert t line home with
+    | Cache.Inserted _ | Cache.All_ways_pinned -> ()
+
+  let remove t line = ignore (Cache.remove t line)
+
+  let size t = Cache.size t
+end
+
+let entry_bytes_producer = 10
+
+let entry_bytes_consumer = 6

@@ -1,0 +1,66 @@
+(** The delegate cache (§2.3): a producer table and a consumer table.
+
+    The {e producer table} holds the directory state of lines delegated
+    {e to} the local node; its size bounds how many lines a node can act as
+    home for at once.  Entries mid-transaction can be locked against
+    replacement.
+
+    The {e consumer table} is a hint cache mapping lines to their delegated
+    home so requests can bypass the original home; it is 4-way
+    set-associative with random replacement, and stale entries are
+    corrected by NACK-and-retry. *)
+
+module Producer : sig
+  type 'a t
+  (** ['a] is the delegated directory state stored per line. *)
+
+  val create :
+    rng:Pcc_engine.Rng.t -> entries:int -> ways:int -> unit -> 'a t
+
+  val find : 'a t -> Types.line -> 'a option
+
+  type 'a insert_result =
+    | Inserted of (Types.line * 'a) option
+        (** carries the victim whose delegation must be given up, if the
+            set was full (undelegation reason 1, §2.3.3) *)
+    | Set_locked  (** every candidate victim is locked; delegation refused *)
+
+  val insert : 'a t -> Types.line -> 'a -> 'a insert_result
+
+  val remove : 'a t -> Types.line -> 'a option
+
+  val lock : 'a t -> Types.line -> unit
+  (** Protect an entry from replacement while a transaction is in
+      flight. *)
+
+  val unlock : 'a t -> Types.line -> unit
+
+  val size : 'a t -> int
+
+  val capacity : 'a t -> int
+
+  val iter : (Types.line -> 'a -> unit) -> 'a t -> unit
+end
+
+module Consumer : sig
+  type t
+
+  val create : rng:Pcc_engine.Rng.t -> entries:int -> ways:int -> unit -> t
+
+  val find : t -> Types.line -> Types.node_id option
+  (** The hinted delegated home, if a (possibly stale) entry exists. *)
+
+  val insert : t -> Types.line -> Types.node_id -> unit
+  (** May silently evict a random entry of the target set. *)
+
+  val remove : t -> Types.line -> unit
+  (** Drop a hint discovered to be stale. *)
+
+  val size : t -> int
+end
+
+val entry_bytes_producer : int
+(** 10 bytes per producer entry (Fig. 3). *)
+
+val entry_bytes_consumer : int
+(** 6 bytes per consumer entry (Fig. 3). *)

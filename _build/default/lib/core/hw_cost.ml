@@ -1,0 +1,23 @@
+let producer_table_bytes ~entries = entries * Delegate_cache.entry_bytes_producer
+
+let consumer_table_bytes ~entries = entries * Delegate_cache.entry_bytes_consumer
+
+let predictor_bytes ~dir_cache_entries = dir_cache_entries (* 8 bits per entry *)
+
+let rac_overhead_bytes ~rac_bytes = rac_bytes
+
+let breakdown (config : Config.t) =
+  let components = ref [] in
+  if config.delegation_enabled then begin
+    components :=
+      ("producer table", producer_table_bytes ~entries:config.delegate_entries)
+      :: ("consumer table", consumer_table_bytes ~entries:config.delegate_entries)
+      :: ("predictor bits", predictor_bytes ~dir_cache_entries:config.dir_cache_entries)
+      :: !components
+  end;
+  if config.rac_enabled then
+    components := ("RAC", rac_overhead_bytes ~rac_bytes:config.rac_bytes) :: !components;
+  List.rev !components
+
+let per_node_bytes config =
+  List.fold_left (fun acc (_, bytes) -> acc + bytes) 0 (breakdown config)

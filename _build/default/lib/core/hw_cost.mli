@@ -1,0 +1,24 @@
+(** Hardware-overhead model (§3.3.1).
+
+    The paper budgets the extensions at roughly 40 KB of SRAM per node for
+    the small configuration: a 32-entry delegate cache (320-byte producer
+    table of 10-byte entries, 192-byte consumer table of 6-byte entries),
+    8 predictor bits per directory-cache entry (8 KB over 8192 entries),
+    and a 32 KB RAC. *)
+
+val producer_table_bytes : entries:int -> int
+
+val consumer_table_bytes : entries:int -> int
+
+val predictor_bytes : dir_cache_entries:int -> int
+
+val rac_overhead_bytes : rac_bytes:int -> int
+(** Data plus tag/state overhead (we count the data array only, as the
+    paper's estimate does). *)
+
+val per_node_bytes : Config.t -> int
+(** Total extra SRAM per node for a configuration's extensions (0 for the
+    baseline). *)
+
+val breakdown : Config.t -> (string * int) list
+(** Named components of {!per_node_bytes}. *)

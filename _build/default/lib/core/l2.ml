@@ -1,0 +1,38 @@
+module Cache = Pcc_memory.Cache
+
+type line_state = Shared | Exclusive
+
+type entry = { state : line_state; value : int; dirty : bool }
+
+type victim = { victim_line : Types.line; victim_entry : entry }
+
+type t = entry Cache.t
+
+let create ~rng ~lines ~ways () =
+  assert (lines > 0 && ways > 0 && lines mod ways = 0);
+  Cache.create ~policy:Lru ~rng ~sets:(lines / ways) ~ways ()
+
+let lookup t line = Cache.find t line
+
+let peek t line = Cache.peek t line
+
+let fill t line entry =
+  match Cache.insert t line entry with
+  | Cache.Inserted (Some (victim_line, victim_entry)) ->
+      Some { victim_line; victim_entry }
+  | Cache.Inserted None -> None
+  | Cache.All_ways_pinned -> assert false (* L2 entries are never pinned *)
+
+let set t line entry =
+  if not (Cache.mem t line) then invalid_arg "L2.set: line not resident";
+  match Cache.insert t line entry with
+  | Cache.Inserted None -> ()
+  | Cache.Inserted (Some _) | Cache.All_ways_pinned -> assert false
+
+let invalidate t line = Cache.remove t line
+
+let size t = Cache.size t
+
+let capacity t = Cache.capacity t
+
+let iter f t = Cache.iter f t

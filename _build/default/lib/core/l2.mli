@@ -1,0 +1,37 @@
+(** Processor-side cache model.
+
+    The L1s filter only latency, not coherence traffic, so the model keeps
+    a single coherent cache level per processor (the L2 of Table 1).
+    Lines are [Shared] or [Exclusive]; invalid lines are simply absent. *)
+
+type line_state = Shared | Exclusive
+
+type entry = { state : line_state; value : int; dirty : bool }
+
+type victim = { victim_line : Types.line; victim_entry : entry }
+
+type t
+
+val create : rng:Pcc_engine.Rng.t -> lines:int -> ways:int -> unit -> t
+
+val lookup : t -> Types.line -> entry option
+(** Refreshes recency. *)
+
+val peek : t -> Types.line -> entry option
+
+val fill : t -> Types.line -> entry -> victim option
+(** Insert (or overwrite) a line, returning any evicted victim the caller
+    must write back or victim-cache. *)
+
+val set : t -> Types.line -> entry -> unit
+(** Overwrite an existing line's state/value; raises [Invalid_argument]
+    when absent (state changes must target resident lines). *)
+
+val invalidate : t -> Types.line -> entry option
+
+val size : t -> int
+
+val capacity : t -> int
+
+val iter : (Types.line -> entry -> unit) -> t -> unit
+(** Visit every resident line (inspection/invariant checks). *)

@@ -1,0 +1,72 @@
+(* Per line we keep the most recent writes as (commit_time, value), newest
+   first.  A load that started at [s] and committed at [t] may legally
+   return any value committed in [s, t], or the newest value committed
+   before [s].  The history window is bounded; in a blocking-processor
+   system a load overlaps at most a handful of writes, so a modest window
+   never produces false positives in practice. *)
+
+let history_window = 32
+
+let max_reports = 16
+
+type t = {
+  history : (Types.line, (int * int) list ref) Hashtbl.t;
+  mutable violations : int;
+  mutable reports : string list;
+}
+
+let create () = { history = Hashtbl.create 1024; violations = 0; reports = [] }
+
+let cell t line =
+  match Hashtbl.find_opt t.history line with
+  | Some r -> r
+  | None ->
+      let r = ref [ (-1, 0) ] (* memory is zero-initialized "before time" *) in
+      Hashtbl.add t.history line r;
+      r
+
+let truncate list n =
+  let rec take acc i = function
+    | [] -> List.rev acc
+    | _ when i = 0 -> List.rev acc
+    | x :: rest -> take (x :: acc) (i - 1) rest
+  in
+  take [] n list
+
+let store_committed t line ~value ~time =
+  let r = cell t line in
+  r := truncate ((time, value) :: !r) history_window
+
+let legal history ~started ~value =
+  (* newest-first scan: values committed after [started] are all legal;
+     the first one at or before [started] is the last legal one. *)
+  let rec scan = function
+    | [] -> false
+    | (commit, v) :: rest ->
+        if commit > started then v = value || scan rest
+        else (* newest write not after the load began: last candidate *)
+          v = value
+  in
+  scan history
+
+let load_committed t line ~value ~started ~time =
+  let r = cell t line in
+  if legal !r ~started ~value then true
+  else begin
+    t.violations <- t.violations + 1;
+    if List.length t.reports < max_reports then
+      t.reports <-
+        Printf.sprintf
+          "line %d@%d: load started@%d committed@%d read %d; legal history: %s"
+          (Types.Layout.index_of_line line)
+          (Types.Layout.home_of_line line)
+          started time value
+          (String.concat ", "
+             (List.map (fun (c, v) -> Printf.sprintf "%d@%d" v c) (truncate !r 6)))
+        :: t.reports;
+    false
+  end
+
+let violations t = t.violations
+
+let violation_report t = List.rev t.reports

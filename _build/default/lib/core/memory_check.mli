@@ -1,0 +1,24 @@
+(** Runtime coherence checking (§2.5).
+
+    The paper bridges the gap between the Murphi model and the simulator by
+    checking invariants inside the simulator at the completion of every
+    transaction.  This module implements the data-value side of that: every
+    committed store records a (time, value) pair per line, and every
+    committed load is checked to return either the value current when the
+    load began or one committed while it was in flight — per-location
+    sequential consistency.  Violations are counted, never fatal, so tests
+    can assert the count is zero. *)
+
+type t
+
+val create : unit -> t
+
+val store_committed : t -> Types.line -> value:int -> time:int -> unit
+
+val load_committed : t -> Types.line -> value:int -> started:int -> time:int -> bool
+(** True when the value is legal; false records a violation. *)
+
+val violations : t -> int
+
+val violation_report : t -> string list
+(** Human-readable description of the first few violations. *)

@@ -1,0 +1,128 @@
+type nack_reason = Busy | Not_home | Pending
+
+type t =
+  | Get_shared of { line : Types.line; tid : int }
+  | Get_exclusive of { line : Types.line; tid : int }
+  | Writeback of { line : Types.line; value : int }
+  | Writeback_ack of { line : Types.line }
+  | Inval of { line : Types.line; requester : Types.node_id }
+  | Intervention of { line : Types.line; requester : Types.node_id; tid : int }
+  | Transfer of { line : Types.line; requester : Types.node_id; tid : int }
+  | Transfer_ack of { line : Types.line; new_owner : Types.node_id }
+  | Data_shared of { line : Types.line; value : int; source_is_home : bool; tid : int }
+  | Data_exclusive of { line : Types.line; value : int; acks_expected : int; tid : int }
+  | Inv_ack of { line : Types.line }
+  | Shared_writeback of { line : Types.line; value : int; new_sharer : Types.node_id }
+  | Nack of { line : Types.line; reason : nack_reason; tid : int }
+  | Delegate of {
+      line : Types.line;
+      sharers : Nodeset.t;
+      value : int;
+      acks_expected : int;
+      tid : int;
+    }
+  | New_home of { line : Types.line; home : Types.node_id }
+  | Fwd_get_shared of { line : Types.line; requester : Types.node_id; tid : int }
+  | Recall of { line : Types.line; requester : Types.node_id; kind : Types.op_kind }
+  | Recall_nack of { line : Types.line }
+  | Undelegate of {
+      line : Types.line;
+      sharers : Nodeset.t;
+      owner : Types.node_id option;
+      value : int option;
+      pending : (Types.node_id * Types.op_kind * int) option;
+          (* requester, operation, transaction id *)
+    }
+  | Update of { line : Types.line; value : int }
+  | Update_flush of { line : Types.line }
+  | Update_flush_ack of { line : Types.line }
+
+let line_of = function
+  | Get_shared { line; _ }
+  | Get_exclusive { line; _ }
+  | Writeback { line; _ }
+  | Writeback_ack { line }
+  | Inval { line; _ }
+  | Intervention { line; _ }
+  | Transfer { line; _ }
+  | Transfer_ack { line; _ }
+  | Data_shared { line; _ }
+  | Data_exclusive { line; _ }
+  | Inv_ack { line }
+  | Shared_writeback { line; _ }
+  | Nack { line; _ }
+  | Delegate { line; _ }
+  | New_home { line; _ }
+  | Fwd_get_shared { line; _ }
+  | Recall { line; _ }
+  | Recall_nack { line }
+  | Undelegate { line; _ }
+  | Update { line; _ }
+  | Update_flush { line }
+  | Update_flush_ack { line } ->
+      line
+
+let header_bytes = 16
+
+let dir_state_bytes = 8
+
+let wire_bytes ~line_bytes = function
+  | Get_shared _ | Get_exclusive _ | Inval _ | Intervention _ | Transfer _
+  | Transfer_ack _ | Inv_ack _ | Nack _ | New_home _ | Fwd_get_shared _ | Recall _
+  | Writeback_ack _ | Update_flush _ | Update_flush_ack _ | Recall_nack _ ->
+      header_bytes
+  | Writeback _ | Data_shared _ | Data_exclusive _ | Shared_writeback _ | Update _ ->
+      header_bytes + line_bytes
+  | Delegate _ -> header_bytes + line_bytes + dir_state_bytes
+  | Undelegate { value; _ } ->
+      header_bytes + dir_state_bytes + (match value with Some _ -> line_bytes | None -> 0)
+
+let class_name = function
+  | Get_shared _ -> "get-shared"
+  | Get_exclusive _ -> "get-exclusive"
+  | Writeback _ -> "writeback"
+  | Writeback_ack _ -> "writeback-ack"
+  | Inval _ -> "inval"
+  | Intervention _ -> "intervention"
+  | Transfer _ -> "transfer"
+  | Transfer_ack _ -> "transfer-ack"
+  | Data_shared _ -> "data-shared"
+  | Data_exclusive _ -> "data-exclusive"
+  | Inv_ack _ -> "inv-ack"
+  | Shared_writeback _ -> "shared-writeback"
+  | Nack _ -> "nack"
+  | Delegate _ -> "delegate"
+  | New_home _ -> "new-home"
+  | Fwd_get_shared _ -> "fwd-get-shared"
+  | Recall _ -> "recall"
+  | Recall_nack _ -> "recall-nack"
+  | Undelegate _ -> "undelegate"
+  | Update _ -> "update"
+  | Update_flush _ -> "update-flush"
+  | Update_flush_ack _ -> "update-flush-ack"
+
+let pp_nack_reason ppf reason =
+  Format.pp_print_string ppf
+    (match reason with Busy -> "busy" | Not_home -> "not-home" | Pending -> "pending")
+
+let pp ppf message =
+  let line = Types.Layout.index_of_line (line_of message) in
+  let home = Types.Layout.home_of_line (line_of message) in
+  match message with
+  | Nack { reason; _ } ->
+      Format.fprintf ppf "nack(%d@%d, %a)" line home pp_nack_reason reason
+  | Data_exclusive { acks_expected; _ } ->
+      Format.fprintf ppf "data-exclusive(%d@%d, acks=%d)" line home acks_expected
+  | Delegate { sharers; acks_expected; _ } ->
+      Format.fprintf ppf "delegate(%d@%d, sharers=%a, acks=%d)" line home Nodeset.pp
+        sharers acks_expected
+  | Undelegate { sharers; pending; _ } ->
+      Format.fprintf ppf "undelegate(%d@%d, sharers=%a%s)" line home Nodeset.pp sharers
+        (match pending with
+        | Some (node, _, _) -> Printf.sprintf ", pending=%d" node
+        | None -> "")
+  | New_home { home = new_home; _ } ->
+      Format.fprintf ppf "new-home(%d@%d -> %d)" line home new_home
+  | Fwd_get_shared { requester; _ } ->
+      Format.fprintf ppf "fwd-get-shared(%d@%d, for %d)" line home requester
+  | other -> Format.fprintf ppf "%s(%d@%d)" (class_name other) line home

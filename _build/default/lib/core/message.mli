@@ -1,0 +1,99 @@
+(** Coherence protocol messages.
+
+    One variant per message class of the base write-invalidate protocol
+    plus the delegation (§2.3) and speculative-update (§2.4) extensions.
+    The requester/sender node is carried by the network layer; payloads
+    name the affected line and any protocol arguments. *)
+
+type nack_reason =
+  | Busy  (** directory (or delegated entry) is mid-transaction *)
+  | Not_home  (** receiver is no longer the delegated home for the line *)
+  | Pending  (** owner has an unfinished transaction on the line *)
+
+type t =
+  (* Requests.  [tid] is the requester's transaction id (its MSHR tag):
+     replies echo it so a requester can drop stale replies belonging to a
+     transaction that was satisfied another way (e.g. by a speculative
+     update). *)
+  | Get_shared of { line : Types.line; tid : int }
+  | Get_exclusive of { line : Types.line; tid : int }
+  | Writeback of { line : Types.line; value : int }
+      (** eviction of a dirty exclusive line back to its home *)
+  | Writeback_ack of { line : Types.line }
+      (** home -> evictor: the writeback was applied.  Interventions that
+          arrive at the evictor before this ack belong to the ownership
+          epoch the writeback ends and are dropped (classic
+          writeback/intervention race resolution). *)
+  (* Home-initiated interventions *)
+  | Inval of { line : Types.line; requester : Types.node_id }
+      (** invalidate your copy; ack the requester directly *)
+  | Intervention of { line : Types.line; requester : Types.node_id; tid : int }
+      (** downgrade to shared; send data to the requester and a shared
+          writeback to the home *)
+  | Transfer of { line : Types.line; requester : Types.node_id; tid : int }
+      (** invalidate and pass exclusive ownership to the requester;
+          confirm to the home *)
+  | Transfer_ack of { line : Types.line; new_owner : Types.node_id }
+  (* Replies *)
+  | Data_shared of { line : Types.line; value : int; source_is_home : bool; tid : int }
+  | Data_exclusive of { line : Types.line; value : int; acks_expected : int; tid : int }
+      (** speculative exclusive reply; completion needs [acks_expected]
+          invalidation acks *)
+  | Inv_ack of { line : Types.line }
+  | Shared_writeback of { line : Types.line; value : int; new_sharer : Types.node_id }
+  | Nack of { line : Types.line; reason : nack_reason; tid : int }
+  (* Delegation (§2.3) *)
+  | Delegate of {
+      line : Types.line;
+      sharers : Nodeset.t;  (** sharing vector at delegation time *)
+      value : int;
+      acks_expected : int;
+      tid : int;
+    }
+      (** home -> producer; doubles as the exclusive reply (Fig. 4a) *)
+  | New_home of { line : Types.line; home : Types.node_id }
+      (** home -> requester: future requests go to the delegated home *)
+  | Fwd_get_shared of { line : Types.line; requester : Types.node_id; tid : int }
+      (** home -> delegated home: serve this read on the home's behalf *)
+  | Recall of { line : Types.line; requester : Types.node_id; kind : Types.op_kind }
+      (** home -> producer: another node needs exclusive access; undelegate *)
+  | Recall_nack of { line : Types.line }
+      (** producer -> home: no producer-table entry yet (the recall
+          overtook the in-flight Delegate, whose send is delayed by the
+          home's memory fetch); the home retries while Busy *)
+  | Undelegate of {
+      line : Types.line;
+      sharers : Nodeset.t;
+      owner : Types.node_id option;
+          (** [Some n] when the line remains exclusively owned by [n]
+              (delegation refused but exclusivity kept) *)
+      value : int option;  (** line contents if dirty at the producer *)
+      pending : (Types.node_id * Types.op_kind * int) option;
+          (** requester, operation and transaction id that triggered the
+              undelegation, for the home to service (§2.3.3) *)
+    }
+  (* Speculative updates (§2.4) *)
+  | Update of { line : Types.line; value : int }
+      (** producer -> consumer RAC push after delayed intervention *)
+  | Update_flush of { line : Types.line }
+      (** producer -> consumer, sent when the producer must undelegate:
+          because channels are FIFO, its arrival means every earlier push
+          on this channel has been installed.  Updates themselves are
+          fire-and-forget (keeping the paper's traffic savings); only
+          undelegation pays for a flush round trip, without which a
+          straggling update could strand a stale copy past the next
+          writer's invalidations. *)
+  | Update_flush_ack of { line : Types.line }
+      (** consumer -> producer: the flush marker arrived *)
+
+val line_of : t -> Types.line
+
+val wire_bytes : line_bytes:int -> t -> int
+(** Logical packet size: a 16-byte header, plus the line payload for
+    data-carrying messages, plus 8 bytes of directory state for
+    delegation messages.  The network pads to its minimum packet size. *)
+
+val class_name : t -> string
+(** Stable short name for per-class message counting. *)
+
+val pp : Format.formatter -> t -> unit

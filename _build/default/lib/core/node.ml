@@ -1,0 +1,1291 @@
+module Sim = Pcc_engine.Simulator
+module Network = Pcc_interconnect.Network
+module Producer = Delegate_cache.Producer
+module Consumer = Delegate_cache.Consumer
+
+(* ------------------------------------------------------------------ *)
+(* State                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type deferred =
+  | D_intervention of Types.node_id * int  (* requester, tid *)
+  | D_transfer of Types.node_id * int
+
+(* One outstanding processor transaction.  [target] is where the current
+   attempt was sent; [reply_src] who granted it — together they classify
+   the miss by network legs.  [deferred] holds interventions that arrived
+   between the exclusive grant and the store commit. *)
+type pending = {
+  kind : Types.op_kind;
+  line : Types.line;
+  started : int;
+  tid : int;  (* MSHR tag echoed by replies; stale replies are dropped *)
+  on_commit : unit -> unit;
+  mutable target : Types.node_id;
+  mutable reply_src : Types.node_id;
+  mutable acks_needed : int;
+  mutable have_data : bool;
+  mutable poisoned : bool;
+      (* an invalidation overtook this load: commit without caching *)
+  mutable miss_override : Types.miss_class option;
+  mutable deferred : deferred list;
+}
+
+type after_busy =
+  | No_recall
+  | Undelegate_plain  (* home holds the pending requester (Recall path) *)
+  | Undelegate_with of (Types.node_id * Types.op_kind * int)
+
+type prod_state = P_shared | P_excl | P_busy
+
+(* Delegated directory state held in the producer table (the DirEntry of
+   Fig. 3 plus the speculative-update bookkeeping of §2.4.2). *)
+type prod_entry = {
+  mutable pstate : prod_state;
+  mutable psharers : Nodeset.t;  (* current sharing vector (includes self) *)
+  mutable update_set : Nodeset.t;  (* previous epoch's consumers *)
+  mutable last_write : int;
+  mutable burst_start : int;  (* first write of the current epoch *)
+  mutable burst_span_ewma : int;  (* adaptive-delay estimate of burst length *)
+  mutable intervention_scheduled : bool;
+  mutable after_busy : after_busy;
+  mutable unflushed : Nodeset.t;  (* targets pushed since the last flush *)
+  mutable last_push : int;  (* cycle of the most recent push *)
+  mutable flush_acks : int;  (* flush round trips outstanding *)
+}
+
+type t = {
+  config : Config.t;
+  sim : Sim.t;
+  network : Message.t Network.t;
+  id : Types.node_id;
+  stats : Run_stats.t;
+  memcheck : Memory_check.t;
+  next_version : unit -> int;
+  rng : Pcc_engine.Rng.t;
+  l2 : L2.t;
+  rac : Rac.t option;
+  dir : Directory.t;
+  producer_table : prod_entry Producer.t option;
+  consumer_table : Consumer.t option;
+  dram : Pcc_memory.Dram.t;
+  params : Predictor.params;
+  wb_pending : (Types.line, unit) Hashtbl.t;
+      (* lines with an unacknowledged writeback in flight *)
+  mutable next_tid : int;
+  mutable pending : pending option;
+  mutable trace : (time:int -> dst:Types.node_id -> Message.t -> unit) option;
+}
+
+let id t = t.id
+
+let busy t = t.pending <> None
+
+let set_trace t f = t.trace <- Some f
+
+let directory t = t.dir
+
+let home_of line = Types.Layout.home_of_line line
+
+let find_producer t line =
+  match t.producer_table with Some table -> Producer.find table line | None -> None
+
+(* Undelegation must be fenced while pushed updates may still be in
+   flight (a stale straggler could outlive the next writer's
+   invalidations).  Pushes older than the flush window have certainly
+   been delivered on this bounded-latency interconnect, so their targets
+   age out without a flush round. *)
+let fence_needed t entry =
+  if
+    (not (Nodeset.is_empty entry.unflushed))
+    && Sim.now t.sim - entry.last_push > t.config.flush_window
+  then entry.unflushed <- Nodeset.empty;
+  (not (Nodeset.is_empty entry.unflushed)) || entry.flush_acks > 0
+
+(* A producer entry may not be evicted (capacity-undelegated) while it is
+   mid-transaction or while an undelegation fence is pending. *)
+let refresh_entry_lock t line entry =
+  match t.producer_table with
+  | None -> ()
+  | Some table ->
+      if entry.pstate = P_busy || fence_needed t entry then Producer.lock table line
+      else Producer.unlock table line
+
+
+(* Adaptive intervention (§5 future work): downgrade shortly after the
+   line's typical write-burst span instead of a fixed delay. *)
+let effective_intervention_delay t entry =
+  if t.config.adaptive_intervention then
+    max 10 (min 2000 (entry.burst_span_ewma + 25))
+  else t.config.intervention_delay
+
+(* ------------------------------------------------------------------ *)
+(* Messaging and timing helpers                                        *)
+(* ------------------------------------------------------------------ *)
+
+let send t ~dst msg =
+  (match t.trace with Some f -> f ~time:(Sim.now t.sim) ~dst msg | None -> ());
+  if dst <> t.id then
+    Pcc_stats.Counter.incr t.stats.message_classes (Message.class_name msg);
+  Network.send t.network ~src:t.id ~dst
+    ~bytes:(Message.wire_bytes ~line_bytes:t.config.line_bytes msg)
+    msg
+
+let send_after t ~delay ~dst msg =
+  if delay <= 0 then send t ~dst msg
+  else Sim.schedule t.sim ~delay (fun () -> send t ~dst msg)
+(* Begin (or continue) the flush round: a marker chases the pushed
+   updates down their FIFO channels; acks mean they all landed. *)
+let start_flush t line entry =
+  if entry.flush_acks = 0 && not (Nodeset.is_empty entry.unflushed) then begin
+    entry.flush_acks <- Nodeset.cardinal entry.unflushed;
+    Nodeset.iter (fun c -> send t ~dst:c (Update_flush { line })) entry.unflushed;
+    entry.unflushed <- Nodeset.empty;
+    refresh_entry_lock t line entry
+  end
+
+
+let dir_access t line =
+  let access = Directory.access t.dir line in
+  if access.dir_cache_hit then t.stats.dir_cache_hits <- t.stats.dir_cache_hits + 1
+  else t.stats.dir_cache_misses <- t.stats.dir_cache_misses + 1;
+  access
+
+let dram_delay t =
+  let now = Sim.now t.sim in
+  Pcc_memory.Dram.access t.dram ~now - now
+
+(* ------------------------------------------------------------------ *)
+(* L2 fills and evictions                                              *)
+(* ------------------------------------------------------------------ *)
+
+let handle_victim t = function
+  | None -> ()
+  | Some L2.{ victim_line = line; victim_entry = entry } -> (
+      match entry.state with
+      | L2.Exclusive -> (
+          match (find_producer t line, t.rac) with
+          | Some _, Some rac ->
+              (* delegated line: the pinned RAC entry is its local memory *)
+              if not (Rac.write rac line ~value:entry.value) then
+                ignore (Rac.fill rac line ~value:entry.value ~origin:Rac.Delegated)
+          | Some _, None -> assert false (* delegation requires a RAC *)
+          | None, _ ->
+              t.stats.writebacks <- t.stats.writebacks + 1;
+              Hashtbl.replace t.wb_pending line ();
+              send t ~dst:(home_of line) (Writeback { line; value = entry.value }))
+      | L2.Shared -> (
+          match t.rac with
+          | Some rac when home_of line <> t.id ->
+              ignore (Rac.fill rac line ~value:entry.value ~origin:Rac.Victim)
+          | Some _ | None -> ()))
+
+let fill_l2 t line entry = handle_victim t (L2.fill t.l2 line entry)
+
+(* ------------------------------------------------------------------ *)
+(* Speculative updates: downgrade + push (§2.4)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Downgrade the producer's exclusive copy into the RAC and push the new
+   data to the previous epoch's consumers.  [exclude] is a consumer being
+   served an ordinary data reply right now. *)
+let downgrade_and_push t line entry ~exclude =
+  (match L2.peek t.l2 line with
+  | Some L2.{ state = Exclusive; value; _ } -> (
+      L2.set t.l2 line L2.{ state = Shared; value; dirty = false };
+      match t.rac with
+      | Some rac ->
+          if not (Rac.write rac line ~value) then
+            ignore (Rac.fill rac line ~value ~origin:Rac.Delegated)
+      | None -> assert false)
+  | Some L2.{ state = Shared; _ } | None -> () (* data already in the RAC *));
+  entry.pstate <- P_shared;
+  if t.config.speculative_updates then begin
+    let value =
+      match t.rac with
+      | Some rac -> ( match Rac.peek rac line with Some v -> v | None -> assert false)
+      | None -> assert false
+    in
+    let targets = Nodeset.remove entry.update_set t.id in
+    let targets =
+      match exclude with Some node -> Nodeset.remove targets node | None -> targets
+    in
+    Nodeset.iter
+      (fun consumer ->
+        t.stats.updates_sent <- t.stats.updates_sent + 1;
+        send t ~dst:consumer (Update { line; value }))
+      targets;
+    (* pushed nodes hold fresh copies again: they rejoin the sharing
+       vector so the next write invalidates their RACs *)
+    entry.psharers <- Nodeset.union entry.psharers targets;
+    if not (Nodeset.is_empty targets) then begin
+      entry.unflushed <- Nodeset.union entry.unflushed targets;
+      entry.last_push <- Sim.now t.sim
+    end;
+    refresh_entry_lock t line entry
+  end;
+  let span = max 0 (entry.last_write - entry.burst_start) in
+  entry.burst_span_ewma <- ((3 * entry.burst_span_ewma) + span) / 4;
+  match exclude with
+  | Some node -> entry.psharers <- Nodeset.add entry.psharers node
+  | None -> ()
+
+let rec schedule_intervention t line entry =
+  if
+    t.config.speculative_updates && (not entry.intervention_scheduled)
+    && t.config.intervention_delay < max_int / 2
+  then begin
+    entry.intervention_scheduled <- true;
+    Sim.schedule t.sim
+      ~delay:(effective_intervention_delay t entry)
+      (fun () -> intervention_fires t line)
+  end
+
+and intervention_fires t line =
+  match find_producer t line with
+  | None -> () (* undelegated meanwhile *)
+  | Some entry ->
+      entry.intervention_scheduled <- false;
+      if entry.pstate = P_excl then begin
+        let delay = effective_intervention_delay t entry in
+        let idle = Sim.now t.sim - entry.last_write in
+        if idle < delay then begin
+          (* the write burst is still running; wait for it to go quiet *)
+          entry.intervention_scheduled <- true;
+          Sim.schedule t.sim ~delay:(delay - idle) (fun () -> intervention_fires t line)
+        end
+        else downgrade_and_push t line entry ~exclude:None
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Undelegation (§2.3.3)                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Give the line back to its home: downgrade local copies, ship the
+   current contents and sharing vector.  The producer-table entry must
+   already be detached by the caller. *)
+let undelegate_common t line entry ~pending =
+  let l2_state = L2.peek t.l2 line in
+  let value =
+    match l2_state with
+    | Some L2.{ state = Exclusive; value; _ } ->
+        L2.set t.l2 line L2.{ state = Shared; value; dirty = false };
+        value
+    | Some L2.{ value; _ } -> value
+    | None -> (
+        match t.rac with
+        | Some rac -> ( match Rac.peek rac line with Some v -> v | None -> assert false)
+        | None -> assert false)
+  in
+  (match t.rac with
+  | Some rac ->
+      (* the pinned backing copy is stale while the producer held the line
+         exclusively: refresh it before it becomes an ordinary victim copy *)
+      ignore (Rac.write rac line ~value);
+      Rac.unpin rac line
+  | None -> ());
+  let self_copy = l2_state <> None || (match t.rac with Some r -> Rac.contains r line | None -> false) in
+  let sharers =
+    if self_copy then Nodeset.add entry.psharers t.id
+    else Nodeset.remove entry.psharers t.id
+  in
+  t.stats.undelegations <- t.stats.undelegations + 1;
+  send t ~dst:(home_of line)
+    (Undelegate { line; sharers; owner = None; value = Some value; pending })
+
+let do_undelegate t line entry ~pending =
+  (match t.producer_table with
+  | Some table -> ignore (Producer.remove table line)
+  | None -> assert false);
+  undelegate_common t line entry ~pending
+
+(* Victim already evicted from the producer table by an insert. *)
+let undelegate_victim t line entry = undelegate_common t line entry ~pending:None
+
+(* ------------------------------------------------------------------ *)
+(* Miss classification                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let classify_legs t ~target ~reply_src =
+  let legs =
+    (if target <> t.id then 1 else 0)
+    + (if reply_src <> target then 1 else 0)
+    + (if reply_src <> t.id then 1 else 0)
+  in
+  if legs = 0 then Types.Local_mem
+  else if legs <= 2 then Types.Remote_2hop
+  else Types.Remote_3hop
+
+(* A write that triggered invalidations completes only after acks arrive
+   from the sharers: requester -> home -> sharers -> requester is the
+   3-hop pattern of Fig. 1 (2-hop when the home is local). *)
+let ack_collection_class t p ~acks_expected =
+  if acks_expected > 0 && p.miss_override = None then
+    p.miss_override <-
+      Some (if p.target = t.id then Types.Remote_2hop else Types.Remote_3hop)
+
+(* ------------------------------------------------------------------ *)
+(* Transaction commit                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let commit_load t p ~value ~miss =
+  let now = Sim.now t.sim in
+  if not p.poisoned then
+    fill_l2 t p.line L2.{ state = Shared; value; dirty = false };
+  ignore
+    (Memory_check.load_committed t.memcheck p.line ~value ~started:p.started ~time:now);
+  Run_stats.record_miss t.stats miss ~latency:(now - p.started);
+  t.pending <- None;
+  p.on_commit ()
+
+(* Producer bookkeeping common to store commits and exclusive store hits:
+   re-arm the delayed intervention and run any postponed undelegation. *)
+let note_producer_write t line =
+  match find_producer t line with
+  | None -> ()
+  | Some entry -> (
+      if entry.pstate = P_busy then entry.burst_start <- Sim.now t.sim;
+      entry.pstate <- P_excl;
+      refresh_entry_lock t line entry;
+      entry.last_write <- Sim.now t.sim;
+      schedule_intervention t line entry;
+      (* a postponed undelegation runs only once the update flush has
+         completed (see Update_flush) *)
+      if entry.after_busy <> No_recall then begin
+        if fence_needed t entry then start_flush t line entry
+        else begin
+          match entry.after_busy with
+          | No_recall -> ()
+          | Undelegate_plain ->
+              entry.after_busy <- No_recall;
+              do_undelegate t line entry ~pending:None
+          | Undelegate_with request ->
+              entry.after_busy <- No_recall;
+              do_undelegate t line entry ~pending:(Some request)
+        end
+      end)
+
+let rec commit_store t p =
+  let now = Sim.now t.sim in
+  let version = t.next_version () in
+  (* gaining exclusivity invalidates any stale private RAC copy; a
+     delegated line instead keeps its pinned RAC backing entry *)
+  (match (t.rac, find_producer t p.line) with
+  | Some rac, None -> Rac.invalidate rac p.line
+  | Some _, Some _ | None, _ -> ());
+  fill_l2 t p.line L2.{ state = Exclusive; value = version; dirty = true };
+  Memory_check.store_committed t.memcheck p.line ~value:version ~time:now;
+  let miss =
+    match p.miss_override with
+    | Some m -> m
+    | None -> classify_legs t ~target:p.target ~reply_src:p.reply_src
+  in
+  Run_stats.record_miss t.stats miss ~latency:(now - p.started);
+  t.pending <- None;
+  note_producer_write t p.line;
+  List.iter
+    (fun d ->
+      match d with
+      | D_intervention (requester, tid) ->
+          handle_intervention_now t p.line ~requester ~tid
+      | D_transfer (requester, tid) -> handle_transfer_now t p.line ~requester ~tid)
+    (List.rev p.deferred);
+  p.on_commit ()
+
+and try_complete_store t p =
+  if p.have_data && p.acks_needed <= 0 then commit_store t p
+
+(* ------------------------------------------------------------------ *)
+(* Owner-side interventions                                            *)
+(* ------------------------------------------------------------------ *)
+
+and handle_intervention_now t line ~requester ~tid =
+  match L2.peek t.l2 line with
+  | Some L2.{ state = Exclusive; value; _ } ->
+      L2.set t.l2 line L2.{ state = Shared; value; dirty = false };
+      send t ~dst:requester (Data_shared { line; value; source_is_home = false; tid });
+      send t ~dst:(home_of line)
+        (Shared_writeback { line; value; new_sharer = requester })
+  | Some L2.{ state = Shared; value; _ } ->
+      send t ~dst:requester (Data_shared { line; value; source_is_home = false; tid });
+      send t ~dst:(home_of line)
+        (Shared_writeback { line; value; new_sharer = requester })
+  | None -> () (* our writeback is in flight; the home resolves the race *)
+
+and handle_transfer_now t line ~requester ~tid =
+  match L2.invalidate t.l2 line with
+  | Some L2.{ value; _ } ->
+      (match t.rac with Some rac -> Rac.invalidate rac line | None -> ());
+      send t ~dst:requester (Data_exclusive { line; value; acks_expected = 0; tid });
+      send t ~dst:(home_of line) (Transfer_ack { line; new_owner = requester })
+  | None -> () (* writeback race; the home resolves it *)
+
+(* ------------------------------------------------------------------ *)
+(* Requester side: attempts and retries                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec start_attempt t p =
+  let line = p.line in
+  match p.kind with
+  | Types.Load -> (
+      let rac_value =
+        match t.rac with Some rac -> Rac.lookup rac line | None -> None
+      in
+      match rac_value with
+      | Some value ->
+          Sim.schedule t.sim ~delay:t.config.rac_hit_latency (fun () ->
+              match t.pending with
+              | Some q when q == p -> commit_load t q ~value ~miss:Types.Rac_hit
+              | _ -> ())
+      | None ->
+          let target = resolve_target t line in
+          p.target <- target;
+          send t ~dst:target (Get_shared { line; tid = p.tid }))
+  | Types.Store -> (
+      match find_producer t line with
+      | Some entry -> start_local_upgrade t p entry
+      | None ->
+          let target = resolve_target t line in
+          p.target <- target;
+          send t ~dst:target (Get_exclusive { line; tid = p.tid }))
+
+and resolve_target t line =
+  let home = home_of line in
+  if home = t.id then home
+  else
+    match t.consumer_table with
+    | Some table -> (
+        match Consumer.find table line with Some node -> node | None -> home)
+    | None -> home
+
+(* The producer writing a line it is the delegated home of: the whole
+   directory transaction is local; only invalidations and their acks
+   cross the network (the "2-hop write" of §2.3). *)
+and start_local_upgrade t p entry =
+  let line = p.line in
+  match entry.pstate with
+  | P_busy -> assert false (* the blocking processor is the only writer *)
+  | P_excl ->
+      (* exclusivity already held (L2 copy was evicted; data is in the
+         pinned RAC entry) *)
+      p.have_data <- true;
+      p.acks_needed <- 0;
+      p.miss_override <- Some Types.Rac_hit;
+      Sim.schedule t.sim ~delay:t.config.rac_hit_latency (fun () ->
+          match t.pending with Some q when q == p -> try_complete_store t q | _ -> ())
+  | P_shared ->
+      let consumers = Nodeset.remove entry.psharers t.id in
+      let n = Nodeset.cardinal consumers in
+      if n > 0 then Pcc_stats.Histogram.observe t.stats.consumer_hist n;
+      entry.update_set <- consumers;
+      entry.psharers <- Nodeset.singleton t.id;
+      entry.pstate <- P_busy;
+      (match t.producer_table with
+      | Some table -> Producer.lock table line
+      | None -> assert false);
+      p.have_data <- true;
+      p.acks_needed <- n;
+      p.miss_override <- Some (if n = 0 then Types.Rac_hit else Types.Remote_2hop);
+      if n = 0 then
+        Sim.schedule t.sim ~delay:t.config.hub_latency (fun () ->
+            match t.pending with
+            | Some q when q == p -> try_complete_store t q
+            | _ -> ())
+      else
+        Nodeset.iter
+          (fun consumer ->
+            t.stats.invals_sent <- t.stats.invals_sent + 1;
+            send_after t ~delay:t.config.hub_latency ~dst:consumer
+              (Inval { line; requester = t.id }))
+          consumers
+
+and schedule_retry t p =
+  t.stats.retries <- t.stats.retries + 1;
+  let jitter = Pcc_engine.Rng.int t.rng ~bound:16 in
+  Sim.schedule t.sim ~delay:(t.config.nack_retry_delay + jitter) (fun () ->
+      match t.pending with Some q when q == p -> start_attempt t q | _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Home-side request handling                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec home_get_shared t ~src ~tid line =
+  let access = dir_access t line in
+  let entry = Directory.entry t.dir line in
+  match entry.state with
+  | Directory.Unowned | Directory.Shared_s ->
+      let unique = not (Nodeset.mem entry.sharers src) in
+      Predictor.record_read t.params access.predictor ~reader:src ~unique;
+      entry.state <- Directory.Shared_s;
+      entry.sharers <- Nodeset.add entry.sharers src;
+      send_after t
+        ~delay:(access.latency + dram_delay t)
+        ~dst:src
+        (Data_shared { line; value = entry.mem_value; source_is_home = true; tid })
+  | Directory.Excl ->
+      if entry.owner = src then
+        (* the owner's writeback is in flight; retry until it lands *)
+        send_after t ~delay:access.latency ~dst:src
+          (Nack { line; reason = Message.Pending; tid })
+      else begin
+        Predictor.record_read t.params access.predictor ~reader:src ~unique:true;
+        entry.state <- Directory.Busy_shared;
+        entry.requester <- src;
+        entry.requester_op <- Types.Load;
+        entry.requester_tid <- tid;
+        t.stats.interventions_sent <- t.stats.interventions_sent + 1;
+        send_after t ~delay:access.latency ~dst:entry.owner
+          (Intervention { line; requester = src; tid })
+      end
+  | Directory.Busy_shared | Directory.Busy_excl ->
+      send_after t ~delay:access.latency ~dst:src
+        (Nack { line; reason = Message.Busy; tid })
+  | Directory.Dele ->
+      if entry.owner = src then
+        send_after t ~delay:access.latency ~dst:src
+          (Nack { line; reason = Message.Busy; tid })
+      else begin
+        (* Fig. 4b: forward to the delegated home and teach the requester *)
+        send_after t ~delay:access.latency ~dst:entry.owner
+          (Fwd_get_shared { line; requester = src; tid });
+        send_after t ~delay:access.latency ~dst:src
+          (New_home { line; home = entry.owner })
+      end
+
+and home_get_exclusive t ~src ~tid line =
+  let access = dir_access t line in
+  let entry = Directory.entry t.dir line in
+  match entry.state with
+  | Directory.Unowned ->
+      Predictor.record_write t.params access.predictor ~writer:src;
+      entry.state <- Directory.Excl;
+      entry.owner <- src;
+      entry.sharers <- Nodeset.empty;
+      send_after t
+        ~delay:(access.latency + dram_delay t)
+        ~dst:src
+        (Data_exclusive { line; value = entry.mem_value; acks_expected = 0; tid })
+  | Directory.Shared_s ->
+      Predictor.record_write t.params access.predictor ~writer:src;
+      let is_pc = Predictor.is_producer_consumer t.params access.predictor in
+      let consumers = Nodeset.remove entry.sharers src in
+      let n = Nodeset.cardinal consumers in
+      (* Table 3 statistic: consumers per epoch of a detected
+         producer-consumer line *)
+      if is_pc && n > 0 then Pcc_stats.Histogram.observe t.stats.consumer_hist n;
+      Nodeset.iter
+        (fun node ->
+          t.stats.invals_sent <- t.stats.invals_sent + 1;
+          send_after t ~delay:access.latency ~dst:node (Inval { line; requester = src }))
+        consumers;
+      (* Delegation to the home's own producer-table entry ("self
+         delegation") costs no messages and enables speculative updates
+         for first-touch data homed at its producer. *)
+      let delegate =
+        t.config.delegation_enabled && is_pc
+        && Predictor.producer access.predictor = Some src
+      in
+      entry.owner <- src;
+      entry.sharers <- Nodeset.empty;
+      if delegate then begin
+        t.stats.delegations <- t.stats.delegations + 1;
+        entry.state <- Directory.Dele;
+        send_after t
+          ~delay:(access.latency + dram_delay t)
+          ~dst:src
+          (Delegate
+             { line; sharers = consumers; value = entry.mem_value; acks_expected = n; tid })
+      end
+      else begin
+        entry.state <- Directory.Excl;
+        send_after t
+          ~delay:(access.latency + dram_delay t)
+          ~dst:src
+          (Data_exclusive { line; value = entry.mem_value; acks_expected = n; tid })
+      end
+  | Directory.Excl ->
+      if entry.owner = src then
+        send_after t ~delay:access.latency ~dst:src
+          (Nack { line; reason = Message.Pending; tid })
+      else begin
+        Predictor.record_write t.params access.predictor ~writer:src;
+        entry.state <- Directory.Busy_excl;
+        entry.requester <- src;
+        entry.requester_op <- Types.Store;
+        entry.requester_tid <- tid;
+        send_after t ~delay:access.latency ~dst:entry.owner
+          (Transfer { line; requester = src; tid })
+      end
+  | Directory.Busy_shared | Directory.Busy_excl ->
+      send_after t ~delay:access.latency ~dst:src
+        (Nack { line; reason = Message.Busy; tid })
+  | Directory.Dele ->
+      if entry.owner = src then
+        send_after t ~delay:access.latency ~dst:src
+          (Nack { line; reason = Message.Busy; tid })
+      else begin
+        (* undelegation reason 3 (§2.3.3): another node wants exclusivity *)
+        Predictor.record_write t.params access.predictor ~writer:src;
+        entry.state <- Directory.Busy_excl;
+        entry.requester <- src;
+        entry.requester_op <- Types.Store;
+        entry.requester_tid <- tid;
+        send_after t ~delay:access.latency ~dst:entry.owner
+          (Recall { line; requester = src; kind = Types.Store })
+      end
+
+and home_service_request t (node, kind, tid) line =
+  match (kind : Types.op_kind) with
+  | Types.Load -> home_get_shared t ~src:node ~tid line
+  | Types.Store -> home_get_exclusive t ~src:node ~tid line
+
+(* ------------------------------------------------------------------ *)
+(* Home-side replies and races                                         *)
+(* ------------------------------------------------------------------ *)
+
+let on_writeback t ~src line ~value =
+  let access = dir_access t line in
+  let entry = Directory.entry t.dir line in
+  send_after t ~delay:access.latency ~dst:src (Writeback_ack { line });
+  match entry.state with
+  | Directory.Excl when entry.owner = src ->
+      entry.mem_value <- value;
+      entry.state <- Directory.Unowned;
+      entry.owner <- -1
+  | Directory.Busy_shared when entry.owner = src ->
+      (* the intervention crossed the writeback: serve the waiting reader
+         from home memory *)
+      entry.mem_value <- value;
+      entry.state <- Directory.Shared_s;
+      entry.sharers <- Nodeset.singleton entry.requester;
+      send_after t
+        ~delay:(access.latency + dram_delay t)
+        ~dst:entry.requester
+        (Data_shared { line; value; source_is_home = true; tid = entry.requester_tid })
+  | Directory.Busy_excl when entry.owner = src ->
+      (* the transfer crossed the writeback: grant the waiting writer *)
+      entry.mem_value <- value;
+      entry.state <- Directory.Unowned;
+      entry.owner <- -1;
+      home_service_request t (entry.requester, entry.requester_op, entry.requester_tid) line
+  | Directory.Busy_excl when entry.requester = src ->
+      (* the new owner wrote back before its Transfer_ack arrived: the
+         transfer evidently completed, so the transaction ends here *)
+      entry.mem_value <- value;
+      entry.state <- Directory.Unowned;
+      entry.owner <- -1
+  | Directory.Unowned | Directory.Shared_s | Directory.Excl | Directory.Busy_shared
+  | Directory.Busy_excl | Directory.Dele ->
+      () (* stale writeback *)
+
+let on_shared_writeback t ~src line ~value ~new_sharer =
+  let entry = Directory.entry t.dir line in
+  match entry.state with
+  | Directory.Busy_shared when entry.owner = src ->
+      entry.mem_value <- value;
+      entry.state <- Directory.Shared_s;
+      entry.sharers <- Nodeset.add (Nodeset.singleton src) new_sharer;
+      entry.owner <- -1
+  | _ -> ()
+
+let on_transfer_ack t ~src line ~new_owner =
+  let entry = Directory.entry t.dir line in
+  match entry.state with
+  | Directory.Busy_excl when entry.owner = src ->
+      entry.state <- Directory.Excl;
+      entry.owner <- new_owner;
+      entry.sharers <- Nodeset.empty
+  | _ -> ()
+
+let on_undelegate t ~src line ~sharers ~owner ~value ~pending =
+  let entry = Directory.entry t.dir line in
+  match entry.state with
+  | (Directory.Dele | Directory.Busy_excl) when entry.owner = src ->
+      let stored_pending =
+        if entry.state = Directory.Busy_excl then
+          Some (entry.requester, entry.requester_op, entry.requester_tid)
+        else None
+      in
+      (match value with Some v -> entry.mem_value <- v | None -> ());
+      Directory.reset_predictor t.dir line;
+      (match owner with
+      | Some node ->
+          entry.state <- Directory.Excl;
+          entry.owner <- node;
+          entry.sharers <- Nodeset.empty
+      | None ->
+          entry.owner <- -1;
+          if Nodeset.is_empty sharers then begin
+            entry.state <- Directory.Unowned;
+            entry.sharers <- Nodeset.empty
+          end
+          else begin
+            entry.state <- Directory.Shared_s;
+            entry.sharers <- sharers
+          end);
+      (match pending with
+      | Some request -> home_service_request t request line
+      | None -> ());
+      (match stored_pending with
+      | Some request -> home_service_request t request line
+      | None -> ())
+  | _ -> () (* stale *)
+
+let on_recall_nack t ~src line =
+  let entry = Directory.entry t.dir line in
+  match entry.state with
+  | Directory.Busy_excl when entry.owner = src ->
+      (* the producer has not seen the Delegate yet: retry the recall *)
+      send_after t ~delay:t.config.nack_retry_delay ~dst:entry.owner
+        (Recall { line; requester = entry.requester; kind = entry.requester_op })
+  | _ -> () (* resolved meanwhile (the Undelegate arrived) *)
+
+(* ------------------------------------------------------------------ *)
+(* Delegated-home (producer) request handling                          *)
+(* ------------------------------------------------------------------ *)
+
+let prod_get_shared t line ~requester ~tid =
+  match find_producer t line with
+  | None -> send t ~dst:requester (Nack { line; reason = Message.Not_home; tid })
+  | Some entry -> (
+      match entry.pstate with
+      | P_busy -> send t ~dst:requester (Nack { line; reason = Message.Busy; tid })
+      | P_excl | P_shared ->
+          if entry.pstate = P_excl then
+            (* serve the read by downgrading early; the remaining
+               consumers get their speculative updates now *)
+            downgrade_and_push t line entry ~exclude:(Some requester)
+          else entry.psharers <- Nodeset.add entry.psharers requester;
+          let value =
+            match t.rac with
+            | Some rac -> (
+                match Rac.peek rac line with Some v -> v | None -> assert false)
+            | None -> assert false
+          in
+          send_after t ~delay:t.config.dir_hit_latency ~dst:requester
+            (Data_shared { line; value; source_is_home = false; tid }))
+
+let prod_get_exclusive t line ~requester ~tid =
+  match find_producer t line with
+  | None -> send t ~dst:requester (Nack { line; reason = Message.Not_home; tid })
+  | Some entry ->
+      if entry.pstate = P_busy || fence_needed t entry then begin
+        (match entry.after_busy with
+        | No_recall -> entry.after_busy <- Undelegate_with (requester, Types.Store, tid)
+        | Undelegate_plain | Undelegate_with _ ->
+            send t ~dst:requester (Nack { line; reason = Message.Busy; tid }));
+        if entry.pstate <> P_busy then start_flush t line entry
+      end
+      else do_undelegate t line entry ~pending:(Some (requester, Types.Store, tid))
+
+let on_recall t line =
+  match find_producer t line with
+  | None ->
+      (* either already undelegated (the in-flight Undelegate resolves
+         it), or the recall overtook the Delegate still being sent; NACK
+         so the home retries until one of the two arrives *)
+      send t ~dst:(home_of line) (Recall_nack { line })
+  | Some entry ->
+      if entry.pstate = P_busy || fence_needed t entry then begin
+        (match entry.after_busy with
+        | No_recall -> entry.after_busy <- Undelegate_plain
+        | Undelegate_plain | Undelegate_with _ -> ());
+        if entry.pstate <> P_busy then start_flush t line entry
+      end
+      else do_undelegate t line entry ~pending:None
+
+let on_delegate t ~src line ~sharers ~value ~acks_expected ~tid =
+  match t.pending with
+  | Some p when p.line = line && p.kind = Types.Store && p.tid = tid -> (
+      let accept_grant () =
+        p.have_data <- true;
+        p.reply_src <- src;
+        p.acks_needed <- p.acks_needed + acks_expected;
+        ack_collection_class t p ~acks_expected;
+        try_complete_store t p
+      in
+      ignore tid;
+      let refuse () =
+        t.stats.delegation_refusals <- t.stats.delegation_refusals + 1;
+        send t ~dst:src
+          (Undelegate
+             { line; sharers = Nodeset.empty; owner = Some t.id; value = None; pending = None });
+        accept_grant ()
+      in
+      match (t.producer_table, t.rac) with
+      | Some table, Some rac ->
+          (* fence locks age out with the flush window; refresh them so a
+             stale lock cannot spuriously refuse this delegation *)
+          Producer.iter (fun l e -> refresh_entry_lock t l e) table;
+          if not (Rac.fill rac line ~value ~origin:Rac.Delegated) then refuse ()
+          else begin
+            let entry =
+              {
+                pstate = P_busy;
+                psharers = Nodeset.singleton t.id;
+                update_set = sharers;
+                last_write = Sim.now t.sim;
+                burst_start = Sim.now t.sim;
+                burst_span_ewma = 0;
+                intervention_scheduled = false;
+                after_busy = No_recall;
+                unflushed = Nodeset.empty;
+                last_push = 0;
+                flush_acks = 0;
+              }
+            in
+            match Producer.insert table line entry with
+            | Producer.Set_locked ->
+                Rac.invalidate rac line;
+                refuse ()
+            | Producer.Inserted victim ->
+                (match victim with
+                | Some (victim_line, victim_entry) ->
+                    undelegate_victim t victim_line victim_entry
+                | None -> ());
+                Producer.lock table line;
+                accept_grant ()
+          end
+      | _ -> refuse ())
+  | _ ->
+      (* no matching transaction (defensive): return the delegation *)
+      send t ~dst:src
+        (Undelegate { line; sharers; owner = None; value = Some value; pending = None })
+
+(* ------------------------------------------------------------------ *)
+(* Requester-side replies                                              *)
+(* ------------------------------------------------------------------ *)
+
+let on_data_shared t ~src line ~value ~tid =
+  match t.pending with
+  | Some p when p.line = line && p.kind = Types.Load && p.tid = tid ->
+      p.reply_src <- src;
+      commit_load t p ~value ~miss:(classify_legs t ~target:p.target ~reply_src:src)
+  | _ -> () (* stale reply for a transaction satisfied another way: drop *)
+
+let on_data_exclusive t ~src line ~value ~acks_expected ~tid =
+  ignore value;
+  match t.pending with
+  | Some p when p.line = line && p.kind = Types.Store && p.tid = tid ->
+      p.have_data <- true;
+      p.reply_src <- src;
+      p.acks_needed <- p.acks_needed + acks_expected;
+      ack_collection_class t p ~acks_expected;
+      try_complete_store t p
+  | _ -> ()
+
+let on_inv_ack t line =
+  match t.pending with
+  | Some p when p.line = line && p.kind = Types.Store ->
+      p.acks_needed <- p.acks_needed - 1;
+      try_complete_store t p
+  | _ -> ()
+
+let on_nack t line ~reason ~tid =
+  match t.pending with
+  | Some p when p.line = line && p.tid = tid ->
+      t.stats.nacks_received <- t.stats.nacks_received + 1;
+      (match (reason, t.consumer_table) with
+      | Message.Not_home, Some table -> Consumer.remove table line
+      | (Message.Not_home | Message.Busy | Message.Pending), _ -> ());
+      schedule_retry t p
+  | _ -> ()
+
+let on_new_home t line ~new_home =
+  match t.consumer_table with
+  | Some table when new_home <> t.id -> Consumer.insert table line new_home
+  | Some _ | None -> ()
+
+let on_inval t line ~requester =
+  ignore (L2.invalidate t.l2 line);
+  (match t.rac with Some rac -> Rac.invalidate rac line | None -> ());
+  (match t.pending with
+  | Some p when p.line = line && p.kind = Types.Load -> p.poisoned <- true
+  | _ -> ());
+  send t ~dst:requester (Inv_ack { line })
+
+(* An upgrade in flight on the same line means the intervention targets
+   the exclusive copy this node is about to gain — servicing it from the
+   stale shared copy would let the directory go Shared while the upgrade
+   commits Exclusive (a race found by the model checker).  Defer until
+   the store commits. *)
+let upgrade_in_flight t line =
+  match t.pending with
+  | Some p when p.line = line && p.kind = Types.Store -> Some p
+  | _ -> None
+
+let on_intervention t line ~requester ~tid =
+  if Hashtbl.mem t.wb_pending line then
+    (* the intervention belongs to the epoch our in-flight writeback
+       ends; the home resolves the race when the writeback lands *)
+    ()
+  else
+    match (L2.peek t.l2 line, upgrade_in_flight t line) with
+    | (Some L2.{ state = Shared; _ } | None), Some p ->
+        p.deferred <- D_intervention (requester, tid) :: p.deferred
+    | Some _, _ -> handle_intervention_now t line ~requester ~tid
+    | None, None -> () (* writeback race *)
+
+let on_transfer t line ~requester ~tid =
+  if Hashtbl.mem t.wb_pending line then ()
+  else
+    match (L2.peek t.l2 line, upgrade_in_flight t line) with
+    | (Some L2.{ state = Shared; _ } | None), Some p ->
+        p.deferred <- D_transfer (requester, tid) :: p.deferred
+    | Some _, _ -> handle_transfer_now t line ~requester ~tid
+    | None, None -> ()
+
+let on_update t ~src line ~value =
+  ignore src;
+  match t.pending with
+  | Some p when p.line = line && p.kind = Types.Load ->
+      (* §2.4.3: "If the consumer processor has already requested the
+         data, the update message is treated as the response."  The
+         superseded data reply still in flight carries this transaction's
+         tid and is dropped on arrival — without tids it could satisfy a
+         later load with stale data (a race found by the model checker). *)
+      t.stats.updates_as_reply <- t.stats.updates_as_reply + 1;
+      (* the pushed value is the freshest: safe to cache even if an
+         invalidation poisoned the pending read (producer->consumer
+         channels are FIFO, so a later invalidation cleans it up) *)
+      p.poisoned <- false;
+      commit_load t p ~value ~miss:Types.Remote_2hop
+  | _ -> (
+      match t.rac with
+      | Some rac -> ignore (Rac.fill rac line ~value ~origin:Rac.Pushed_update)
+      | None -> ())
+
+let on_update_flush_ack t line =
+  match find_producer t line with
+  | None -> () (* stale ack; the line was already undelegated *)
+  | Some entry ->
+      if entry.flush_acks > 0 then begin
+        entry.flush_acks <- entry.flush_acks - 1;
+        refresh_entry_lock t line entry;
+        if entry.flush_acks = 0 && entry.pstate <> P_busy then
+          if fence_needed t entry then
+            (* more updates were pushed while flushing: chase them too *)
+            start_flush t line entry
+          else
+            match entry.after_busy with
+            | No_recall -> ()
+            | Undelegate_plain ->
+                entry.after_busy <- No_recall;
+                do_undelegate t line entry ~pending:None
+            | Undelegate_with request ->
+                entry.after_busy <- No_recall;
+                do_undelegate t line entry ~pending:(Some request)
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Message dispatch                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let handle_message t ~src (msg : Message.t) =
+  match msg with
+  | Get_shared { line; tid } ->
+      if home_of line = t.id then home_get_shared t ~src ~tid line
+      else prod_get_shared t line ~requester:src ~tid
+  | Fwd_get_shared { line; requester; tid } -> prod_get_shared t line ~requester ~tid
+  | Get_exclusive { line; tid } ->
+      if home_of line = t.id then home_get_exclusive t ~src ~tid line
+      else prod_get_exclusive t line ~requester:src ~tid
+  | Writeback { line; value } -> on_writeback t ~src line ~value
+  | Writeback_ack { line } -> Hashtbl.remove t.wb_pending line
+  | Inval { line; requester } -> on_inval t line ~requester
+  | Intervention { line; requester; tid } -> on_intervention t line ~requester ~tid
+  | Transfer { line; requester; tid } -> on_transfer t line ~requester ~tid
+  | Transfer_ack { line; new_owner } -> on_transfer_ack t ~src line ~new_owner
+  | Data_shared { line; value; source_is_home = _; tid } ->
+      on_data_shared t ~src line ~value ~tid
+  | Data_exclusive { line; value; acks_expected; tid } ->
+      on_data_exclusive t ~src line ~value ~acks_expected ~tid
+  | Inv_ack { line } -> on_inv_ack t line
+  | Shared_writeback { line; value; new_sharer } ->
+      on_shared_writeback t ~src line ~value ~new_sharer
+  | Nack { line; reason; tid } -> on_nack t line ~reason ~tid
+  | Delegate { line; sharers; value; acks_expected; tid } ->
+      on_delegate t ~src line ~sharers ~value ~acks_expected ~tid
+  | New_home { line; home } -> on_new_home t line ~new_home:home
+  | Recall { line; requester = _; kind = _ } -> on_recall t line
+  | Recall_nack { line } -> on_recall_nack t ~src line
+  | Undelegate { line; sharers; owner; value; pending } ->
+      on_undelegate t ~src line ~sharers ~owner ~value ~pending
+  | Update { line; value } -> on_update t ~src line ~value
+  | Update_flush { line } -> send t ~dst:src (Update_flush_ack { line })
+  | Update_flush_ack { line } -> on_update_flush_ack t line
+
+(* ------------------------------------------------------------------ *)
+(* Processor interface                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let start_miss t ~kind ~line ~on_commit =
+  t.next_tid <- t.next_tid + 1;
+  let p =
+    {
+      kind;
+      line;
+      started = Sim.now t.sim;
+      tid = t.next_tid;
+      on_commit;
+      target = t.id;
+      reply_src = t.id;
+      acks_needed = 0;
+      have_data = false;
+      poisoned = false;
+      miss_override = None;
+      deferred = [];
+    }
+  in
+  t.pending <- Some p;
+  start_attempt t p
+
+let submit t ~kind ~line ~on_commit =
+  if t.pending <> None then invalid_arg "Node.submit: operation already pending";
+  let started = Sim.now t.sim in
+  (match kind with
+  | Types.Load -> t.stats.loads <- t.stats.loads + 1
+  | Types.Store -> t.stats.stores <- t.stats.stores + 1);
+  match (L2.lookup t.l2 line, kind) with
+  | Some entry, Types.Load ->
+      t.stats.l2_hits <- t.stats.l2_hits + 1;
+      Sim.schedule t.sim ~delay:t.config.l2_hit_latency (fun () ->
+          ignore
+            (Memory_check.load_committed t.memcheck line ~value:entry.value ~started
+               ~time:(Sim.now t.sim));
+          on_commit ())
+  | Some L2.{ state = Exclusive; _ }, Types.Store ->
+      t.stats.l2_hits <- t.stats.l2_hits + 1;
+      Sim.schedule t.sim ~delay:t.config.l2_hit_latency (fun () ->
+          match L2.peek t.l2 line with
+          | Some L2.{ state = Exclusive; _ } ->
+              let version = t.next_version () in
+              L2.set t.l2 line L2.{ state = Exclusive; value = version; dirty = true };
+              Memory_check.store_committed t.memcheck line ~value:version
+                ~time:(Sim.now t.sim);
+              (match find_producer t line with
+              | Some entry ->
+                  entry.last_write <- Sim.now t.sim;
+                  schedule_intervention t line entry
+              | None -> ());
+              on_commit ()
+          | Some L2.{ state = Shared; _ } | None ->
+              (* lost exclusivity in the hit window: take the miss path *)
+              start_miss t ~kind ~line ~on_commit)
+  | Some L2.{ state = Shared; _ }, Types.Store | None, (Types.Load | Types.Store) ->
+      start_miss t ~kind ~line ~on_commit
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let create ~config ~sim ~network ~id ~stats ~memcheck ~next_version ~rng =
+  let open Config in
+  if config.speculative_updates && not config.rac_enabled then
+    invalid_arg "Node.create: speculative updates require a RAC";
+  if config.delegation_enabled && not config.rac_enabled then
+    invalid_arg "Node.create: delegation requires a RAC";
+  let l2 =
+    L2.create ~rng:(Pcc_engine.Rng.split rng) ~lines:(Config.l2_lines config)
+      ~ways:config.l2_ways ()
+  in
+  let rac =
+    if config.rac_enabled then
+      Some
+        (Rac.create ~rng:(Pcc_engine.Rng.split rng) ~lines:(Config.rac_lines config)
+           ~ways:config.rac_ways ())
+    else None
+  in
+  let dir = Directory.create ~config ~rng:(Pcc_engine.Rng.split rng) ~home:id in
+  let producer_table =
+    if config.delegation_enabled then
+      Some
+        (Producer.create ~rng:(Pcc_engine.Rng.split rng) ~entries:config.delegate_entries
+           ~ways:config.delegate_ways ())
+    else None
+  in
+  let consumer_table =
+    if config.delegation_enabled then
+      Some
+        (Consumer.create ~rng:(Pcc_engine.Rng.split rng) ~entries:config.delegate_entries
+           ~ways:config.delegate_ways ())
+    else None
+  in
+  let t =
+    {
+      config;
+      sim;
+      network;
+      id;
+      stats;
+      memcheck;
+      next_version;
+      rng;
+      l2;
+      rac;
+      dir;
+      producer_table;
+      consumer_table;
+      dram = Pcc_memory.Dram.create ~latency:config.dram_latency ();
+      params = Predictor.params_of_config config;
+      wb_pending = Hashtbl.create 16;
+      next_tid = 0;
+      pending = None;
+      trace = None;
+    }
+  in
+  Network.set_receiver network ~node:id (fun ~src msg -> handle_message t ~src msg);
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Inspection                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let l2_state t line = L2.peek t.l2 line
+
+let rac_value t line =
+  match t.rac with Some rac -> Rac.peek rac line | None -> None
+
+let rac_updates_consumed t =
+  match t.rac with Some rac -> Rac.updates_consumed rac | None -> 0
+
+let rac_updates_wasted t =
+  match t.rac with Some rac -> Rac.updates_wasted rac | None -> 0
+
+let is_delegated_producer t line = find_producer t line <> None
+
+let consumer_hint t line =
+  match t.consumer_table with Some table -> Consumer.find table line | None -> None
+
+let delegated_line_count t =
+  match t.producer_table with Some table -> Producer.size table | None -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Machine-wide invariants (§2.5)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let check_invariants nodes =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let describe_line line =
+    Printf.sprintf "%d@%d" (Types.Layout.index_of_line line)
+      (Types.Layout.home_of_line line)
+  in
+  Array.iter
+    (fun node ->
+      if node.pending <> None then err "node %d: stuck transaction at quiescence" node.id)
+    nodes;
+  (* gather every line known anywhere *)
+  let lines = Hashtbl.create 1024 in
+  Array.iter
+    (fun node ->
+      L2.iter (fun line _ -> Hashtbl.replace lines line ()) node.l2;
+      (match node.rac with
+      | Some rac -> Rac.iter (fun line _ -> Hashtbl.replace lines line ()) rac
+      | None -> ());
+      Directory.iter (fun line _ -> Hashtbl.replace lines line ()) node.dir)
+    nodes;
+  let check_line line () =
+    let home = nodes.(Types.Layout.home_of_line line) in
+    let entry = Directory.entry home.dir line in
+    let l2_copies =
+      Array.to_list nodes
+      |> List.filter_map (fun node ->
+             match L2.peek node.l2 line with
+             | Some e -> Some (node.id, e)
+             | None -> None)
+    in
+    let rac_copies =
+      Array.to_list nodes
+      |> List.filter_map (fun node ->
+             match node.rac with
+             | Some rac -> (
+                 match Rac.peek rac line with Some v -> Some (node.id, v) | None -> None)
+             | None -> None)
+    in
+    let exclusive_holders =
+      List.filter (fun (_, (e : L2.entry)) -> e.state = L2.Exclusive) l2_copies
+    in
+    if List.length exclusive_holders > 1 then
+      err "line %s: multiple exclusive holders (%s)" (describe_line line)
+        (String.concat ","
+           (List.map (fun (n, _) -> string_of_int n) exclusive_holders));
+    let copy_holder_ids =
+      List.sort_uniq compare (List.map fst l2_copies @ List.map fst rac_copies)
+    in
+    let check_covered vector ~who =
+      List.iter
+        (fun node ->
+          if not (Nodeset.mem vector node) then
+            err "line %s: node %d holds a copy not covered by %s's sharing vector"
+              (describe_line line) node who)
+        copy_holder_ids
+    in
+    let check_values expected ~who =
+      List.iter
+        (fun (node, (e : L2.entry)) ->
+          if e.value <> expected then
+            err "line %s: node %d L2 value %d differs from %s value %d"
+              (describe_line line) node e.value who expected)
+        l2_copies;
+      List.iter
+        (fun (node, v) ->
+          if v <> expected then
+            err "line %s: node %d RAC value %d differs from %s value %d"
+              (describe_line line) node v who expected)
+        rac_copies
+    in
+    match entry.state with
+    | Directory.Busy_shared | Directory.Busy_excl ->
+        err "line %s: directory busy at quiescence" (describe_line line)
+    | Directory.Unowned ->
+        if copy_holder_ids <> [] then
+          err "line %s: unowned but copies exist at %s" (describe_line line)
+            (String.concat "," (List.map string_of_int copy_holder_ids))
+    | Directory.Shared_s ->
+        if exclusive_holders <> [] then
+          err "line %s: exclusive copy while directory is shared" (describe_line line);
+        check_covered entry.sharers ~who:"home";
+        check_values entry.mem_value ~who:"home memory"
+    | Directory.Excl -> (
+        match exclusive_holders with
+        | [ (node, _) ] when node = entry.owner ->
+            let others = List.filter (fun n -> n <> entry.owner) copy_holder_ids in
+            if others <> [] then
+              err "line %s: exclusive at %d but copies also at %s" (describe_line line)
+                entry.owner
+                (String.concat "," (List.map string_of_int others))
+        | [] ->
+            err "line %s: directory exclusive at %d but no exclusive L2 copy"
+              (describe_line line) entry.owner
+        | (node, _) :: _ ->
+            err "line %s: directory exclusive at %d but L2-exclusive at %d"
+              (describe_line line) entry.owner node)
+    | Directory.Dele -> (
+        let producer = nodes.(entry.owner) in
+        match find_producer producer line with
+        | None ->
+            err "line %s: delegated to %d but no producer-table entry"
+              (describe_line line) entry.owner
+        | Some pe -> (
+            match pe.pstate with
+            | P_busy ->
+                err "line %s: producer entry busy at quiescence" (describe_line line)
+            | P_excl ->
+                let foreign =
+                  List.filter (fun n -> n <> entry.owner) copy_holder_ids
+                in
+                if foreign <> [] then
+                  err "line %s: producer-exclusive but copies at %s" (describe_line line)
+                    (String.concat "," (List.map string_of_int foreign))
+            | P_shared -> (
+                check_covered pe.psharers ~who:"producer";
+                match Rac.peek (Option.get producer.rac) line with
+                | Some authoritative -> check_values authoritative ~who:"producer RAC"
+                | None ->
+                    err "line %s: delegated but producer RAC has no backing copy"
+                      (describe_line line))))
+  in
+  Hashtbl.iter check_line lines;
+  List.rev !errors
+

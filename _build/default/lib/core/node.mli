@@ -1,0 +1,69 @@
+(** A machine node: processor cache, hub, directory controller, RAC and
+    delegate cache, plus the full coherence state machine.
+
+    Each node is simultaneously (a) a {e requester} issuing loads/stores
+    from its processor, (b) the {e home} for its slice of memory, and —
+    with delegation enabled — (c) a potential {e delegated home} for lines
+    it produces.  All inter-node interaction goes through coherence
+    messages on the network; a node sending to itself models a processor
+    accessing its own home memory. *)
+
+type t
+
+val create :
+  config:Config.t ->
+  sim:Pcc_engine.Simulator.t ->
+  network:Message.t Pcc_interconnect.Network.t ->
+  id:Types.node_id ->
+  stats:Run_stats.t ->
+  memcheck:Memory_check.t ->
+  next_version:(unit -> int) ->
+  rng:Pcc_engine.Rng.t ->
+  t
+(** Build a node and register it as the network receiver for [id].
+    [next_version] supplies globally unique store values for coherence
+    checking. *)
+
+val id : t -> Types.node_id
+
+val submit :
+  t -> kind:Types.op_kind -> line:Types.line -> on_commit:(unit -> unit) -> unit
+(** Issue one blocking memory operation from the local processor.  At most
+    one operation may be outstanding per node; [on_commit] fires when it
+    is globally performed.  Raises [Invalid_argument] if an operation is
+    already pending. *)
+
+val busy : t -> bool
+(** True while a submitted operation has not yet committed. *)
+
+val set_trace : t -> (time:int -> dst:Types.node_id -> Message.t -> unit) -> unit
+(** Observe every message this node sends (for trace tooling/tests). *)
+
+(** {2 Inspection (tests, examples, invariant checks)} *)
+
+val directory : t -> Directory.t
+
+val l2_state : t -> Types.line -> L2.entry option
+
+val rac_value : t -> Types.line -> int option
+
+val rac_updates_consumed : t -> int
+
+val rac_updates_wasted : t -> int
+
+val is_delegated_producer : t -> Types.line -> bool
+(** True when this node currently holds a producer-table entry for the
+    line. *)
+
+val consumer_hint : t -> Types.line -> Types.node_id option
+(** Contents of the consumer delegate table for a line, if any. *)
+
+val delegated_line_count : t -> int
+
+val check_invariants : t array -> string list
+(** Machine-wide structural invariants over a quiesced system (§2.5):
+    "single writer exists" — at most one node holds a line exclusively,
+    and if one does, its home is in [Excl]/[Dele]/Busy for it; and
+    "consistency within the directory" — every shared copy is covered by
+    the responsible directory's sharing vector.  Returns human-readable
+    violation descriptions (empty = consistent). *)

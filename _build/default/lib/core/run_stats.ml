@@ -1,0 +1,85 @@
+type t = {
+  message_classes : Pcc_stats.Counter.t;
+  consumer_hist : Pcc_stats.Histogram.t;
+  mutable loads : int;
+  mutable stores : int;
+  mutable l2_hits : int;
+  mutable rac_hits : int;
+  mutable local_mem_misses : int;
+  mutable remote_2hop : int;
+  mutable remote_3hop : int;
+  mutable miss_latency_total : int;
+  mutable nacks_received : int;
+  mutable retries : int;
+  mutable delegations : int;
+  mutable undelegations : int;
+  mutable delegation_refusals : int;
+  mutable updates_sent : int;
+  mutable updates_as_reply : int;
+  mutable invals_sent : int;
+  mutable interventions_sent : int;
+  mutable dir_cache_hits : int;
+  mutable dir_cache_misses : int;
+  mutable writebacks : int;
+}
+
+let create () =
+  {
+    message_classes = Pcc_stats.Counter.create ();
+    consumer_hist = Pcc_stats.Histogram.create ();
+    loads = 0;
+    stores = 0;
+    l2_hits = 0;
+    rac_hits = 0;
+    local_mem_misses = 0;
+    remote_2hop = 0;
+    remote_3hop = 0;
+    miss_latency_total = 0;
+    nacks_received = 0;
+    retries = 0;
+    delegations = 0;
+    undelegations = 0;
+    delegation_refusals = 0;
+    updates_sent = 0;
+    updates_as_reply = 0;
+    invals_sent = 0;
+    interventions_sent = 0;
+    dir_cache_hits = 0;
+    dir_cache_misses = 0;
+    writebacks = 0;
+  }
+
+let record_miss t (miss : Types.miss_class) ~latency =
+  t.miss_latency_total <- t.miss_latency_total + latency;
+  match miss with
+  | Types.Rac_hit -> t.rac_hits <- t.rac_hits + 1
+  | Types.Local_mem -> t.local_mem_misses <- t.local_mem_misses + 1
+  | Types.Remote_2hop -> t.remote_2hop <- t.remote_2hop + 1
+  | Types.Remote_3hop -> t.remote_3hop <- t.remote_3hop + 1
+
+let remote_misses t = t.remote_2hop + t.remote_3hop
+
+let local_misses t = t.rac_hits + t.local_mem_misses
+
+let total_misses t = remote_misses t + local_misses t
+
+let remote_miss_fraction t =
+  let total = total_misses t in
+  if total = 0 then 0.0 else float_of_int (remote_misses t) /. float_of_int total
+
+let avg_miss_latency t =
+  let total = total_misses t in
+  if total = 0 then 0.0 else float_of_int t.miss_latency_total /. float_of_int total
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>loads=%d stores=%d l2_hits=%d@,\
+     misses: rac=%d local-mem=%d 2hop=%d 3hop=%d (remote %.1f%%)@,\
+     nacks=%d retries=%d delegations=%d undelegations=%d refusals=%d@,\
+     updates: sent=%d as-reply=%d@,\
+     invals=%d interventions=%d writebacks=%d dir$=%d/%d@]"
+    t.loads t.stores t.l2_hits t.rac_hits t.local_mem_misses t.remote_2hop t.remote_3hop
+    (100.0 *. remote_miss_fraction t)
+    t.nacks_received t.retries t.delegations t.undelegations t.delegation_refusals
+    t.updates_sent t.updates_as_reply t.invals_sent t.interventions_sent t.writebacks
+    t.dir_cache_hits t.dir_cache_misses

@@ -1,0 +1,51 @@
+(** Statistics collected over one simulation run.
+
+    One instance is shared by every node of a system; the evaluation
+    aggregates are machine-wide, as in the paper. *)
+
+type t = {
+  message_classes : Pcc_stats.Counter.t;
+      (** remote (network) messages by protocol class *)
+  consumer_hist : Pcc_stats.Histogram.t;
+      (** consumers invalidated per producer-consumer write epoch (Table 3) *)
+  mutable loads : int;
+  mutable stores : int;
+  mutable l2_hits : int;
+  mutable rac_hits : int;
+  mutable local_mem_misses : int;
+  mutable remote_2hop : int;
+  mutable remote_3hop : int;
+  mutable miss_latency_total : int;
+  mutable nacks_received : int;
+  mutable retries : int;
+  mutable delegations : int;
+  mutable undelegations : int;
+  mutable delegation_refusals : int;
+  mutable updates_sent : int;
+  mutable updates_as_reply : int;
+      (** updates that arrived while the consumer's read was in flight and
+          served as its response (§2.4.3) *)
+  mutable invals_sent : int;
+  mutable interventions_sent : int;
+  mutable dir_cache_hits : int;
+  mutable dir_cache_misses : int;
+  mutable writebacks : int;
+}
+
+val create : unit -> t
+
+val record_miss : t -> Types.miss_class -> latency:int -> unit
+
+val remote_misses : t -> int
+(** 2-hop plus 3-hop misses. *)
+
+val total_misses : t -> int
+
+val local_misses : t -> int
+(** RAC hits plus home-local memory accesses. *)
+
+val remote_miss_fraction : t -> float
+
+val avg_miss_latency : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,160 @@
+module Sim = Pcc_engine.Simulator
+module Network = Pcc_interconnect.Network
+module Topology = Pcc_interconnect.Topology
+
+type barrier = { mutable arrived : int; mutable waiters : (unit -> unit) list }
+
+type t = {
+  config : Config.t;
+  sim : Sim.t;
+  network : Message.t Network.t;
+  nodes : Node.t array;
+  stats : Run_stats.t;
+  memcheck : Memory_check.t;
+  barriers : (int, barrier) Hashtbl.t;
+  mutable last_finish : int;
+}
+
+let create ~(config : Config.t) () =
+  let sim = Sim.create () in
+  let topology = Topology.fat_tree ~nodes:config.nodes ~radix:8 in
+  let network = Network.create sim topology config.network in
+  let stats = Run_stats.create () in
+  let memcheck = Memory_check.create () in
+  let version = ref 0 in
+  let next_version () =
+    incr version;
+    !version
+  in
+  let rng = Pcc_engine.Rng.create ~seed:config.seed in
+  let nodes =
+    Array.init config.nodes (fun id ->
+        Node.create ~config ~sim ~network ~id ~stats ~memcheck ~next_version
+          ~rng:(Pcc_engine.Rng.split rng))
+  in
+  { config; sim; network; nodes; stats; memcheck; barriers = Hashtbl.create 16; last_finish = 0 }
+
+let sim t = t.sim
+
+let node t id = t.nodes.(id)
+
+let nodes t = t.nodes
+
+let stats t = t.stats
+
+let network_messages t = Network.messages_sent t.network
+
+let network_bytes t = Network.bytes_sent t.network
+
+let submit t ~node ~kind ~line ~on_commit =
+  Node.submit t.nodes.(node) ~kind ~line ~on_commit
+
+let violations t = Memory_check.violations t.memcheck
+
+let violation_report t = Memory_check.violation_report t.memcheck
+
+let check_invariants t = Node.check_invariants t.nodes
+
+type result = {
+  config : Config.t;
+  cycles : int;
+  outcome : Sim.outcome;
+  stats : Run_stats.t;
+  network_messages : int;
+  network_bytes : int;
+  violations : int;
+  invariant_errors : string list;
+  updates_consumed : int;
+  updates_wasted : int;
+}
+
+(* A barrier releases every processor [barrier_latency] cycles after the
+   last arrival, modeling the synchronization round trip without adding
+   protocol traffic of its own. *)
+let barrier_arrive t id continue =
+  let b =
+    match Hashtbl.find_opt t.barriers id with
+    | Some b -> b
+    | None ->
+        let b = { arrived = 0; waiters = [] } in
+        Hashtbl.add t.barriers id b;
+        b
+  in
+  b.arrived <- b.arrived + 1;
+  b.waiters <- continue :: b.waiters;
+  if b.arrived = t.config.nodes then begin
+    let waiters = b.waiters in
+    Hashtbl.remove t.barriers id;
+    List.iter
+      (fun waiter -> Sim.schedule t.sim ~delay:t.config.barrier_latency waiter)
+      waiters
+  end
+
+let run_programs ?max_events (t : t) programs =
+  if Array.length programs <> t.config.nodes then
+    invalid_arg "System.run_programs: one program per node required";
+  let remaining = ref t.config.nodes in
+  let finish _node_id () =
+    t.last_finish <- max t.last_finish (Sim.now t.sim);
+    decr remaining
+  in
+  Array.iteri
+    (fun node_id program ->
+      let ops = Array.of_list program in
+      let node = t.nodes.(node_id) in
+      let rec step idx () =
+        if idx >= Array.length ops then finish node_id ()
+        else
+          match ops.(idx) with
+          | Types.Compute cycles ->
+              Sim.schedule t.sim ~delay:(max 0 cycles) (step (idx + 1))
+          | Types.Access (kind, line) ->
+              Node.submit node ~kind ~line ~on_commit:(fun () ->
+                  Sim.schedule t.sim ~delay:1 (step (idx + 1)))
+          | Types.Barrier id -> barrier_arrive t id (step (idx + 1))
+      in
+      Sim.schedule t.sim ~delay:0 (step 0))
+    programs;
+  let outcome = Sim.run ?max_events t.sim in
+  let invariant_errors =
+    if !remaining = 0 && outcome = Sim.Drained then Node.check_invariants t.nodes
+    else
+      [
+        Printf.sprintf "run did not quiesce: %d processors unfinished (outcome %s)"
+          !remaining
+          (Format.asprintf "%a" Sim.pp_outcome outcome);
+      ]
+  in
+  let updates_consumed =
+    Array.fold_left (fun acc node -> acc + Node.rac_updates_consumed node) 0 t.nodes
+  in
+  let updates_wasted =
+    Array.fold_left (fun acc node -> acc + Node.rac_updates_wasted node) 0 t.nodes
+  in
+  {
+    config = t.config;
+    cycles = t.last_finish;
+    outcome;
+    stats = t.stats;
+    network_messages = Network.messages_sent t.network;
+    network_bytes = Network.bytes_sent t.network;
+    violations = Memory_check.violations t.memcheck;
+    invariant_errors;
+    updates_consumed;
+    updates_wasted;
+  }
+
+let run ?max_events ~config ~programs () =
+  let t = create ~config () in
+  run_programs ?max_events t programs
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>%s: %d cycles, %d net msgs, %d KB, remote misses %d (%.1f%%), violations %d%s@]"
+    (Config.describe r.config) r.cycles r.network_messages (r.network_bytes / 1024)
+    (Run_stats.remote_misses r.stats)
+    (100.0 *. Run_stats.remote_miss_fraction r.stats)
+    r.violations
+    (match r.invariant_errors with
+    | [] -> ""
+    | errs -> Printf.sprintf ", INVARIANT ERRORS: %d" (List.length errs))

@@ -1,0 +1,62 @@
+(** Whole-machine assembly and workload execution.
+
+    Builds N nodes over a fat-tree interconnect, drives one program (a
+    list of {!Types.op}) per processor to completion, and gathers the
+    run-level results the evaluation reports: execution cycles, remote
+    misses, network messages and bytes, and coherence-check outcomes. *)
+
+type t
+
+val create : config:Config.t -> unit -> t
+
+val sim : t -> Pcc_engine.Simulator.t
+
+val node : t -> Types.node_id -> Node.t
+
+val nodes : t -> Node.t array
+
+val stats : t -> Run_stats.t
+
+val network_messages : t -> int
+
+val network_bytes : t -> int
+
+val submit :
+  t -> node:Types.node_id -> kind:Types.op_kind -> line:Types.line ->
+  on_commit:(unit -> unit) -> unit
+(** Issue a single operation directly (fine-grained control for examples
+    and tests). *)
+
+val violations : t -> int
+(** Sequential-consistency value violations detected so far (§2.5). *)
+
+val violation_report : t -> string list
+
+val check_invariants : t -> string list
+(** Run the machine-wide structural invariants; call on a quiesced
+    system. *)
+
+(** Results of a complete run. *)
+type result = {
+  config : Config.t;
+  cycles : int;  (** cycle at which the last processor finished *)
+  outcome : Pcc_engine.Simulator.outcome;
+  stats : Run_stats.t;
+  network_messages : int;
+  network_bytes : int;
+  violations : int;
+  invariant_errors : string list;
+  updates_consumed : int;  (** pushed updates later read by a consumer *)
+  updates_wasted : int;
+}
+
+val run_programs : ?max_events:int -> t -> Types.op list array -> result
+(** Execute one program per node (the array length must equal the node
+    count) until every processor finishes and the system drains.
+    [Barrier] operations synchronize all processors. *)
+
+val run :
+  ?max_events:int -> config:Config.t -> programs:Types.op list array -> unit -> result
+(** [create] + [run_programs]. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,46 @@
+(** Shared vocabulary of the coherence protocol. *)
+
+type node_id = int
+(** Index of a node (processor + hub + memory slice) in the machine. *)
+
+type line = Pcc_memory.Address.line
+(** A coherence unit (128-byte cache line). *)
+
+(** Kind of a processor memory operation. *)
+type op_kind = Load | Store
+
+(** One step of a per-processor program.  Programs are what workload
+    generators emit and what {!System} executes. *)
+type op =
+  | Compute of int  (** advance local time by n cycles *)
+  | Access of op_kind * line
+  | Barrier of int  (** synchronize with all other processors on an id *)
+
+(** How a completed miss was ultimately serviced; drives the remote-miss
+    accounting of the evaluation. *)
+type miss_class =
+  | Rac_hit  (** satisfied from the local Remote Access Cache: a local miss *)
+  | Local_mem  (** home is the requesting node; local DRAM *)
+  | Remote_2hop  (** requester -> (delegated) home -> requester *)
+  | Remote_3hop  (** requester -> home -> owner -> requester *)
+
+val miss_class_name : miss_class -> string
+
+val is_remote : miss_class -> bool
+(** True for 2-hop and 3-hop misses; RAC hits and home-local DRAM accesses
+    count as local (§1: updates "convert 2-hop misses into local misses"). *)
+
+module Layout : sig
+  (** Line-number encoding of data placement.
+
+      The real machine places pages by first-touch (§3.2); workload
+      generators emulate the resulting placement by encoding the home node
+      directly in the line number. *)
+
+  val make_line : home:node_id -> index:int -> line
+  (** [make_line ~home ~index] is the [index]-th line homed at [home]. *)
+
+  val home_of_line : line -> node_id
+
+  val index_of_line : line -> int
+end

@@ -1,0 +1,1 @@
+lib/engine/simulator.ml: Event_queue Format

@@ -1,0 +1,71 @@
+type entry = { time : int; seq : int; action : unit -> unit }
+
+(* Binary min-heap over (time, seq); seq provides FIFO order within a
+   cycle and makes the ordering total, hence deterministic. *)
+type t = {
+  mutable data : entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let dummy = { time = 0; seq = 0; action = ignore }
+
+let create () = { data = Array.make 64 dummy; size = 0; next_seq = 0 }
+
+let is_empty t = t.size = 0
+
+let length t = t.size
+
+let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let bigger = Array.make (2 * Array.length t.data) dummy in
+  Array.blit t.data 0 bigger 0 t.size;
+  t.data <- bigger
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if precedes t.data.(i) t.data.(parent) then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.size && precedes t.data.(left) t.data.(!smallest) then smallest := left;
+  if right < t.size && precedes t.data.(right) t.data.(!smallest) then smallest := right;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let add t ~time action =
+  if t.size = Array.length t.data then grow t;
+  t.data.(t.size) <- { time; seq = t.next_seq; action };
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let min_time t = if t.size = 0 then None else Some t.data.(0).time
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    t.data.(0) <- t.data.(t.size);
+    t.data.(t.size) <- dummy;
+    if t.size > 0 then sift_down t 0;
+    Some (top.time, top.action)
+  end
+
+let clear t =
+  Array.fill t.data 0 t.size dummy;
+  t.size <- 0

@@ -1,0 +1,24 @@
+(** Priority queue of timestamped simulation events.
+
+    Events fire in nondecreasing time order; events scheduled for the same
+    cycle fire in insertion order (FIFO), which keeps simulations
+    deterministic without requiring callers to break ties. *)
+
+type t
+
+val create : unit -> t
+
+val is_empty : t -> bool
+
+val length : t -> int
+
+val add : t -> time:int -> (unit -> unit) -> unit
+(** [add q ~time f] schedules [f] to run at [time]. *)
+
+val min_time : t -> int option
+(** Timestamp of the next event, if any. *)
+
+val pop : t -> (int * (unit -> unit)) option
+(** Remove and return the earliest event as [(time, action)]. *)
+
+val clear : t -> unit

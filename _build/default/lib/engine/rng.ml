@@ -1,0 +1,41 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 step: add the golden gamma then scramble with two
+   xor-shift-multiply rounds (Steele, Lea & Flood, OOPSLA 2014). *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next_int64 t }
+
+let int t ~bound =
+  assert (bound > 0);
+  let raw = Int64.to_int (next_int64 t) land max_int in
+  raw mod bound
+
+let float t =
+  let bits53 = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int bits53 /. 9007199254740992.0
+
+let bool t ~p = float t < p
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t ~bound:(i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let pick t arr =
+  assert (Array.length arr > 0);
+  arr.(int t ~bound:(Array.length arr))

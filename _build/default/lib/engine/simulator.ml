@@ -1,0 +1,59 @@
+type t = {
+  queue : Event_queue.t;
+  mutable now : int;
+  mutable stop_requested : bool;
+  mutable executed : int;
+}
+
+type outcome = Drained | Stopped | Time_limit_reached | Event_limit_reached
+
+let create () =
+  { queue = Event_queue.create (); now = 0; stop_requested = false; executed = 0 }
+
+let now t = t.now
+
+let schedule t ~delay action =
+  assert (delay >= 0);
+  Event_queue.add t.queue ~time:(t.now + delay) action
+
+let schedule_at t ~time action =
+  assert (time >= t.now);
+  Event_queue.add t.queue ~time action
+
+let stop t = t.stop_requested <- true
+
+let events_executed t = t.executed
+
+let pending_events t = Event_queue.length t.queue
+
+let run ?until ?max_events t =
+  t.stop_requested <- false;
+  let rec loop () =
+    if t.stop_requested then Stopped
+    else
+      match max_events with
+      | Some limit when t.executed >= limit -> Event_limit_reached
+      | Some _ | None -> (
+          match Event_queue.min_time t.queue with
+          | None -> Drained
+          | Some next_time -> (
+              match until with
+              | Some limit when next_time > limit ->
+                  t.now <- limit;
+                  Time_limit_reached
+              | Some _ | None -> (
+                  match Event_queue.pop t.queue with
+                  | None -> Drained
+                  | Some (time, action) ->
+                      t.now <- time;
+                      t.executed <- t.executed + 1;
+                      action ();
+                      loop ())))
+  in
+  loop ()
+
+let pp_outcome ppf = function
+  | Drained -> Format.pp_print_string ppf "drained"
+  | Stopped -> Format.pp_print_string ppf "stopped"
+  | Time_limit_reached -> Format.pp_print_string ppf "time-limit"
+  | Event_limit_reached -> Format.pp_print_string ppf "event-limit"

@@ -1,0 +1,40 @@
+(** Discrete-event simulation driver.
+
+    A simulator owns a clock (measured in processor cycles) and an event
+    queue.  Components schedule closures at future cycles; [run] executes
+    them in deterministic timestamp order until the queue drains, a time
+    limit is hit, or a component calls [stop]. *)
+
+type t
+
+type outcome =
+  | Drained  (** the event queue emptied *)
+  | Stopped  (** a component called {!stop} *)
+  | Time_limit_reached
+  | Event_limit_reached
+
+val create : unit -> t
+
+val now : t -> int
+(** Current simulated cycle. *)
+
+val schedule : t -> delay:int -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at [now t + delay].  [delay] must be
+    nonnegative; a zero delay runs after currently queued same-cycle
+    events. *)
+
+val schedule_at : t -> time:int -> (unit -> unit) -> unit
+(** Absolute-time variant; [time] must not be in the past. *)
+
+val stop : t -> unit
+(** Request that [run] return after the current event. *)
+
+val events_executed : t -> int
+
+val pending_events : t -> int
+
+val run : ?until:int -> ?max_events:int -> t -> outcome
+(** Execute events in order.  [until] bounds simulated time (events at
+    cycles > [until] are left queued); [max_events] bounds work. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,1 @@
+lib/interconnect/network.ml: Array Pcc_engine Printf Topology

@@ -1,0 +1,1 @@
+lib/interconnect/network.mli: Pcc_engine Topology

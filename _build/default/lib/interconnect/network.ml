@@ -1,0 +1,94 @@
+module Simulator = Pcc_engine.Simulator
+
+type latency_mode = Uniform | Proportional
+
+type config = {
+  hop_latency : int;
+  local_latency : int;
+  min_packet_bytes : int;
+  port_bytes_per_cycle : int;
+  mode : latency_mode;
+}
+
+let default_config =
+  {
+    hop_latency = 100;
+    local_latency = 16;
+    min_packet_bytes = 32;
+    port_bytes_per_cycle = 8;
+    mode = Uniform;
+  }
+
+type 'a t = {
+  sim : Simulator.t;
+  topology : Topology.t;
+  config : config;
+  receivers : (src:int -> 'a -> unit) option array;
+  egress_free : int array; (* per-node egress port availability *)
+  ingress_free : int array;
+  mutable messages : int;
+  mutable bytes : int;
+  mutable hops : int;
+}
+
+let create sim topology config =
+  let n = Topology.nodes topology in
+  {
+    sim;
+    topology;
+    config;
+    receivers = Array.make n None;
+    egress_free = Array.make n 0;
+    ingress_free = Array.make n 0;
+    messages = 0;
+    bytes = 0;
+    hops = 0;
+  }
+
+let set_receiver t ~node handler = t.receivers.(node) <- Some handler
+
+let deliver t ~src ~dst payload =
+  match t.receivers.(dst) with
+  | Some handler -> handler ~src payload
+  | None -> invalid_arg (Printf.sprintf "Network: node %d has no receiver" dst)
+
+(* Reserve a port: the packet occupies it for [occupancy] cycles starting
+   no earlier than [earliest]; returns when the packet clears the port. *)
+let reserve port ~node ~earliest ~occupancy =
+  let start = max earliest port.(node) in
+  port.(node) <- start + occupancy;
+  start + occupancy
+
+let send t ~src ~dst ~bytes payload =
+  let now = Simulator.now t.sim in
+  if src = dst then
+    Simulator.schedule t.sim ~delay:t.config.local_latency (fun () ->
+        deliver t ~src ~dst payload)
+  else begin
+    let wire_bytes = max bytes t.config.min_packet_bytes in
+    let occupancy = (wire_bytes + t.config.port_bytes_per_cycle - 1) / t.config.port_bytes_per_cycle in
+    let router_hops = Topology.router_hops t.topology ~src ~dst in
+    let leg_latency =
+      match t.config.mode with
+      | Uniform -> t.config.hop_latency
+      | Proportional -> t.config.hop_latency * router_hops / 2
+    in
+    let out_clear = reserve t.egress_free ~node:src ~earliest:now ~occupancy in
+    let arrival = out_clear + leg_latency in
+    let in_clear = reserve t.ingress_free ~node:dst ~earliest:arrival ~occupancy in
+    t.messages <- t.messages + 1;
+    t.bytes <- t.bytes + wire_bytes;
+    t.hops <- t.hops + router_hops;
+    Simulator.schedule_at t.sim ~time:in_clear (fun () -> deliver t ~src ~dst payload)
+  end
+
+let messages_sent t = t.messages
+
+let bytes_sent t = t.bytes
+
+let hops_traversed t = t.hops
+
+let reset_counters t =
+  t.messages <- 0;
+  t.bytes <- 0;
+  t.hops <- 0

@@ -1,0 +1,55 @@
+(** Message transport between node hubs.
+
+    Delivers payloads between nodes over the simulated interconnect,
+    charging the paper's network latency per node-to-node leg (100 CPU
+    cycles by default, Table 1) and modeling hub port contention: each
+    node's ingress and egress ports serialize packets at the system-bus
+    bandwidth.  Router-internal contention is {e not} modeled, matching
+    §3.1 of the paper.
+
+    Messages between a node and itself are delivered after the local hub
+    latency and are not counted as network traffic. *)
+
+type 'a t
+
+type latency_mode =
+  | Uniform
+      (** every remote leg costs exactly [hop_latency] (the paper counts
+          "hops" as node-to-node message legs) *)
+  | Proportional
+      (** a leg costs [hop_latency * router_hops / 2]; differentiates
+          intra- and inter-router-group communication *)
+
+type config = {
+  hop_latency : int;  (** cycles per remote leg (100 per Table 1) *)
+  local_latency : int;  (** hub-internal delivery latency, cycles *)
+  min_packet_bytes : int;  (** 32 per §3.1 *)
+  port_bytes_per_cycle : int;  (** system-bus bandwidth per CPU cycle *)
+  mode : latency_mode;
+}
+
+val default_config : config
+(** Table 1 values: 100-cycle hops, 16-cycle local latency, 32-byte
+    minimum packets, 8 bytes/cycle ports, [Uniform]. *)
+
+val create :
+  Pcc_engine.Simulator.t -> Topology.t -> config -> 'a t
+
+val set_receiver : 'a t -> node:int -> (src:int -> 'a -> unit) -> unit
+(** Install the handler invoked when a payload reaches a node.  Must be
+    set for every node before traffic is sent to it. *)
+
+val send : 'a t -> src:int -> dst:int -> bytes:int -> 'a -> unit
+(** Queue a packet.  [bytes] is the logical payload size; the packet is
+    padded to [min_packet_bytes]. *)
+
+val messages_sent : 'a t -> int
+(** Remote packets sent so far (local deliveries excluded). *)
+
+val bytes_sent : 'a t -> int
+(** Remote bytes on the wire, padding included. *)
+
+val hops_traversed : 'a t -> int
+(** Total router hops crossed by all remote packets. *)
+
+val reset_counters : 'a t -> unit

@@ -1,0 +1,27 @@
+type t = { nodes : int; radix : int; levels : int }
+
+let fat_tree ~nodes ~radix =
+  assert (nodes > 0 && radix > 1);
+  let rec height covered levels =
+    if covered >= nodes then levels else height (covered * radix) (levels + 1)
+  in
+  { nodes; radix; levels = height radix 1 }
+
+let nodes t = t.nodes
+
+let levels t = t.levels
+
+(* The common-ancestor level of two leaves: 1 when they share a leaf
+   router, 2 when their leaf routers share a level-2 router, ... *)
+let common_level t src dst =
+  let rec search level group_size =
+    if src / group_size = dst / group_size then level
+    else search (level + 1) (group_size * t.radix)
+  in
+  search 1 t.radix
+
+let router_hops t ~src ~dst =
+  assert (src >= 0 && src < t.nodes && dst >= 0 && dst < t.nodes);
+  if src = dst then 0 else 2 * common_level t src dst
+
+let diameter t = 2 * t.levels

@@ -1,0 +1,27 @@
+(** Interconnect topology.
+
+    Models the NUMALink-4-style fat tree of the paper's simulated machine:
+    routers with eight children, nodes at the leaves.  The topology's only
+    observable is the router distance between nodes, used for statistics
+    and for the optional distance-proportional latency mode of
+    {!Network}. *)
+
+type t
+
+val fat_tree : nodes:int -> radix:int -> t
+(** [fat_tree ~nodes ~radix] builds the smallest fat tree with [radix]
+    children per router covering [nodes] leaves.  Both arguments must be
+    positive. *)
+
+val nodes : t -> int
+
+val levels : t -> int
+(** Tree height (1 for a single router). *)
+
+val router_hops : t -> src:int -> dst:int -> int
+(** Number of router-to-router/link crossings on the path between two
+    nodes: 0 when [src = dst], 2 within one leaf router, 4 across two
+    levels, and so on. *)
+
+val diameter : t -> int
+(** Maximum router distance between any two nodes. *)

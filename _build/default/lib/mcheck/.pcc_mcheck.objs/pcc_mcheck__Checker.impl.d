@@ -1,0 +1,1 @@
+lib/mcheck/checker.ml: Digest Format Hashtbl List Queue

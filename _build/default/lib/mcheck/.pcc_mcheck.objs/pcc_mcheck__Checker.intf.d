@@ -1,0 +1,1 @@
+lib/mcheck/checker.mli: Format

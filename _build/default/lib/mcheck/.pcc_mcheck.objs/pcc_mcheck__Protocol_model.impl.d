@@ -1,0 +1,1 @@
+lib/mcheck/protocol_model.ml: Array Checker Format Fun Hashtbl List Marshal Option Printf String

@@ -1,0 +1,1 @@
+lib/mcheck/protocol_model.mli: Checker

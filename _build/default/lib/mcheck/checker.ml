@@ -1,0 +1,129 @@
+module type MODEL = sig
+  type state
+
+  val initial : state list
+
+  val successors : state -> (string * state) list
+
+  val invariants : (string * (state -> bool)) list
+
+  val is_quiescent : state -> bool
+
+  val encode : state -> string
+
+  val pp : Format.formatter -> state -> unit
+end
+
+type stats = {
+  states_explored : int;
+  transitions : int;
+  max_depth : int;
+  complete : bool;
+}
+
+type 'state outcome =
+  | Ok of stats
+  | Invariant_violation of {
+      invariant : string;
+      state : 'state;
+      trace : string list;
+      stats : stats;
+    }
+  | Deadlock of { state : 'state; trace : string list; stats : stats }
+
+let run (type s) (module M : MODEL with type state = s) ?(max_states = 2_000_000) () :
+    s outcome =
+  (* States are deduplicated by the MD5 digest of their canonical
+     encoding — 16 bytes per state keeps multi-million-state explorations
+     in memory.  The predecessor map stores (parent digest, label) for
+     counterexample reconstruction. *)
+  let digest state = Digest.string (M.encode state) in
+  let parents : (string, string * string) Hashtbl.t = Hashtbl.create 65536 in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 65536 in
+  let queue = Queue.create () in
+  let explored = ref 0 in
+  let transitions = ref 0 in
+  let max_depth = ref 0 in
+  let trace_to key =
+    let rec walk key acc =
+      match Hashtbl.find_opt parents key with
+      | None -> acc
+      | Some (parent, label) -> walk parent (label :: acc)
+    in
+    walk key []
+  in
+  let stats complete =
+    {
+      states_explored = !explored;
+      transitions = !transitions;
+      max_depth = !max_depth;
+      complete;
+    }
+  in
+  List.iter
+    (fun state ->
+      let key = digest state in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        Queue.add (state, key, 0) queue
+      end)
+    M.initial;
+  let result = ref None in
+  (try
+     while not (Queue.is_empty queue) do
+       let state, key, depth = Queue.pop queue in
+       incr explored;
+       if depth > !max_depth then max_depth := depth;
+       List.iter
+         (fun (name, predicate) ->
+           if not (predicate state) then begin
+             result :=
+               Some
+                 (Invariant_violation
+                    { invariant = name; state; trace = trace_to key; stats = stats false });
+             raise Exit
+           end)
+         M.invariants;
+       let next = M.successors state in
+       if next = [] && not (M.is_quiescent state) then begin
+         result := Some (Deadlock { state; trace = trace_to key; stats = stats false });
+         raise Exit
+       end;
+       List.iter
+         (fun (label, next_state) ->
+           incr transitions;
+           let next_key = digest next_state in
+           if not (Hashtbl.mem seen next_key) then begin
+             Hashtbl.add seen next_key ();
+             Hashtbl.add parents next_key (key, label);
+             Queue.add (next_state, next_key, depth + 1) queue
+           end)
+         next;
+       if !explored >= max_states then raise Exit
+     done
+   with Exit -> ());
+  match !result with
+  | Some outcome -> outcome
+  | None -> Ok (stats (Queue.is_empty queue))
+
+let pp_outcome pp_state ppf = function
+  | Ok stats ->
+      Format.fprintf ppf "OK: %d states, %d transitions, depth %d%s"
+        stats.states_explored stats.transitions stats.max_depth
+        (if stats.complete then " (exhaustive)" else " (bounded)")
+  | Invariant_violation { invariant; state; trace; stats } ->
+      Format.fprintf ppf
+        "@[<v>INVARIANT '%s' VIOLATED after %d states@,trace (%d steps):@,  %a@,state: %a@]"
+        invariant stats.states_explored (List.length trace)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,  ")
+           Format.pp_print_string)
+        trace pp_state state
+  | Deadlock { state; trace; stats } ->
+      Format.fprintf ppf
+        "@[<v>DEADLOCK after %d states@,trace (%d steps):@,  %a@,state: %a@]"
+        stats.states_explored (List.length trace)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,  ")
+           Format.pp_print_string)
+        trace pp_state state

@@ -1,0 +1,55 @@
+(** Explicit-state model checker.
+
+    The paper verifies its protocol with Murphi (§2.5): build a small
+    formal model, exhaustively enumerate its reachable states, and check
+    invariants plus deadlock-freedom in every state.  This module is that
+    method: breadth-first reachability with hashed state deduplication and
+    counterexample traces. *)
+
+module type MODEL = sig
+  type state
+
+  val initial : state list
+
+  val successors : state -> (string * state) list
+  (** Enabled transitions as (label, next-state) pairs.  A state with no
+      successors must satisfy [is_quiescent] or it is reported as a
+      deadlock. *)
+
+  val invariants : (string * (state -> bool)) list
+  (** Named predicates that must hold in {e every} reachable state. *)
+
+  val is_quiescent : state -> bool
+  (** True for legitimate terminal states (all work completed). *)
+
+  val encode : state -> string
+  (** Canonical encoding used for deduplication; equal states must encode
+      equally. *)
+
+  val pp : Format.formatter -> state -> unit
+end
+
+type stats = {
+  states_explored : int;
+  transitions : int;
+  max_depth : int;
+  complete : bool;  (** false if the exploration hit [max_states] *)
+}
+
+type 'state outcome =
+  | Ok of stats
+  | Invariant_violation of {
+      invariant : string;
+      state : 'state;
+      trace : string list;  (** transition labels from an initial state *)
+      stats : stats;
+    }
+  | Deadlock of { state : 'state; trace : string list; stats : stats }
+
+val run :
+  (module MODEL with type state = 's) -> ?max_states:int -> unit -> 's outcome
+(** Breadth-first exhaustive exploration (default bound: 2_000_000
+    states). *)
+
+val pp_outcome :
+  (Format.formatter -> 's -> unit) -> Format.formatter -> 's outcome -> unit

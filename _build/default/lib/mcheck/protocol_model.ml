@@ -1,0 +1,1114 @@
+type bug = Skip_invals_on_delegate | No_poison_on_inval | Updates_without_resharing
+
+type params = {
+  nodes : int;
+  max_ops_per_node : int;
+  enable_delegation : bool;
+  enable_updates : bool;
+  channel_capacity : int;
+      (* max in-flight messages per (src,dst) channel.  Without a bound
+         the space is infinite: a NACK/retry/forward cycle can deposit one
+         extra hint message per round while deliveries lag.  Bounding
+         channels (as Murphi DASH models do) makes exploration finite;
+         transitions that would overfill a channel are disabled. *)
+  bug : bug option;
+}
+
+let default_params =
+  {
+    nodes = 3;
+    max_ops_per_node = 2;
+    enable_delegation = true;
+    enable_updates = true;
+    channel_capacity = 3;
+    bug = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Model state                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type cstate = CI | CS of int | CE of int
+
+type pkind = PL | PW
+
+type pend = {
+  pkind : pkind;
+  have_data : bool;
+  acks : int;
+  poisoned : bool;
+  target : int;  (* where the current request attempt was sent *)
+  tid : int;  (* transaction id echoed by replies; stale replies dropped *)
+  deferred : (bool * int * int) list;
+      (* interventions/transfers (is_transfer, requester, tid) received
+         between the exclusive grant and the store commit, replayed after
+         the commit *)
+}
+
+type prodst = PB | PEx | PSh
+
+type prod = {
+  pst : prodst;
+  psharers : int;
+  upds : int;
+  recalled : bool;
+  unflushed : int;
+      (* nodes pushed to since the last flush; undelegation is fenced by a
+         flush/flush-ack round on those channels, otherwise a stale update
+         could land in a consumer's RAC after a post-undelegation writer
+         invalidated it.  Updates themselves are fire-and-forget. *)
+  fl_acks : int;  (* flush acknowledgments outstanding *)
+}
+
+type nst = {
+  cache : cstate;
+  rac : int option;
+  prod : prod option;
+  pend : pend option;
+  hint : int option;
+  done_ : int;
+  last_seen : int;
+  wbp : bool;
+      (* writeback outstanding: interventions received while true belong
+         to the epoch the writeback ends and are dropped; the home
+         resolves the race and acknowledges the writeback *)
+}
+
+type dstate = DU | DS | DE | DBs | DBe | DD
+
+type nack_reason = NBusy | NNotHome | NPending
+
+type msg =
+  | MGetS of int  (* requester's transaction id, echoed by the reply *)
+  | MGetX of int
+  | MFwdS of int * int  (* requester, tid *)
+  | MInval of int  (* ack target *)
+  | MIntv of int * int  (* requester, tid *)
+  | MTransfer of int * int
+  | MDataS of int * int  (* value, tid *)
+  | MDataE of int * int * int  (* value, acks expected, tid *)
+  | MAck
+  | MSwb of int * int  (* value, new sharer *)
+  | MTack of int  (* new owner *)
+  | MNack of nack_reason * int  (* tid *)
+  | MDelegate of int * int * int * int  (* sharers, value, acks expected, tid *)
+  | MNewHome of int
+  | MRecall
+  | MUndele of int * int option * (int * int) option
+      (* sharers, value, pending (writer, tid) *)
+  | MUpdate of int
+  | MFlush
+  | MFlushAck
+  | MWb of int
+  | MWbAck
+
+(* Channels between each (src, dst) pair are FIFO, as in the modeled
+   NUMALink interconnect (and the simulator): [seq] orders messages within
+   a pair and only the head-of-line message of each pair is deliverable.
+   The speculative-update mechanism depends on this ordering — an update
+   overtaken by a later invalidation from the same producer would strand a
+   stale copy (the model checker finds this if delivery is unordered). *)
+type packet = { src : int; dst : int; seq : int; msg : msg }
+
+type state = {
+  ns : nst array;
+  dir : dstate;
+  shr : int;
+  own : int;
+  req : int;
+  req_tid : int;  (* pending requester's transaction id in Busy states *)
+  mem : int;
+  net : packet list;
+  nextv : int;
+  error : string option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let home = 0
+
+let bit n = 1 lsl n
+
+let mem_bit mask n = mask land bit n <> 0
+
+let add_bit mask n = mask lor bit n
+
+let rem_bit mask n = mask land lnot (bit n)
+
+let bits_list mask =
+  let rec collect n acc =
+    if n < 0 then acc else collect (n - 1) (if mem_bit mask n then n :: acc else acc)
+  in
+  collect 62 []
+
+let with_node st n f =
+  let ns = Array.copy st.ns in
+  ns.(n) <- f ns.(n);
+  { st with ns }
+
+let post st packets =
+  let next_seq net src dst =
+    1
+    + List.fold_left
+        (fun acc p -> if p.src = src && p.dst = dst then max acc p.seq else acc)
+        (-1) net
+  in
+  List.fold_left
+    (fun st p -> { st with net = { p with seq = next_seq st.net p.src p.dst } :: st.net })
+    st packets
+
+let remove_packet st packet =
+  let rec drop = function
+    | [] -> []
+    | p :: rest -> if p = packet then rest else p :: drop rest
+  in
+  { st with net = drop st.net }
+
+(* Canonical form: per-pair sequence numbers are renumbered from 0 so
+   states differing only by absolute sequence values coincide. *)
+let norm st =
+  let sorted = List.sort compare st.net in
+  let rec renumber last counter acc = function
+    | [] -> List.rev acc
+    | p :: rest ->
+        let pair = (p.src, p.dst) in
+        let counter = if last = Some pair then counter + 1 else 0 in
+        renumber (Some pair) counter ({ p with seq = counter } :: acc) rest
+  in
+  { st with net = renumber None 0 [] sorted }
+
+let fail st message = { st with error = Some message }
+
+(* ------------------------------------------------------------------ *)
+(* Symmetry reduction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Non-home nodes are interchangeable (a Murphi "scalarset"): states that
+   differ only by a permutation of nodes 1..n-1 are equivalent.  The
+   canonical encoding is the minimum over all such permutations of the
+   renamed, normalized state. *)
+
+let rename_node perm n = if n < 0 then n else perm.(n)
+
+let rename_mask perm mask =
+  let rec go n acc =
+    if n >= Array.length perm then acc
+    else go (n + 1) (if mem_bit mask n then add_bit acc perm.(n) else acc)
+  in
+  go 0 0
+
+let rename_msg perm = function
+  | MFwdS (r, tid) -> MFwdS (rename_node perm r, tid)
+  | MInval r -> MInval (rename_node perm r)
+  | MIntv (r, tid) -> MIntv (rename_node perm r, tid)
+  | MTransfer (r, tid) -> MTransfer (rename_node perm r, tid)
+  | MSwb (v, ns) -> MSwb (v, rename_node perm ns)
+  | MTack o -> MTack (rename_node perm o)
+  | MDelegate (sharers, v, a, tid) -> MDelegate (rename_mask perm sharers, v, a, tid)
+  | MNewHome h -> MNewHome (rename_node perm h)
+  | MUndele (sharers, v, pending) ->
+      MUndele
+        ( rename_mask perm sharers,
+          v,
+          Option.map (fun (r, tid) -> (rename_node perm r, tid)) pending )
+  | ( MGetS _ | MGetX _ | MDataS _ | MDataE _ | MAck | MNack _ | MRecall | MUpdate _
+    | MFlush | MFlushAck | MWb _ | MWbAck ) as m ->
+      m
+
+let rename_state perm st =
+  let ns = Array.make (Array.length st.ns) st.ns.(0) in
+  Array.iteri
+    (fun i node ->
+      ns.(perm.(i)) <-
+        {
+          node with
+          prod =
+            Option.map
+              (fun p ->
+                {
+                  p with
+                  psharers = rename_mask perm p.psharers;
+                  upds = rename_mask perm p.upds;
+                  unflushed = rename_mask perm p.unflushed;
+                })
+              node.prod;
+          hint = Option.map (rename_node perm) node.hint;
+        })
+    st.ns;
+  let net =
+    List.map
+      (fun p ->
+        {
+          p with
+          src = rename_node perm p.src;
+          dst = rename_node perm p.dst;
+          msg = rename_msg perm p.msg;
+        })
+      st.net
+  in
+  {
+    st with
+    ns;
+    net;
+    shr = rename_mask perm st.shr;
+    own = rename_node perm st.own;
+    req = rename_node perm st.req;
+  }
+
+(* All permutations of 1..n-1 (node 0, the home, is fixed). *)
+let node_permutations n =
+  let rec perms = function
+    | [] -> [ [] ]
+    | items ->
+        List.concat_map
+          (fun x ->
+            List.map (fun rest -> x :: rest) (perms (List.filter (( <> ) x) items)))
+          items
+  in
+  List.map
+    (fun order -> Array.of_list (0 :: order))
+    (perms (List.init (n - 1) (fun i -> i + 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Commit helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A read is coherent if each node observes the (globally serialized)
+   write order monotonically. *)
+let commit_read st n v ~cache_fill =
+  let node = st.ns.(n) in
+  let st =
+    if v < node.last_seen then
+      fail st (Printf.sprintf "node %d read value %d after observing %d" n v node.last_seen)
+    else st
+  in
+  with_node st n (fun node ->
+      {
+        node with
+        pend = None;
+        done_ = node.done_ + 1;
+        last_seen = max v node.last_seen;
+        cache =
+          (match (cache_fill, node.cache) with
+          | true, CI -> CS v
+          | true, other -> other
+          | false, other -> other);
+      })
+
+let commit_store st n =
+  let v = st.nextv + 1 in
+  let st = { st with nextv = v } in
+  with_node st n (fun node ->
+      {
+        node with
+        pend = None;
+        done_ = node.done_ + 1;
+        last_seen = v;
+        cache = CE v;
+        rac = (match node.prod with Some _ -> node.rac | None -> None);
+        prod =
+          (match node.prod with
+          | Some p -> Some { p with pst = PEx }
+          | None -> None);
+      })
+
+(* Owner-side servicing of an intervention/transfer against a committed
+   exclusive (or downgraded shared) copy. *)
+let intervention_now st n requester tid =
+  let node = st.ns.(n) in
+  match node.cache with
+  | CE v | CS v ->
+      let st = with_node st n (fun node -> { node with cache = CS v }) in
+      post st
+        [
+          { src = n; dst = requester; seq = 0; msg = MDataS (v, tid) };
+          { src = n; dst = home; seq = 0; msg = MSwb (v, requester) };
+        ]
+  | CI -> st (* writeback race; the home resolves it *)
+
+let transfer_now st n requester tid =
+  let node = st.ns.(n) in
+  match node.cache with
+  | CE v | CS v ->
+      let st = with_node st n (fun node -> { node with cache = CI; rac = None }) in
+      post st
+        [
+          { src = n; dst = requester; seq = 0; msg = MDataE (v, 0, tid) };
+          { src = n; dst = home; seq = 0; msg = MTack requester };
+        ]
+  | CI -> st
+
+(* ------------------------------------------------------------------ *)
+(* Producer-side actions                                               *)
+(* ------------------------------------------------------------------ *)
+
+let fence_needed p = p.unflushed <> 0 || p.fl_acks > 0
+
+(* Post flush markers chasing the pushed updates; a no-op when a flush is
+   already in flight or nothing was pushed. *)
+let start_flush st n =
+  let node = st.ns.(n) in
+  match node.prod with
+  | Some p when p.fl_acks = 0 && p.unflushed <> 0 ->
+      let targets = bits_list p.unflushed in
+      let st =
+        with_node st n (fun node ->
+            {
+              node with
+              prod = Some { p with unflushed = 0; fl_acks = List.length targets };
+            })
+      in
+      post st (List.map (fun c -> { src = n; dst = c; seq = 0; msg = MFlush }) targets)
+  | _ -> st
+
+let line_value node =
+  match node.cache with
+  | CE v | CS v -> v
+  | CI -> ( match node.rac with Some v -> v | None -> -1)
+
+let downgrade_push params st n ~exclude =
+  let node = st.ns.(n) in
+  match node.prod with
+  | Some ({ pst = PEx; _ } as p) ->
+      let v = line_value node in
+      let pushed =
+        if params.enable_updates then
+          List.filter (fun c -> c <> n && Some c <> exclude) (bits_list p.upds)
+        else []
+      in
+      let new_sharers =
+        if params.bug = Some Updates_without_resharing then p.psharers
+        else List.fold_left add_bit p.psharers pushed
+      in
+      let st =
+        with_node st n (fun node ->
+            {
+              node with
+              cache = (match node.cache with CE v -> CS v | other -> other);
+              rac = Some v;
+              prod =
+                Some
+                  {
+                    p with
+                    pst = PSh;
+                    psharers = new_sharers;
+                    unflushed = List.fold_left add_bit p.unflushed pushed;
+                  };
+            })
+      in
+      post st (List.map (fun c -> { src = n; dst = c; seq = 0; msg = MUpdate v }) pushed)
+  | _ -> st
+
+let undelegate st n ~pending =
+  let node = st.ns.(n) in
+  match node.prod with
+  | Some p ->
+      let v = line_value node in
+      let st =
+        with_node st n (fun node ->
+            {
+              node with
+              cache = (match node.cache with CE v -> CS v | other -> other);
+              (* refresh the (stale during P_excl) RAC backing copy *)
+              rac = (match node.rac with Some _ -> Some v | None -> None);
+              prod = None;
+            })
+      in
+      let node' = st.ns.(n) in
+      let self_copy = node'.cache <> CI || node'.rac <> None in
+      let sharers = if self_copy then add_bit p.psharers n else rem_bit p.psharers n in
+      post st [ { src = n; dst = home; seq = 0; msg = MUndele (sharers, Some v, pending) } ]
+  | None -> st
+
+let try_complete_store st n =
+  match st.ns.(n).pend with
+  | Some { pkind = PW; have_data = true; acks; deferred; _ } when acks <= 0 ->
+      let st = commit_store st n in
+      let st =
+        List.fold_left
+          (fun st (is_transfer, requester, tid) ->
+            if is_transfer then transfer_now st n requester tid
+            else intervention_now st n requester tid)
+          st (List.rev deferred)
+      in
+      (* a recall received mid-transaction triggers undelegation once the
+         update flush completes *)
+      (match st.ns.(n).prod with
+      | Some ({ recalled = true; _ } as p) ->
+          if fence_needed p then start_flush st n else undelegate st n ~pending:None
+      | _ -> st)
+  | _ -> st
+
+(* ------------------------------------------------------------------ *)
+(* Home-side message handling                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Returns the possible next states for delivering [msg] from [s] at the
+   home (several when the home may nondeterministically delegate); [] if
+   delivery is currently blocked. *)
+let home_handle params st ~s msg =
+  let reply m = [ { src = home; dst = s; seq = 0; msg = m } ] in
+  match (msg, st.dir) with
+  | MGetS tid, (DU | DS) ->
+      [ post { st with dir = DS; shr = add_bit st.shr s } (reply (MDataS (st.mem, tid))) ]
+  | MGetS tid, DE ->
+      if st.own = s then [ post st (reply (MNack (NPending, tid))) ]
+      else
+        [
+          post
+            { st with dir = DBs; req = s; req_tid = tid }
+            [ { src = home; dst = st.own; seq = 0; msg = MIntv (s, tid) } ];
+        ]
+  | MGetS tid, (DBs | DBe) -> [ post st (reply (MNack (NBusy, tid))) ]
+  | MGetS tid, DD ->
+      if st.own = s then [ post st (reply (MNack (NBusy, tid))) ]
+      else
+        [
+          post st
+            [
+              { src = home; dst = st.own; seq = 0; msg = MFwdS (s, tid) };
+              { src = home; dst = s; seq = 0; msg = MNewHome st.own };
+            ];
+        ]
+  | MGetX tid, DU ->
+      [ post { st with dir = DE; own = s; shr = 0 } (reply (MDataE (st.mem, 0, tid))) ]
+  | MGetX tid, DS ->
+      let others = bits_list (rem_bit st.shr s) in
+      let invals requester =
+        List.map (fun n -> { src = home; dst = n; seq = 0; msg = MInval requester }) others
+      in
+      let grant =
+        post
+          { st with dir = DE; own = s; shr = 0 }
+          (reply (MDataE (st.mem, List.length others, tid)) @ invals s)
+      in
+      let delegations =
+        if params.enable_delegation then begin
+          let sharers = rem_bit st.shr s in
+          let base = { st with dir = DD; own = s; shr = 0 } in
+          if params.bug = Some Skip_invals_on_delegate then
+            [ post base (reply (MDelegate (sharers, st.mem, 0, tid))) ]
+          else
+            [
+              post base
+                (reply (MDelegate (sharers, st.mem, List.length others, tid)) @ invals s);
+            ]
+        end
+        else []
+      in
+      grant :: delegations
+  | MGetX tid, DE ->
+      if st.own = s then [ post st (reply (MNack (NPending, tid))) ]
+      else
+        [
+          post
+            { st with dir = DBe; req = s; req_tid = tid }
+            [ { src = home; dst = st.own; seq = 0; msg = MTransfer (s, tid) } ];
+        ]
+  | MGetX tid, (DBs | DBe) -> [ post st (reply (MNack (NBusy, tid))) ]
+  | MGetX tid, DD ->
+      if st.own = s then [ post st (reply (MNack (NBusy, tid))) ]
+      else
+        [
+          post
+            { st with dir = DBe; req = s; req_tid = tid }
+            [ { src = home; dst = st.own; seq = 0; msg = MRecall } ];
+        ]
+  | MWb v, DE when st.own = s ->
+      [ post { st with mem = v; dir = DU; own = -1 } (reply MWbAck) ]
+  | MWb v, DBs when st.own = s ->
+      [
+        post
+          { st with mem = v; dir = DS; shr = bit st.req; own = -1 }
+          (reply MWbAck
+          @ [ { src = home; dst = st.req; seq = 0; msg = MDataS (v, st.req_tid) } ]);
+      ]
+  | MWb v, DBe when st.own = s ->
+      (* grant the waiting writer by re-running its request *)
+      [
+        post
+          { st with mem = v; dir = DU; own = -1 }
+          (reply MWbAck
+          @ [ { src = st.req; dst = home; seq = 0; msg = MGetX st.req_tid } ]);
+      ]
+  | MWb v, DBe when st.req = s ->
+      (* the new owner wrote back before its Transfer_ack reached us: the
+         ownership transfer evidently completed, so the transaction ends
+         here (the late Transfer_ack is dropped) *)
+      [ post { st with mem = v; dir = DU; own = -1 } (reply MWbAck) ]
+  | MWb _, _ -> [ post st (reply MWbAck) ] (* stale, but always acknowledged *)
+  | MSwb (v, new_sharer), DBs when st.own = s ->
+      [ { st with mem = v; dir = DS; shr = add_bit (bit s) new_sharer; own = -1 } ]
+  | MSwb _, _ -> [ st ]
+  | MTack new_owner, DBe when st.own = s -> [ { st with dir = DE; own = new_owner } ]
+  | MTack _, _ -> [ st ]
+  | MUndele (sharers, value, pending), (DD | DBe) when st.own = s ->
+      let st = match value with Some v -> { st with mem = v } | None -> st in
+      let stored = if st.dir = DBe then Some (st.req, st.req_tid) else None in
+      let st =
+        if sharers = 0 then { st with dir = DU; own = -1; shr = 0 }
+        else { st with dir = DS; own = -1; shr = sharers }
+      in
+      let requeue (requester, tid) =
+        { src = requester; dst = home; seq = 0; msg = MGetX tid }
+      in
+      let packets =
+        (match pending with Some r -> [ requeue r ] | None -> [])
+        @ (match stored with Some r -> [ requeue r ] | None -> [])
+      in
+      [ post st packets ]
+  | MUndele _, _ -> [ st ]
+  | ( ( MFwdS _ | MInval _ | MIntv _ | MTransfer _ | MDataS _ | MDataE _ | MAck | MNack _
+      | MDelegate _ | MNewHome _ | MRecall | MUpdate _ | MFlush | MFlushAck | MWbAck ),
+      _ ) ->
+      assert false (* routed to the cache side *)
+
+(* ------------------------------------------------------------------ *)
+(* Cache/producer-side message handling                                *)
+(* ------------------------------------------------------------------ *)
+
+let serve_read params st n ~requester ~tid =
+  let node = st.ns.(n) in
+  match node.prod with
+  | None ->
+      [ post st [ { src = n; dst = requester; seq = 0; msg = MNack (NNotHome, tid) } ] ]
+  | Some { pst = PB; _ } ->
+      [ post st [ { src = n; dst = requester; seq = 0; msg = MNack (NBusy, tid) } ] ]
+  | Some ({ pst = PEx; _ } as _p) ->
+      let st = downgrade_push params st n ~exclude:(Some requester) in
+      let node = st.ns.(n) in
+      let p = Option.get node.prod in
+      let st =
+        with_node st n (fun node ->
+            { node with prod = Some { p with psharers = add_bit p.psharers requester } })
+      in
+      let v = match node.rac with Some v -> v | None -> line_value node in
+      [ post st [ { src = n; dst = requester; seq = 0; msg = MDataS (v, tid) } ] ]
+  | Some ({ pst = PSh; _ } as p) -> (
+      match node.rac with
+      | Some v ->
+          let st =
+            with_node st n (fun node ->
+                { node with prod = Some { p with psharers = add_bit p.psharers requester } })
+          in
+          [ post st [ { src = n; dst = requester; seq = 0; msg = MDataS (v, tid) } ] ]
+      | None ->
+          [ post st [ { src = n; dst = requester; seq = 0; msg = MNack (NNotHome, tid) } ] ])
+
+let resend_request st n =
+  let node = st.ns.(n) in
+  match node.pend with
+  | None -> st
+  | Some p ->
+      let target = match node.hint with Some h -> h | None -> home in
+      let msg = match p.pkind with PL -> MGetS p.tid | PW -> MGetX p.tid in
+      let st =
+        with_node st n (fun node -> { node with pend = Some { p with target } })
+      in
+      post st [ { src = n; dst = target; seq = 0; msg } ]
+
+let cache_handle params st ~src n msg =
+  let node = st.ns.(n) in
+  match msg with
+  | MInval requester ->
+      let st =
+        with_node st n (fun node ->
+            {
+              node with
+              cache = CI;
+              rac = None;
+              pend =
+                (match node.pend with
+                | Some ({ pkind = PL; _ } as p) when params.bug <> Some No_poison_on_inval ->
+                    Some { p with poisoned = true }
+                | other -> other);
+            })
+      in
+      [ post st [ { src = n; dst = requester; seq = 0; msg = MAck } ] ]
+  | MIntv (requester, tid) -> (
+      (* an upgrade in flight means the intervention targets the exclusive
+         copy we are about to gain: stash it until the store commits.  An
+         intervention arriving while our writeback is outstanding belongs
+         to the epoch that writeback ends: drop it (the home resolves the
+         race when the writeback lands). *)
+      match (node.cache, node.pend) with
+      | _, _ when node.wbp -> [ st ]
+      | (CS _ | CI), Some ({ pkind = PW; _ } as p) ->
+          [
+            with_node st n (fun node ->
+                {
+                  node with
+                  pend = Some { p with deferred = (false, requester, tid) :: p.deferred };
+                });
+          ]
+      | (CE _ | CS _), _ -> [ intervention_now st n requester tid ]
+      | CI, _ -> [ st ] (* writeback race; the home resolves it *))
+  | MTransfer (requester, tid) -> (
+      match (node.cache, node.pend) with
+      | _, _ when node.wbp -> [ st ]
+      | (CS _ | CI), Some ({ pkind = PW; _ } as p) ->
+          [
+            with_node st n (fun node ->
+                {
+                  node with
+                  pend = Some { p with deferred = (true, requester, tid) :: p.deferred };
+                });
+          ]
+      | (CE _ | CS _), _ -> [ transfer_now st n requester tid ]
+      | CI, _ -> [ st ])
+  | MDataS (v, tid) -> (
+      match node.pend with
+      | Some { pkind = PL; poisoned; tid = pt; _ } when pt = tid ->
+          [ commit_read st n v ~cache_fill:(not poisoned) ]
+      | _ -> [ st ] (* stale reply: drop *))
+  | MDataE (_v, acks, tid) -> (
+      match node.pend with
+      | Some ({ pkind = PW; tid = pt; _ } as p) when pt = tid ->
+          let st =
+            with_node st n (fun node ->
+                { node with pend = Some { p with have_data = true; acks = p.acks + acks } })
+          in
+          [ try_complete_store st n ]
+      | _ -> [ st ])
+  | MAck -> (
+      match node.pend with
+      | Some ({ pkind = PW; _ } as p) ->
+          let st = with_node st n (fun node -> { node with pend = Some { p with acks = p.acks - 1 } }) in
+          [ try_complete_store st n ]
+      | _ -> [ st ])
+  | MNack (reason, tid) -> (
+      match node.pend with
+      | Some p when p.tid = tid ->
+          let st =
+            if reason = NNotHome then with_node st n (fun node -> { node with hint = None })
+            else st
+          in
+          [ resend_request st n ]
+      | _ -> [ st ] (* stale NACK: drop *))
+  | MNewHome h ->
+      [ (if h = n then st else with_node st n (fun node -> { node with hint = Some h })) ]
+  | MUpdate v -> (
+      match node.pend with
+      | Some { pkind = PL; _ } ->
+          (* update-as-reply (§2.4.3); the superseded data reply is
+             dropped by its stale transaction id *)
+          [ commit_read st n v ~cache_fill:true ]
+      | _ -> [ with_node st n (fun node -> { node with rac = Some v }) ])
+  | MFlush -> [ post st [ { src = n; dst = src; seq = 0; msg = MFlushAck } ] ]
+  | MFlushAck -> (
+      match node.prod with
+      | Some ({ fl_acks; _ } as p) when fl_acks > 0 ->
+          let p = { p with fl_acks = fl_acks - 1 } in
+          let st = with_node st n (fun node -> { node with prod = Some p }) in
+          if p.fl_acks = 0 && p.pst <> PB && p.recalled then
+            if p.unflushed <> 0 then [ start_flush st n ]
+            else [ undelegate st n ~pending:None ]
+          else [ st ]
+      | _ -> [ st ])
+  | MDelegate (sharers, v, acks, tid) -> (
+      match node.pend with
+      | Some ({ pkind = PW; tid = pt; _ } as p) when pt = tid ->
+          let st =
+            with_node st n (fun node ->
+                {
+                  node with
+                  rac = Some v;
+                  prod = Some { pst = PB; psharers = bit n; upds = sharers; recalled = false; unflushed = 0; fl_acks = 0 };
+                  pend = Some { p with have_data = true; acks = p.acks + acks };
+                })
+          in
+          [ try_complete_store st n ]
+      | _ ->
+          (* defensive: return the delegation *)
+          [ post st [ { src = n; dst = home; seq = 0; msg = MUndele (sharers, Some v, None) } ] ])
+  | MFwdS (requester, tid) -> serve_read params st n ~requester ~tid
+  | MGetS tid -> serve_read params st n ~requester:src ~tid
+  | MGetX tid -> (
+      match node.prod with
+      | None ->
+          [ post st [ { src = n; dst = src; seq = 0; msg = MNack (NNotHome, tid) } ] ]
+      | Some p ->
+          if p.pst = PB || fence_needed p then
+            [ post st [ { src = n; dst = src; seq = 0; msg = MNack (NBusy, tid) } ] ]
+          else [ undelegate st n ~pending:(Some (src, tid)) ])
+  | MRecall -> (
+      match node.prod with
+      | None -> [ st ]
+      | Some p ->
+          if p.pst = PB || fence_needed p then
+            (* remember the recall; undelegate when the local store commits
+               and the update flush completes *)
+            [
+              (let st =
+                 with_node st n (fun node ->
+                     { node with prod = Some { p with recalled = true } })
+               in
+               if p.pst = PB then st else start_flush st n);
+            ]
+          else [ undelegate st n ~pending:None ])
+  | MWbAck -> [ with_node st n (fun node -> { node with wbp = false }) ]
+  | MWb _ | MSwb _ | MTack _ | MUndele _ -> assert false (* home side *)
+
+(* ------------------------------------------------------------------ *)
+(* Transition enumeration                                              *)
+(* ------------------------------------------------------------------ *)
+
+let issue_transitions params st n =
+  let node = st.ns.(n) in
+  if node.pend <> None || node.done_ >= params.max_ops_per_node then []
+  else begin
+    let label kind = Printf.sprintf "n%d:issue-%s" n kind in
+    let load =
+      match node.cache with
+      | CS v | CE v -> (label "load-hit", commit_read st n v ~cache_fill:true)
+      | CI -> (
+          match node.rac with
+          | Some v -> (label "load-rac", commit_read st n v ~cache_fill:true)
+          | None ->
+              let st =
+                with_node st n (fun node ->
+                    {
+                      node with
+                      pend = Some { pkind = PL; have_data = false; acks = 0; poisoned = false; target = -1; tid = 2 * node.done_; deferred = [] };
+                    })
+              in
+              (label "load-miss", resend_request st n))
+    in
+    let store =
+      match (node.cache, node.prod) with
+      | CE _, _ -> (label "store-hit", commit_store st n)
+      | _, Some ({ pst = PSh; _ } as p) ->
+          (* delegated local upgrade: invalidate consumers directly *)
+          let others = bits_list (rem_bit p.psharers n) in
+          let st =
+            with_node st n (fun node ->
+                {
+                  node with
+                  prod = Some { pst = PB; upds = rem_bit p.psharers n; psharers = bit n; recalled = p.recalled; unflushed = p.unflushed; fl_acks = p.fl_acks };
+                  pend =
+                    Some
+                      {
+                        pkind = PW;
+                        have_data = true;
+                        acks = List.length others;
+                        poisoned = false;
+                        target = n;
+                        tid = (2 * node.done_) + 1;
+                        deferred = [];
+                      };
+                })
+          in
+          let st =
+            post st (List.map (fun c -> { src = n; dst = c; seq = 0; msg = MInval n }) others)
+          in
+          (label "store-upgrade", try_complete_store st n)
+      | CI, Some { pst = PEx; _ } ->
+          (* exclusivity held, line evicted to the pinned RAC entry *)
+          (label "store-regain", commit_store st n)
+      | (CI | CS _), _ ->
+          let st =
+            with_node st n (fun node ->
+                {
+                  node with
+                  pend = Some { pkind = PW; have_data = false; acks = 0; poisoned = false; target = -1; tid = (2 * node.done_) + 1; deferred = [] };
+                })
+          in
+          (label "store-miss", resend_request st n)
+    in
+    [ load; store ]
+  end
+
+let spontaneous_transitions params st n =
+  let node = st.ns.(n) in
+  let transitions = ref [] in
+  let add label st' = transitions := (Printf.sprintf "n%d:%s" n label, st') :: !transitions in
+  (* delayed intervention fires *)
+  (match node.prod with
+  | Some { pst = PEx; _ } -> add "downgrade" (downgrade_push params st n ~exclude:None)
+  | _ -> ());
+  (* cache eviction *)
+  (match (node.cache, node.prod) with
+  | CE v, Some _ ->
+      add "evict-excl-delegated"
+        (with_node st n (fun node -> { node with cache = CI; rac = Some v }))
+  | CE v, None ->
+      add "evict-excl"
+        (post
+           (with_node st n (fun node -> { node with cache = CI; wbp = true }))
+           [ { src = n; dst = home; seq = 0; msg = MWb v } ])
+  | CS v, _ ->
+      let st' =
+        with_node st n (fun node ->
+            { node with cache = CI; rac = (if n = home then node.rac else Some v) })
+      in
+      add "evict-shared" st'
+  | CI, _ -> ());
+  (* capacity undelegation *)
+  (match node.prod with
+  | Some ({ pst = PEx | PSh; _ } as p) when not (fence_needed p) ->
+      add "undelegate" (undelegate st n ~pending:None)
+  | _ -> ());
+  (* consumer-table hint eviction *)
+  (match node.hint with
+  | Some _ -> add "drop-hint" (with_node st n (fun node -> { node with hint = None }))
+  | None -> ());
+  !transitions
+
+let head_of_line net packet =
+  List.for_all
+    (fun q -> not (q.src = packet.src && q.dst = packet.dst && q.seq < packet.seq))
+    net
+
+let deliver_transitions params st =
+  List.concat_map
+    (fun packet ->
+      if not (head_of_line st.net packet) then []
+      else
+      let st' = remove_packet st packet in
+      let results =
+        match packet.msg with
+        | (MGetS _ | MGetX _) when packet.dst = home ->
+            home_handle params st' ~s:packet.src packet.msg
+        | MWb _ | MSwb _ | MTack _ | MUndele _ ->
+            home_handle params st' ~s:packet.src packet.msg
+        | _ -> cache_handle params st' ~src:packet.src packet.dst packet.msg
+      in
+      List.mapi
+        (fun i result ->
+          let label =
+            Printf.sprintf "deliver[%d->%d]%s%s" packet.src packet.dst
+              (match packet.msg with
+              | MGetS _ -> ":gets"
+              | MGetX _ -> ":getx"
+              | MFwdS _ -> ":fwds"
+              | MInval _ -> ":inval"
+              | MIntv _ -> ":intv"
+              | MTransfer _ -> ":transfer"
+              | MDataS _ -> ":datas"
+              | MDataE _ -> ":datae"
+              | MAck -> ":ack"
+              | MSwb _ -> ":swb"
+              | MTack _ -> ":tack"
+              | MNack _ -> ":nack"
+              | MDelegate _ -> ":delegate"
+              | MNewHome _ -> ":newhome"
+              | MRecall -> ":recall"
+              | MUndele _ -> ":undele"
+              | MUpdate _ -> ":update"
+              | MFlush | MFlushAck -> ":updack"
+              | MWb _ -> ":wb"
+              | MWbAck -> ":wback")
+              (if i = 0 then "" else Printf.sprintf "#%d" i)
+          in
+          (label, result))
+        results)
+    st.net
+
+(* ------------------------------------------------------------------ *)
+(* Invariants                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let in_flight st predicate = List.exists predicate st.net
+
+let exclusive_holders st =
+  let holders = ref [] in
+  Array.iteri
+    (fun n node -> match node.cache with CE _ -> holders := n :: !holders | _ -> ())
+    st.ns;
+  !holders
+
+let value_coherent st = st.error = None
+
+let single_writer st =
+  match exclusive_holders st with
+  | [] -> true
+  | [ n ] ->
+      (match st.dir with
+      | (DE | DD | DBs | DBe) when st.own = n -> true
+      | _ -> in_flight st (fun p -> p.msg = MTack n))
+  | _ :: _ :: _ -> false
+
+let directory_consistent st =
+  let covered n =
+    let escape =
+      in_flight st (fun p ->
+          (p.dst = n && (match p.msg with MInval _ | MUpdate _ -> true | _ -> false))
+          (* a winding-down delegation carries its sharing vector in the
+             in-flight Undelegate message *)
+          || (match p.msg with MUndele (sharers, _, _) -> mem_bit sharers n | _ -> false))
+    in
+    let producer_covers owner =
+      owner >= 0
+      &&
+      match st.ns.(owner).prod with
+      | Some p -> mem_bit p.psharers n
+      | None -> false
+    in
+    escape
+    ||
+    match st.dir with
+    | DU -> false
+    | DS -> mem_bit st.shr n
+    | DE | DBs | DBe -> n = st.own || n = st.req || producer_covers st.own
+    | DD -> (
+        n = st.own
+        ||
+        match st.ns.(st.own).prod with
+        | Some p -> mem_bit p.psharers n
+        | None ->
+            (* delegation handshake in flight: the Delegate message still
+               holds the vector *)
+            in_flight st (fun p ->
+                match p.msg with
+                | MDelegate (sharers, _, _, _) -> p.dst = st.own && mem_bit sharers n
+                | _ -> false))
+  in
+  Array.for_all Fun.id
+    (Array.mapi
+       (fun n node ->
+         let has_copy = node.cache <> CI || node.rac <> None in
+         (not has_copy) || covered n)
+       st.ns)
+
+let delegation_consistent st =
+  let dir_side =
+    st.dir <> DD
+    || st.ns.(st.own).prod <> None
+    || in_flight st (fun p ->
+           match p.msg with
+           | MDelegate _ -> p.dst = st.own
+           | MUndele _ -> p.src = st.own
+           | _ -> false)
+  in
+  let node_side =
+    Array.for_all Fun.id
+      (Array.mapi
+         (fun n node ->
+           node.prod = None || ((st.dir = DD || st.dir = DBe) && st.own = n))
+         st.ns)
+  in
+  dir_side && node_side
+
+(* ------------------------------------------------------------------ *)
+(* Model assembly                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let make params =
+  (module struct
+    type nonrec state = state
+
+    let initial =
+      [
+        norm
+          {
+            ns =
+              Array.init params.nodes (fun _ ->
+                  {
+                    cache = CI;
+                    rac = None;
+                    prod = None;
+                    pend = None;
+                    hint = None;
+                    done_ = 0;
+                    last_seen = 0;
+                    wbp = false;
+                  });
+            dir = DU;
+            shr = 0;
+            own = -1;
+            req = -1;
+            req_tid = 0;
+            mem = 0;
+            net = [];
+            nextv = 0;
+            error = None;
+          };
+      ]
+
+    (* a successor that overfills some channel is not taken; the message
+       it would react to stays in the network for later *)
+    let channels_ok st =
+      let counts = Hashtbl.create 16 in
+      List.for_all
+        (fun p ->
+          let key = (p.src, p.dst) in
+          let c = 1 + (try Hashtbl.find counts key with Not_found -> 0) in
+          Hashtbl.replace counts key c;
+          c <= params.channel_capacity)
+        st.net
+
+    let successors st =
+      let issues =
+        List.concat (List.init params.nodes (fun n -> issue_transitions params st n))
+      in
+      let spontaneous =
+        List.concat (List.init params.nodes (fun n -> spontaneous_transitions params st n))
+      in
+      let deliveries = deliver_transitions params st in
+      List.filter_map
+        (fun (label, st') -> if channels_ok st' then Some (label, norm st') else None)
+        (issues @ spontaneous @ deliveries)
+
+    let invariants =
+      [
+        ("value coherence", value_coherent);
+        ("single writer exists", single_writer);
+        ("consistency within the directory", directory_consistent);
+        ("delegation consistency", delegation_consistent);
+      ]
+
+    let is_quiescent st =
+      st.net = []
+      && Array.for_all
+           (fun node -> node.pend = None && node.done_ >= params.max_ops_per_node)
+           st.ns
+
+    let permutations = node_permutations params.nodes
+
+    (* canonical representative over the node symmetry group *)
+    let encode st =
+      List.fold_left
+        (fun best perm ->
+          let candidate = Marshal.to_string (norm (rename_state perm st)) [] in
+          match best with
+          | Some b when String.compare b candidate <= 0 -> best
+          | _ -> Some candidate)
+        None permutations
+      |> Option.get
+
+    let pp ppf st =
+      let cache_str node =
+        match node.cache with
+        | CI -> "I"
+        | CS v -> Printf.sprintf "S%d" v
+        | CE v -> Printf.sprintf "E%d" v
+      in
+      Format.fprintf ppf "@[<v>dir=%s own=%d req=%d shr=%x mem=%d nextv=%d@,"
+        (match st.dir with
+        | DU -> "U"
+        | DS -> "S"
+        | DE -> "E"
+        | DBs -> "Bs"
+        | DBe -> "Be"
+        | DD -> "D")
+        st.own st.req st.shr st.mem st.nextv;
+      Array.iteri
+        (fun n node ->
+          Format.fprintf ppf "n%d: cache=%s rac=%s prod=%s pend=%s done=%d seen=%d@," n
+            (cache_str node)
+            (match node.rac with Some v -> string_of_int v | None -> "-")
+            (match node.prod with
+            | Some { pst = PB; _ } -> "B"
+            | Some { pst = PEx; _ } -> "E"
+            | Some { pst = PSh; _ } -> "S"
+            | None -> "-")
+            (match node.pend with
+            | Some { pkind = PL; _ } -> "L"
+            | Some { pkind = PW; _ } -> "W"
+            | None -> "-")
+            node.done_ node.last_seen)
+        st.ns;
+      Format.fprintf ppf "net: %d msgs@]" (List.length st.net)
+  end : Checker.MODEL)

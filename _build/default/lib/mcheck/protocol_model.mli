@@ -1,0 +1,52 @@
+(** Abstract model of the coherence protocol for exhaustive checking.
+
+    Mirrors the simulator's protocol (base write-invalidate directory
+    protocol plus delegation and speculative updates) for a small
+    configuration: one cache line homed at node 0, [nodes] processors each
+    performing up to [max_ops_per_node] nondeterministically chosen
+    loads/stores, an unordered network, and nondeterministic cache
+    evictions, delayed interventions, capacity undelegations, and hint
+    evictions.  This corresponds to the paper's extension of the DASH
+    Murphi model (§2.5).
+
+    Checked invariants:
+    - {e value coherence}: every load returns a write each node observes in
+      a monotone order, with writes globally serialized (the model's
+      analogue of sequential consistency per location);
+    - {e single writer exists}: at most one exclusive copy, and the
+      directory (or an in-flight ownership transfer) accounts for it;
+    - {e consistency within the directory}: every cached copy is covered
+      by the responsible sharing vector or by an in-flight invalidation
+      or update.
+
+    [bug] injects a deliberate protocol error so tests can confirm the
+    checker actually detects violations. *)
+
+type bug =
+  | Skip_invals_on_delegate
+      (** the home delegates without invalidating the old sharers *)
+  | No_poison_on_inval
+      (** a pending load caches possibly stale data after an
+          invalidation overtook it *)
+  | Updates_without_resharing
+      (** pushed consumers are not re-added to the sharing vector, so the
+          next write misses their RAC copies *)
+
+type params = {
+  nodes : int;  (** 2..4 is practical *)
+  max_ops_per_node : int;
+  enable_delegation : bool;
+  enable_updates : bool;
+  channel_capacity : int;
+      (** max in-flight messages per (src, dst) channel.  Unbounded
+          channels make the space infinite (retries can deposit hint
+          messages faster than they drain); bounding them — as Murphi
+          DASH models do — keeps exploration finite while preserving all
+          behaviours up to that concurrency. *)
+  bug : bug option;
+}
+
+val default_params : params
+(** 3 nodes, 2 ops each, delegation and updates on, no bug. *)
+
+val make : params -> (module Checker.MODEL)

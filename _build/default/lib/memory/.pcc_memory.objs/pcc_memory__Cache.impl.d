@@ -1,0 +1,1 @@
+lib/memory/cache.ml: Array Hashtbl List Pcc_engine

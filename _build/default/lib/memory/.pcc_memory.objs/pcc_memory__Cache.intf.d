@@ -1,0 +1,1 @@
+lib/memory/cache.mli: Pcc_engine

@@ -1,0 +1,20 @@
+type t = int
+
+type line = int
+
+let line_size = 128
+
+let line_of_addr addr = addr / line_size
+
+let addr_of_line line = line * line_size
+
+let offset_in_line addr = addr mod line_size
+
+let lines_covering addr ~bytes =
+  assert (bytes > 0);
+  let first = line_of_addr addr in
+  let last = line_of_addr (addr + bytes - 1) in
+  let rec collect line acc =
+    if line < first then acc else collect (line - 1) (line :: acc)
+  in
+  collect last []

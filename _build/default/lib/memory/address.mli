@@ -1,0 +1,25 @@
+(** Byte addresses and cache-line arithmetic.
+
+    Coherence in the modeled machine is maintained at 128-byte L2-line
+    granularity (Table 1 of the paper).  A {e line number} is the byte
+    address divided by the line size; all protocol structures are keyed by
+    line number. *)
+
+type t = int
+(** A byte address. *)
+
+type line = int
+(** A cache-line number (byte address / line size). *)
+
+val line_size : int
+(** Coherence granularity in bytes (128, per Table 1). *)
+
+val line_of_addr : t -> line
+
+val addr_of_line : line -> t
+(** Base byte address of a line. *)
+
+val offset_in_line : t -> int
+
+val lines_covering : t -> bytes:int -> line list
+(** All lines touched by an access of [bytes] bytes at an address. *)

@@ -1,0 +1,135 @@
+type policy = Lru | Random
+
+type 'a entry = {
+  key : int;
+  mutable payload : 'a;
+  mutable last_used : int;
+  mutable pinned : bool;
+}
+
+type 'a t = {
+  sets : int;
+  ways : int;
+  policy : policy;
+  rng : Pcc_engine.Rng.t;
+  data : (int, 'a entry) Hashtbl.t array; (* one table per set, keyed by line *)
+  mutable tick : int;
+}
+
+type 'a insert_result = Inserted of (int * 'a) option | All_ways_pinned
+
+let create ?(policy = Lru) ?rng ~sets ~ways () =
+  assert (sets > 0 && ways > 0);
+  let rng = match rng with Some r -> r | None -> Pcc_engine.Rng.create ~seed:0x5eed in
+  { sets; ways; policy; rng; data = Array.init sets (fun _ -> Hashtbl.create 8); tick = 0 }
+
+(* Keys carry structure in high bits (e.g. the home-node field of line
+   numbers), so the set index mixes the whole key rather than using the
+   low bits directly — otherwise same-index lines of different homes
+   would all alias into one set. *)
+let mix key =
+  let h = key * 0x9E3779B97F4A7C1 in
+  let h = h lxor (h lsr 29) in
+  let h = h * 0xBF58476D1CE4E5B in
+  h lxor (h lsr 32)
+
+let set_of t key = (mix key land max_int) mod t.sets
+
+let touch t entry =
+  t.tick <- t.tick + 1;
+  entry.last_used <- t.tick
+
+let find t key =
+  match Hashtbl.find_opt t.data.(set_of t key) key with
+  | Some entry ->
+      touch t entry;
+      Some entry.payload
+  | None -> None
+
+let peek t key =
+  match Hashtbl.find_opt t.data.(set_of t key) key with
+  | Some entry -> Some entry.payload
+  | None -> None
+
+let mem t key = Hashtbl.mem t.data.(set_of t key) key
+
+let remove t key =
+  let set = t.data.(set_of t key) in
+  match Hashtbl.find_opt set key with
+  | Some entry ->
+      Hashtbl.remove set key;
+      Some entry.payload
+  | None -> None
+
+let victim_of_set t set =
+  let candidates =
+    Hashtbl.fold (fun _ entry acc -> if entry.pinned then acc else entry :: acc) set []
+  in
+  match candidates with
+  | [] -> None
+  | first :: rest -> (
+      match t.policy with
+      | Lru ->
+          Some
+            (List.fold_left
+               (fun best entry -> if entry.last_used < best.last_used then entry else best)
+               first rest)
+      | Random ->
+          let arr = Array.of_list candidates in
+          Some (Pcc_engine.Rng.pick t.rng arr))
+
+let insert ?pin t key payload =
+  let set = t.data.(set_of t key) in
+  match Hashtbl.find_opt set key with
+  | Some entry ->
+      entry.payload <- payload;
+      (match pin with Some p -> entry.pinned <- p | None -> ());
+      touch t entry;
+      Inserted None
+  | None ->
+      let evicted =
+        if Hashtbl.length set < t.ways then None
+        else
+          match victim_of_set t set with
+          | None -> None (* all pinned *)
+          | Some victim ->
+              Hashtbl.remove set victim.key;
+              Some (victim.key, victim.payload)
+      in
+      if Hashtbl.length set >= t.ways then All_ways_pinned
+      else begin
+        let entry =
+          { key; payload; last_used = 0; pinned = (match pin with Some p -> p | None -> false) }
+        in
+        touch t entry;
+        Hashtbl.add set key entry;
+        Inserted evicted
+      end
+
+let pin t key =
+  match Hashtbl.find_opt t.data.(set_of t key) key with
+  | Some entry -> entry.pinned <- true
+  | None -> ()
+
+let unpin t key =
+  match Hashtbl.find_opt t.data.(set_of t key) key with
+  | Some entry -> entry.pinned <- false
+  | None -> ()
+
+let is_pinned t key =
+  match Hashtbl.find_opt t.data.(set_of t key) key with
+  | Some entry -> entry.pinned
+  | None -> false
+
+let size t = Array.fold_left (fun acc set -> acc + Hashtbl.length set) 0 t.data
+
+let capacity t = t.sets * t.ways
+
+let iter f t = Array.iter (Hashtbl.iter (fun key entry -> f key entry.payload)) t.data
+
+let fold f t init =
+  Array.fold_left
+    (fun acc set -> Hashtbl.fold (fun key entry acc -> f key entry.payload acc) set acc)
+    init t.data
+
+let clear t = Array.iter Hashtbl.reset t.data

@@ -1,0 +1,30 @@
+type t = {
+  latency : int;
+  occupancy : int;
+  free_at : int array; (* earliest cycle each channel can start a new access *)
+  mutable accesses : int;
+}
+
+let create ?(channels = 4) ?(occupancy = 16) ~latency () =
+  assert (channels > 0 && latency >= 0 && occupancy >= 0);
+  { latency; occupancy; free_at = Array.make channels 0; accesses = 0 }
+
+let least_loaded t =
+  let best = ref 0 in
+  for i = 1 to Array.length t.free_at - 1 do
+    if t.free_at.(i) < t.free_at.(!best) then best := i
+  done;
+  !best
+
+let access t ~now =
+  let channel = least_loaded t in
+  let start = max now t.free_at.(channel) in
+  t.free_at.(channel) <- start + t.occupancy;
+  t.accesses <- t.accesses + 1;
+  start + t.latency
+
+let accesses t = t.accesses
+
+let reset t =
+  Array.fill t.free_at 0 (Array.length t.free_at) 0;
+  t.accesses <- 0

@@ -1,0 +1,22 @@
+(** DRAM timing model.
+
+    Models the per-node memory of Table 1: a fixed access latency plus
+    channel occupancy (4 DDR channels per node; concurrent accesses queue on
+    the least-loaded channel).  Returned values are absolute completion
+    times in processor cycles. *)
+
+type t
+
+val create : ?channels:int -> ?occupancy:int -> latency:int -> unit -> t
+(** [latency] is the unloaded access latency in cycles (200 per Table 1);
+    [occupancy] is how long an access holds its channel (defaults to 16
+    cycles, one line transfer over a 16-byte DDR channel). *)
+
+val access : t -> now:int -> int
+(** [access t ~now] schedules one line-sized access starting no earlier
+    than [now] and returns its completion time.  Mutates channel state. *)
+
+val accesses : t -> int
+(** Number of accesses performed so far. *)
+
+val reset : t -> unit

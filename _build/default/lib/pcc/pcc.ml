@@ -1,0 +1,46 @@
+(** Umbrella module: the stable public API of the library.
+
+    {[
+      let programs = Pcc.Workloads.(programs em3d) ~nodes:16 () in
+      let result = Pcc.System.run ~config:(Pcc.Config.full ()) ~programs () in
+      Format.printf "%a@." Pcc.System.pp_result result
+    ]} *)
+
+(** Machine configurations (Table 1 + the evaluated variants). *)
+module Config = Pcc_core.Config
+
+(** Whole-machine simulation: build, run, measure. *)
+module System = Pcc_core.System
+
+(** Memory operations, line layout, miss classification. *)
+module Types = Pcc_core.Types
+
+(** Per-run statistics. *)
+module Run_stats = Pcc_core.Run_stats
+
+(** Individual node inspection (tests, tools). *)
+module Node = Pcc_core.Node
+
+(** Sharing-vector sets. *)
+module Nodeset = Pcc_core.Nodeset
+
+(** Protocol messages (for traces). *)
+module Message = Pcc_core.Message
+
+(** The producer-consumer sharing detector (§2.2). *)
+module Predictor = Pcc_core.Predictor
+
+(** SRAM overhead model (§3.3.1). *)
+module Hw_cost = Pcc_core.Hw_cost
+
+(** The seven evaluation workloads (Table 2) and their generators. *)
+module Workloads = Pcc_workload.Apps
+
+(** Build-your-own workload machinery. *)
+module Workload_gen = Pcc_workload.Gen
+
+(** Explicit-state model checker (§2.5). *)
+module Checker = Pcc_mcheck.Checker
+
+(** Abstract protocol model for verification. *)
+module Protocol_model = Pcc_mcheck.Protocol_model

@@ -1,0 +1,1 @@
+lib/stats/counter.ml: Format Hashtbl List String

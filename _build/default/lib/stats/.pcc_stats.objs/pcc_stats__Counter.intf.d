@@ -1,0 +1,1 @@
+lib/stats/counter.mli: Format

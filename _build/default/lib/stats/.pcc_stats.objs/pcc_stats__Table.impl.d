@@ -1,0 +1,1 @@
+lib/stats/table.ml: Array Buffer List Printf String

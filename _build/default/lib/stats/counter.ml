@@ -1,0 +1,38 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let cell t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t name r;
+      r
+
+let add t name amount =
+  assert (amount >= 0);
+  let r = cell t name in
+  r := !r + amount
+
+let incr t name = add t name 1
+
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+let reset t = Hashtbl.iter (fun _ r -> r := 0) t
+
+let to_alist t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let merge_into ~dst src = Hashtbl.iter (fun name r -> add dst name !r) src
+
+let pp ppf t =
+  let items = to_alist t in
+  Format.pp_open_vbox ppf 0;
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Format.pp_print_cut ppf ();
+      Format.fprintf ppf "%-32s %d" name v)
+    items;
+  Format.pp_close_box ppf ()

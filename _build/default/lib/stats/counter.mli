@@ -1,0 +1,29 @@
+(** Named integer counters.
+
+    A registry of monotonically increasing counters, used for protocol event
+    accounting (misses, messages, NACKs, ...).  Counters are created lazily
+    on first use and iterate in name order so reports are stable. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+(** Add one to the named counter. *)
+
+val add : t -> string -> int -> unit
+(** Add an arbitrary nonnegative amount. *)
+
+val get : t -> string -> int
+(** Current value; 0 if never touched. *)
+
+val reset : t -> unit
+(** Zero every counter (names are kept). *)
+
+val to_alist : t -> (string * int) list
+(** All counters in ascending name order. *)
+
+val merge_into : dst:t -> t -> unit
+(** Accumulate every counter of the source into [dst]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+type t = { buckets : (int, int ref) Hashtbl.t; mutable total : int }
+
+let create () = { buckets = Hashtbl.create 16; total = 0 }
+
+let observe_n t value ~count =
+  assert (count >= 0);
+  (match Hashtbl.find_opt t.buckets value with
+  | Some r -> r := !r + count
+  | None -> Hashtbl.add t.buckets value (ref count));
+  t.total <- t.total + count
+
+let observe t value = observe_n t value ~count:1
+
+let count t = t.total
+
+let count_value t value =
+  match Hashtbl.find_opt t.buckets value with Some r -> !r | None -> 0
+
+let count_ge t threshold =
+  Hashtbl.fold (fun v r acc -> if v >= threshold then acc + !r else acc) t.buckets 0
+
+let fraction t value =
+  if t.total = 0 then 0.0 else float_of_int (count_value t value) /. float_of_int t.total
+
+let fraction_ge t threshold =
+  if t.total = 0 then 0.0 else float_of_int (count_ge t threshold) /. float_of_int t.total
+
+let mean t =
+  if t.total = 0 then 0.0
+  else
+    let sum = Hashtbl.fold (fun v r acc -> acc + (v * !r)) t.buckets 0 in
+    float_of_int sum /. float_of_int t.total
+
+let max_value t =
+  Hashtbl.fold
+    (fun v _ acc -> match acc with Some m when m >= v -> acc | _ -> Some v)
+    t.buckets None
+
+let to_alist t =
+  Hashtbl.fold (fun v r acc -> (v, !r) :: acc) t.buckets []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let clear t =
+  Hashtbl.reset t.buckets;
+  t.total <- 0

@@ -1,0 +1,36 @@
+(** Integer-valued histograms.
+
+    Used for distributions such as "number of consumers per
+    producer-consumer epoch" (Table 3 of the paper). *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> int -> unit
+(** Record one sample with the given integer value. *)
+
+val observe_n : t -> int -> count:int -> unit
+
+val count : t -> int
+(** Total number of samples. *)
+
+val count_value : t -> int -> int
+(** Samples exactly equal to a value. *)
+
+val count_ge : t -> int -> int
+(** Samples greater than or equal to a value. *)
+
+val fraction : t -> int -> float
+(** [fraction t v] is [count_value t v / count t] (0 if empty). *)
+
+val fraction_ge : t -> int -> float
+
+val mean : t -> float
+
+val max_value : t -> int option
+
+val to_alist : t -> (int * int) list
+(** Nonzero buckets in ascending value order. *)
+
+val clear : t -> unit

@@ -1,0 +1,22 @@
+let arithmetic_mean = function
+  | [] -> 0.0
+  | values -> List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values)
+
+let geometric_mean = function
+  | [] -> 0.0
+  | values ->
+      List.iter (fun v -> if v <= 0.0 then invalid_arg "geometric_mean: nonpositive") values;
+      let log_sum = List.fold_left (fun acc v -> acc +. log v) 0.0 values in
+      exp (log_sum /. float_of_int (List.length values))
+
+let normalize ~baseline v =
+  if baseline = 0.0 then invalid_arg "normalize: zero baseline";
+  v /. baseline
+
+let speedup ~baseline v =
+  if v = 0.0 then invalid_arg "speedup: zero measurement";
+  baseline /. v
+
+let percent_reduction ~baseline v =
+  if baseline = 0.0 then invalid_arg "percent_reduction: zero baseline";
+  (baseline -. v) /. baseline *. 100.0

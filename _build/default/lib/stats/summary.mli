@@ -1,0 +1,21 @@
+(** Aggregate statistics over series of measurements.
+
+    The paper reports geometric-mean speedups and arithmetic-mean traffic
+    reductions; these helpers compute exactly those aggregates. *)
+
+val arithmetic_mean : float list -> float
+(** Mean of a non-empty list; 0 for the empty list. *)
+
+val geometric_mean : float list -> float
+(** Geometric mean of positive values; 0 for the empty list. *)
+
+val normalize : baseline:float -> float -> float
+(** [normalize ~baseline v] is [v /. baseline]; raises [Invalid_argument]
+    when the baseline is zero. *)
+
+val speedup : baseline:float -> float -> float
+(** [speedup ~baseline v] is [baseline /. v]: > 1 means faster than the
+    baseline. *)
+
+val percent_reduction : baseline:float -> float -> float
+(** [percent_reduction ~baseline v] is [(baseline - v) / baseline * 100]. *)

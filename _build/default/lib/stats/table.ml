@@ -1,0 +1,55 @@
+type cell = String of string | Int of int | Float of float | Percent of float
+
+type row = Cells of string list | Separator
+
+type t = { title : string; columns : string list; mutable rows : row list }
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let cell_to_string = function
+  | String s -> s
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.3f" f
+  | Percent p -> Printf.sprintf "%.1f%%" p
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- Cells (List.map cell_to_string cells) :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.columns) in
+  let update_widths = function
+    | Separator -> ()
+    | Cells cells ->
+        List.iteri
+          (fun i s -> if String.length s > widths.(i) then widths.(i) <- String.length s)
+          cells
+  in
+  List.iter update_widths rows;
+  let buf = Buffer.create 1024 in
+  let pad s width = s ^ String.make (width - String.length s) ' ' in
+  let emit_cells cells =
+    List.iteri
+      (fun i s ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad s widths.(i)))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let total_width =
+    Array.fold_left ( + ) 0 widths + (2 * max 0 (Array.length widths - 1))
+  in
+  let rule () = Buffer.add_string buf (String.make total_width '-' ^ "\n") in
+  Buffer.add_string buf (t.title ^ "\n");
+  rule ();
+  emit_cells t.columns;
+  rule ();
+  List.iter (function Separator -> rule () | Cells cells -> emit_cells cells) rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)

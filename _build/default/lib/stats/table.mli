@@ -1,0 +1,22 @@
+(** Fixed-width text tables for experiment reports.
+
+    The bench harness prints one table per reproduced paper table/figure;
+    this module handles alignment so every experiment renders uniformly. *)
+
+type cell = String of string | Int of int | Float of float | Percent of float
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> cell list -> unit
+(** Rows must have exactly as many cells as there are columns. *)
+
+val add_separator : t -> unit
+(** A horizontal rule between row groups. *)
+
+val render : t -> string
+(** The full table, title and header included, newline-terminated. *)
+
+val print : t -> unit
+(** [render] to stdout. *)

@@ -1,0 +1,1 @@
+lib/workload/apps.ml: Array Float Fun Gen List Pcc_engine String

@@ -1,0 +1,1 @@
+lib/workload/apps.mli: Gen Pcc_core Types

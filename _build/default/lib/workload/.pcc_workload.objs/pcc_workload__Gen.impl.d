@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Array Fun List Pcc_core Pcc_engine Types

@@ -1,0 +1,1 @@
+lib/workload/gen.mli: Pcc_core Pcc_engine Types

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Array Buffer List Pcc_core Printf String Types

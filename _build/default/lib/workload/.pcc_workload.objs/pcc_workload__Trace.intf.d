@@ -1,0 +1,1 @@
+lib/workload/trace.mli: Pcc_core Types

@@ -1,0 +1,147 @@
+open Pcc_core
+module Rng = Pcc_engine.Rng
+
+type line_role = {
+  line : Types.line;
+  producer_of_phase : int -> Types.node_id;
+  consumers_of_phase : int -> Types.node_id list;
+  writes_per_epoch : int;
+  reads_per_epoch : int;
+}
+
+type app_spec = {
+  name : string;
+  nodes : int;
+  phases : int;
+  epochs_per_phase : int;
+  lines : line_role list;
+  private_lines_per_node : int;
+  private_accesses_per_epoch : int;
+  private_write_fraction : float;
+  compute_per_epoch : int;
+  seed : int;
+}
+
+(* Shared and private lines live in disjoint index ranges so generators
+   can never collide. *)
+let shared_index_base = 0
+
+let private_index_base = 1 lsl 20
+
+let shared_line ~home i = Types.Layout.make_line ~home ~index:(shared_index_base + i)
+
+let private_line ~node i = Types.Layout.make_line ~home:node ~index:(private_index_base + i)
+
+module Consumers = struct
+  let ring_neighbor ~nodes node = [ (node + 1) mod nodes ]
+
+  let sample ~rng ~nodes ~exclude ~count =
+    let candidates =
+      Array.of_list (List.filter (fun n -> n <> exclude) (List.init nodes Fun.id))
+    in
+    Rng.shuffle rng candidates;
+    let count = min count (Array.length candidates) in
+    Array.to_list (Array.sub candidates 0 count)
+
+  let sample_dist ~rng ~nodes ~exclude ~dist =
+    let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 dist in
+    let draw = Rng.float rng *. total in
+    let rec pick acc = function
+      | [] -> 1
+      | (size, w) :: rest -> if draw < acc +. w then size else pick (acc +. w) rest
+    in
+    let size = pick 0.0 dist in
+    sample ~rng ~nodes ~exclude ~count:size
+end
+
+let programs spec =
+  assert (spec.nodes > 0 && spec.phases > 0 && spec.epochs_per_phase > 0);
+  let node_rngs =
+    Array.init spec.nodes (fun node -> Rng.create ~seed:(spec.seed + (node * 7919)))
+  in
+  let programs = Array.make spec.nodes [] in
+  let push node op = programs.(node) <- op :: programs.(node) in
+  let private_access node rng =
+    if spec.private_lines_per_node > 0 then begin
+      let index = Rng.int rng ~bound:spec.private_lines_per_node in
+      let kind =
+        if Rng.bool rng ~p:spec.private_write_fraction then Types.Store else Types.Load
+      in
+      push node (Types.Access (kind, private_line ~node index))
+    end
+  in
+  let compute node rng budget =
+    if budget > 0 then begin
+      let jitter = Rng.int rng ~bound:(max 1 (budget / 4)) in
+      push node (Types.Compute (budget + jitter))
+    end
+  in
+  (* Precompute per-phase producer/consumer assignments once. *)
+  let phase_roles =
+    Array.init spec.phases (fun phase ->
+        List.map
+          (fun role ->
+            let producer = role.producer_of_phase phase in
+            let consumers =
+              List.filter (fun c -> c <> producer) (role.consumers_of_phase phase)
+            in
+            (role, producer, consumers))
+          spec.lines)
+  in
+  let barrier_counter = ref 0 in
+  let next_barrier () =
+    incr barrier_counter;
+    !barrier_counter
+  in
+  for phase = 0 to spec.phases - 1 do
+    let roles = phase_roles.(phase) in
+    for _epoch = 0 to spec.epochs_per_phase - 1 do
+      (* produce step *)
+      for node = 0 to spec.nodes - 1 do
+        let rng = node_rngs.(node) in
+        compute node rng (spec.compute_per_epoch / 2);
+        List.iter
+          (fun (role, producer, _) ->
+            if producer = node then
+              for _write = 1 to role.writes_per_epoch do
+                push node (Types.Access (Types.Store, role.line))
+              done)
+          roles;
+        for _access = 1 to spec.private_accesses_per_epoch / 2 do
+          private_access node rng
+        done
+      done;
+      let b1 = next_barrier () in
+      for node = 0 to spec.nodes - 1 do
+        push node (Types.Barrier b1)
+      done;
+      (* consume step *)
+      for node = 0 to spec.nodes - 1 do
+        let rng = node_rngs.(node) in
+        List.iter
+          (fun (role, _, consumers) ->
+            if List.mem node consumers then
+              for _read = 1 to role.reads_per_epoch do
+                push node (Types.Access (Types.Load, role.line))
+              done)
+          roles;
+        for _access = 1 to spec.private_accesses_per_epoch - (spec.private_accesses_per_epoch / 2) do
+          private_access node rng
+        done;
+        compute node rng (spec.compute_per_epoch - (spec.compute_per_epoch / 2))
+      done;
+      let b2 = next_barrier () in
+      for node = 0 to spec.nodes - 1 do
+        push node (Types.Barrier b2)
+      done
+    done
+  done;
+  Array.map List.rev programs
+
+let total_ops programs =
+  Array.fold_left
+    (fun acc program ->
+      List.fold_left
+        (fun acc op -> match op with Types.Access _ -> acc + 1 | _ -> acc)
+        acc program)
+    0 programs

@@ -1,0 +1,76 @@
+(** Workload-generation machinery.
+
+    The simulated applications are expressed as {e sharing structures}:
+    a set of cache lines, each with a per-phase producer and consumer set,
+    executed as a sequence of barrier-separated epochs in which producers
+    write and consumers then read.  This captures exactly the access
+    interleaving the paper's mechanisms react to (who writes, who reads,
+    how many distinct readers, how stable the producer is), which is what
+    lets synthetic programs stand in for the original binaries — see
+    DESIGN.md for the substitution argument. *)
+
+open Pcc_core
+
+(** One shared line's role in the application. *)
+type line_role = {
+  line : Types.line;
+  producer_of_phase : int -> Types.node_id;
+      (** which node writes the line during a given phase; a producer
+          that changes across phases models migrating work (Barnes'
+          octree rebuild) or unstable multi-writer lines (CG's false
+          sharing, with one-epoch phases) *)
+  consumers_of_phase : int -> Types.node_id list;
+      (** nodes that read each update (the producer is filtered out) *)
+  writes_per_epoch : int;  (** length of the producer's write burst *)
+  reads_per_epoch : int;  (** reads per consumer per epoch *)
+}
+
+type app_spec = {
+  name : string;
+  nodes : int;
+  phases : int;
+  epochs_per_phase : int;
+  lines : line_role list;
+  private_lines_per_node : int;
+      (** per-node local working set (homed at the node itself) *)
+  private_accesses_per_epoch : int;
+  private_write_fraction : float;
+  compute_per_epoch : int;
+      (** local computation cycles between communication steps *)
+  seed : int;
+}
+
+val programs : app_spec -> Types.op list array
+(** Materialize one program per node.  Deterministic for a given spec. *)
+
+val total_ops : Types.op list array -> int
+(** Total memory accesses across all programs (for reporting). *)
+
+val shared_line : home:Types.node_id -> int -> Types.line
+(** [shared_line ~home i] is the [i]-th shared line homed at [home];
+    shared and private index spaces are disjoint. *)
+
+val private_line : node:Types.node_id -> int -> Types.line
+
+(** Pick consumer sets with a target size distribution. *)
+module Consumers : sig
+  val ring_neighbor : nodes:int -> Types.node_id -> Types.node_id list
+  (** The single next neighbor (Ocean-style boundary exchange). *)
+
+  val sample :
+    rng:Pcc_engine.Rng.t ->
+    nodes:int ->
+    exclude:Types.node_id ->
+    count:int ->
+    Types.node_id list
+  (** [count] distinct random nodes other than [exclude]. *)
+
+  val sample_dist :
+    rng:Pcc_engine.Rng.t ->
+    nodes:int ->
+    exclude:Types.node_id ->
+    dist:(int * float) list ->
+    Types.node_id list
+  (** Sample the set size from a (size, weight) distribution, then the
+      members uniformly. *)
+end

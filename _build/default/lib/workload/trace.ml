@@ -1,0 +1,105 @@
+open Pcc_core
+
+let op_line node = function
+  | Types.Compute cycles -> Printf.sprintf "%d C %d" node cycles
+  | Types.Access (Types.Load, line) ->
+      Printf.sprintf "%d L %d:%d" node
+        (Types.Layout.home_of_line line)
+        (Types.Layout.index_of_line line)
+  | Types.Access (Types.Store, line) ->
+      Printf.sprintf "%d S %d:%d" node
+        (Types.Layout.home_of_line line)
+        (Types.Layout.index_of_line line)
+  | Types.Barrier id -> Printf.sprintf "%d B %d" node id
+
+let to_buffer buf programs =
+  Buffer.add_string buf "# pcc-trace v1\n";
+  Buffer.add_string buf (Printf.sprintf "nodes %d\n" (Array.length programs));
+  (* Per-node program order is what matters; emit node by node. *)
+  Array.iteri
+    (fun node ops ->
+      List.iter
+        (fun op ->
+          Buffer.add_string buf (op_line node op);
+          Buffer.add_char buf '\n')
+        ops)
+    programs
+
+let to_string programs =
+  let buf = Buffer.create 4096 in
+  to_buffer buf programs;
+  Buffer.contents buf
+
+let save out programs = output_string out (to_string programs)
+
+let parse_line line_no text =
+  let fail fmt = Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" line_no m)) fmt in
+  match String.split_on_char ' ' (String.trim text) with
+  | [ node; "C"; cycles ] -> (
+      match (int_of_string_opt node, int_of_string_opt cycles) with
+      | Some n, Some c when c >= 0 -> Ok (n, Types.Compute c)
+      | _ -> fail "malformed compute %S" text)
+  | [ node; ("L" | "S") as kind; location ] -> (
+      match (int_of_string_opt node, String.split_on_char ':' location) with
+      | Some n, [ home; index ] -> (
+          match (int_of_string_opt home, int_of_string_opt index) with
+          | Some h, Some i when h >= 0 && i >= 0 ->
+              let line = Types.Layout.make_line ~home:h ~index:i in
+              let op_kind = if kind = "L" then Types.Load else Types.Store in
+              Ok (n, Types.Access (op_kind, line))
+          | _ -> fail "malformed line address %S" location)
+      | _ -> fail "malformed access %S" text)
+  | [ node; "B"; id ] -> (
+      match (int_of_string_opt node, int_of_string_opt id) with
+      | Some n, Some b -> Ok (n, Types.Barrier b)
+      | _ -> fail "malformed barrier %S" text)
+  | _ -> fail "unrecognized record %S" text
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let rec skip_preamble line_no = function
+    | [] -> Error "missing 'nodes' header"
+    | line :: rest -> (
+        let trimmed = String.trim line in
+        if trimmed = "" || String.length trimmed > 0 && trimmed.[0] = '#' then
+          skip_preamble (line_no + 1) rest
+        else
+          match String.split_on_char ' ' trimmed with
+          | [ "nodes"; n ] -> (
+              match int_of_string_opt n with
+              | Some nodes when nodes > 0 -> Ok (nodes, line_no + 1, rest)
+              | _ -> Error (Printf.sprintf "line %d: bad node count %S" line_no n))
+          | _ -> Error (Printf.sprintf "line %d: expected 'nodes N'" line_no))
+  in
+  match skip_preamble 1 lines with
+  | Error _ as e -> e
+  | Ok (nodes, first_line, rest) -> (
+      let programs = Array.make nodes [] in
+      let rec consume line_no = function
+        | [] -> Ok ()
+        | line :: rest ->
+            let trimmed = String.trim line in
+            if trimmed = "" || trimmed.[0] = '#' then consume (line_no + 1) rest
+            else (
+              match parse_line line_no trimmed with
+              | Error _ as e -> e
+              | Ok (node, op) ->
+                  if node < 0 || node >= nodes then
+                    Error (Printf.sprintf "line %d: node %d out of range" line_no node)
+                  else begin
+                    programs.(node) <- op :: programs.(node);
+                    consume (line_no + 1) rest
+                  end)
+      in
+      match consume first_line rest with
+      | Error _ as e -> e
+      | Ok () -> Ok (Array.map List.rev programs))
+
+let load input =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf input 1
+     done
+   with End_of_file -> ());
+  of_string (Buffer.contents buf)

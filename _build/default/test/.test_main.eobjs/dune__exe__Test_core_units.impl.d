@@ -1,0 +1,1 @@
+test/test_core_units.ml: Alcotest Config Delegate_cache Directory Hw_cost L2 List Memory_check Message Nodeset Pcc_core Pcc_engine Pcc_interconnect Predictor Rac Types

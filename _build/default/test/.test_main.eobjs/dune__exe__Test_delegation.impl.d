@@ -1,0 +1,1 @@
+test/test_delegation.ml: Alcotest Array Config Directory List Node Pcc_core Run_stats System Types

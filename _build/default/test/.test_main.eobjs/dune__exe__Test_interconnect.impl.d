@@ -1,0 +1,1 @@
+test/test_interconnect.ml: Alcotest List Pcc_engine Pcc_interconnect

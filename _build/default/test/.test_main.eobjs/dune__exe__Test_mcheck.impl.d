@@ -1,0 +1,1 @@
+test/test_mcheck.ml: Alcotest Format List Pcc_mcheck Printf

@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest List Pcc_core Pcc_engine Pcc_memory

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Config Gen Int List Memory_check Nodeset Pcc_core Pcc_engine Pcc_memory Pcc_stats QCheck QCheck_alcotest Random Set String System Types

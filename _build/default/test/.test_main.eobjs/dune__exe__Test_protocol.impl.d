@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Array Config List Pcc_core Pcc_engine Pcc_stats Pcc_workload Run_stats System Types

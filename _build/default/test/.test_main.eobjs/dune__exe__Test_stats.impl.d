@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Astring_contains List Pcc_stats String

@@ -1,0 +1,1 @@
+test/test_updates.ml: Alcotest Array Config List Node Pcc_core Pcc_stats Run_stats System Types

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Config List Option Pcc_core Pcc_engine Pcc_stats Pcc_workload Printf Run_stats System Types

@@ -1,0 +1,12 @@
+(* Minimal substring search used by tests (no external string library). *)
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  if nl = 0 then true
+  else begin
+    let found = ref false in
+    for i = 0 to hl - nl do
+      if (not !found) && String.sub haystack i nl = needle then found := true
+    done;
+    !found
+  end

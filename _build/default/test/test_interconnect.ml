@@ -1,0 +1,137 @@
+(* Unit tests for topology and the network transport. *)
+
+module Topology = Pcc_interconnect.Topology
+module Network = Pcc_interconnect.Network
+module Simulator = Pcc_engine.Simulator
+
+let test_single_router_distances () =
+  let t = Topology.fat_tree ~nodes:8 ~radix:8 in
+  Alcotest.(check int) "levels" 1 (Topology.levels t);
+  Alcotest.(check int) "self" 0 (Topology.router_hops t ~src:3 ~dst:3);
+  Alcotest.(check int) "same leaf" 2 (Topology.router_hops t ~src:0 ~dst:7);
+  Alcotest.(check int) "diameter" 2 (Topology.diameter t)
+
+let test_two_level_distances () =
+  let t = Topology.fat_tree ~nodes:16 ~radix:8 in
+  Alcotest.(check int) "levels" 2 (Topology.levels t);
+  Alcotest.(check int) "same leaf" 2 (Topology.router_hops t ~src:0 ~dst:7);
+  Alcotest.(check int) "across root" 4 (Topology.router_hops t ~src:0 ~dst:8);
+  Alcotest.(check int) "symmetric" (Topology.router_hops t ~src:2 ~dst:13)
+    (Topology.router_hops t ~src:13 ~dst:2)
+
+let test_three_level () =
+  let t = Topology.fat_tree ~nodes:100 ~radix:8 in
+  Alcotest.(check int) "levels" 3 (Topology.levels t);
+  Alcotest.(check int) "deepest" 6 (Topology.router_hops t ~src:0 ~dst:99)
+
+let make_network ?(config = Network.default_config) nodes =
+  let sim = Simulator.create () in
+  let topo = Topology.fat_tree ~nodes ~radix:8 in
+  let net = Network.create sim topo config in
+  (sim, net)
+
+let test_network_delivery_latency () =
+  let sim, net = make_network 16 in
+  let arrivals = ref [] in
+  for n = 0 to 15 do
+    Network.set_receiver net ~node:n (fun ~src payload ->
+        arrivals := (src, payload, Simulator.now sim) :: !arrivals)
+  done;
+  Network.send net ~src:0 ~dst:5 ~bytes:16 "hello";
+  ignore (Simulator.run sim);
+  match !arrivals with
+  | [ (0, "hello", time) ] ->
+      (* 32B minimum packet over an 8B/cycle port = 4 cycles occupancy on
+         each side, plus the 100-cycle hop *)
+      Alcotest.(check int) "arrival time" (4 + 100 + 4) time
+  | _ -> Alcotest.fail "expected exactly one delivery"
+
+let test_network_local_delivery () =
+  let sim, net = make_network 4 in
+  let got = ref None in
+  for n = 0 to 3 do
+    Network.set_receiver net ~node:n (fun ~src:_ payload ->
+        got := Some (payload, Simulator.now sim))
+  done;
+  Network.send net ~src:2 ~dst:2 ~bytes:200 "local";
+  ignore (Simulator.run sim);
+  Alcotest.(check (option (pair string int)))
+    "local latency, not counted" (Some ("local", 16)) !got;
+  Alcotest.(check int) "no network message" 0 (Network.messages_sent net)
+
+let test_network_counters () =
+  let sim, net = make_network 16 in
+  for n = 0 to 15 do
+    Network.set_receiver net ~node:n (fun ~src:_ _ -> ())
+  done;
+  Network.send net ~src:0 ~dst:1 ~bytes:16 ();
+  Network.send net ~src:0 ~dst:9 ~bytes:160 ();
+  ignore (Simulator.run sim);
+  Alcotest.(check int) "messages" 2 (Network.messages_sent net);
+  Alcotest.(check int) "bytes (padded)" (32 + 160) (Network.bytes_sent net);
+  Alcotest.(check int) "hops" (2 + 4) (Network.hops_traversed net);
+  Network.reset_counters net;
+  Alcotest.(check int) "reset" 0 (Network.messages_sent net)
+
+let test_network_port_serialization () =
+  let sim, net = make_network 16 in
+  let arrivals = ref [] in
+  for n = 0 to 15 do
+    Network.set_receiver net ~node:n (fun ~src:_ () ->
+        arrivals := Simulator.now sim :: !arrivals)
+  done;
+  (* two large packets from the same source serialize on its egress port *)
+  Network.send net ~src:0 ~dst:1 ~bytes:160 ();
+  Network.send net ~src:0 ~dst:2 ~bytes:160 ();
+  ignore (Simulator.run sim);
+  (match List.rev !arrivals with
+  | [ first; second ] ->
+      Alcotest.(check int) "first" (20 + 100 + 20) first;
+      Alcotest.(check int) "second delayed by egress occupancy" (40 + 100 + 20) second
+  | _ -> Alcotest.fail "expected two deliveries")
+
+let test_network_fifo_per_pair () =
+  let sim, net = make_network 16 in
+  let order = ref [] in
+  for n = 0 to 15 do
+    Network.set_receiver net ~node:n (fun ~src:_ tag -> order := tag :: !order)
+  done;
+  for i = 1 to 20 do
+    Network.send net ~src:3 ~dst:11 ~bytes:16 i
+  done;
+  ignore (Simulator.run sim);
+  Alcotest.(check (list int)) "per-pair FIFO" (List.init 20 (fun i -> i + 1))
+    (List.rev !order)
+
+let test_network_proportional_mode () =
+  let config =
+    { Network.default_config with mode = Network.Proportional; hop_latency = 100 }
+  in
+  let sim, net = make_network ~config 16 in
+  let times = ref [] in
+  for n = 0 to 15 do
+    Network.set_receiver net ~node:n (fun ~src:_ () ->
+        times := Simulator.now sim :: !times)
+  done;
+  Network.send net ~src:0 ~dst:1 ~bytes:16 ();
+  (* same leaf: distance 2 -> 100 cycles *)
+  ignore (Simulator.run sim);
+  Network.send net ~src:0 ~dst:9 ~bytes:16 ();
+  (* across root: distance 4 -> 200 cycles *)
+  ignore (Simulator.run sim);
+  match List.rev !times with
+  | [ near; far ] -> Alcotest.(check bool) "far costs more" true (far - near > 90)
+  | _ -> Alcotest.fail "expected two deliveries"
+
+let suite =
+  [
+    Alcotest.test_case "single router distances" `Quick test_single_router_distances;
+    Alcotest.test_case "two-level distances" `Quick test_two_level_distances;
+    Alcotest.test_case "three-level tree" `Quick test_three_level;
+    Alcotest.test_case "delivery latency" `Quick test_network_delivery_latency;
+    Alcotest.test_case "local delivery" `Quick test_network_local_delivery;
+    Alcotest.test_case "traffic counters" `Quick test_network_counters;
+    Alcotest.test_case "port serialization" `Quick test_network_port_serialization;
+    Alcotest.test_case "per-pair FIFO" `Quick test_network_fifo_per_pair;
+    Alcotest.test_case "proportional mode" `Quick test_network_proportional_mode;
+  ]

@@ -1,0 +1,17 @@
+(* Aggregated alcotest entry point for the whole repository. *)
+
+let () =
+  Alcotest.run "pcc"
+    [
+      ("engine", Test_engine.suite);
+      ("stats", Test_stats.suite);
+      ("memory", Test_memory.suite);
+      ("interconnect", Test_interconnect.suite);
+      ("core-units", Test_core_units.suite);
+      ("protocol", Test_protocol.suite);
+      ("delegation", Test_delegation.suite);
+      ("updates", Test_updates.suite);
+      ("workload", Test_workload.suite);
+      ("mcheck", Test_mcheck.suite);
+      ("properties", Test_properties.suite);
+    ]

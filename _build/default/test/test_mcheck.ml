@@ -1,0 +1,180 @@
+(* Tests of the model checker and the abstract protocol models (§2.5). *)
+
+module Checker = Pcc_mcheck.Checker
+module Protocol_model = Pcc_mcheck.Protocol_model
+
+(* A trivial counter model to validate the checker engine itself. *)
+module Counter_model = struct
+  type state = int
+
+  let initial = [ 0 ]
+
+  let successors n = if n >= 5 then [] else [ (Printf.sprintf "inc-%d" n, n + 1) ]
+
+  let invariants = [ ("below 10", fun n -> n < 10) ]
+
+  let is_quiescent n = n = 5
+
+  let encode = string_of_int
+
+  let pp = Format.pp_print_int
+end
+
+module Bad_counter_model = struct
+  include Counter_model
+
+  let invariants = [ ("below 3", fun n -> n < 3) ]
+end
+
+module Stuck_model = struct
+  include Counter_model
+
+  let successors n = if n >= 2 then [] else [ ("inc", n + 1) ]
+  (* quiescence still requires 5: state 2 is a deadlock *)
+end
+
+let test_checker_ok () =
+  match Checker.run (module Counter_model) () with
+  | Checker.Ok stats ->
+      Alcotest.(check int) "six states" 6 stats.Checker.states_explored;
+      Alcotest.(check bool) "exhaustive" true stats.Checker.complete;
+      Alcotest.(check int) "depth" 5 stats.Checker.max_depth
+  | _ -> Alcotest.fail "expected Ok"
+
+let test_checker_finds_violation () =
+  match Checker.run (module Bad_counter_model) () with
+  | Checker.Invariant_violation { invariant; trace; state; _ } ->
+      Alcotest.(check string) "which invariant" "below 3" invariant;
+      Alcotest.(check int) "violating state" 3 state;
+      Alcotest.(check (list string)) "counterexample" [ "inc-0"; "inc-1"; "inc-2" ] trace
+  | _ -> Alcotest.fail "expected violation"
+
+let test_checker_finds_deadlock () =
+  match Checker.run (module Stuck_model) () with
+  | Checker.Deadlock { state; trace; _ } ->
+      Alcotest.(check int) "stuck state" 2 state;
+      Alcotest.(check int) "trace length" 2 (List.length trace)
+  | _ -> Alcotest.fail "expected deadlock"
+
+let test_checker_bound () =
+  match Checker.run (module Counter_model) ~max_states:3 () with
+  | Checker.Ok stats -> Alcotest.(check bool) "not exhaustive" false stats.Checker.complete
+  | _ -> Alcotest.fail "expected bounded Ok"
+
+(* state-type-free summary so the locally unpacked model type does not
+   escape *)
+type summary =
+  | S_ok of Checker.stats
+  | S_violation of string * int  (* invariant name, trace length *)
+  | S_deadlock of int
+
+let run_model ?(max_states = 3_000_000) params =
+  let (module M) = Protocol_model.make params in
+  match Checker.run (module M) ~max_states () with
+  | Checker.Ok stats -> S_ok stats
+  | Checker.Invariant_violation { invariant; trace; _ } ->
+      S_violation (invariant, List.length trace)
+  | Checker.Deadlock { trace; _ } -> S_deadlock (List.length trace)
+
+let check_ok name outcome =
+  match outcome with
+  | S_ok stats ->
+      Alcotest.(check bool) (name ^ " explored states") true (stats.Checker.states_explored > 100);
+      Alcotest.(check bool) (name ^ " exhaustive") true stats.Checker.complete
+  | S_violation (invariant, steps) ->
+      Alcotest.failf "%s: invariant '%s' violated (%d-step trace)" name invariant steps
+  | S_deadlock steps -> Alcotest.failf "%s: deadlock (%d-step trace)" name steps
+
+let test_base_protocol_verified () =
+  check_ok "base 2n"
+    (run_model
+       {
+         Protocol_model.default_params with
+         nodes = 2;
+         enable_delegation = false;
+         enable_updates = false;
+       })
+
+let test_base_protocol_3n () =
+  check_ok "base 3n"
+    (run_model
+       {
+         Protocol_model.default_params with
+         enable_delegation = false;
+         enable_updates = false;
+       })
+
+(* the 3-node full state spaces are enormous; explore a bounded prefix
+   and require that no violation or deadlock is reachable within it *)
+let check_no_violation_within_bound name outcome =
+  match outcome with
+  | S_ok _ -> ()
+  | S_violation (invariant, steps) ->
+      Alcotest.failf "%s: invariant '%s' violated (%d-step trace)" name invariant steps
+  | S_deadlock steps -> Alcotest.failf "%s: deadlock (%d-step trace)" name steps
+
+let test_full_protocol_2n () =
+  check_ok "full 2n" (run_model { Protocol_model.default_params with nodes = 2 })
+
+let test_full_protocol_3n_1op () =
+  check_ok "full 3n 1op"
+    (run_model { Protocol_model.default_params with max_ops_per_node = 1 })
+
+let test_full_protocol_3n_2ops_bounded () =
+  check_no_violation_within_bound "full 3n 2ops (bounded)"
+    (run_model ~max_states:400_000 Protocol_model.default_params)
+
+let test_delegation_without_updates () =
+  check_ok "delegation-only 3n 1op"
+    (run_model
+       {
+         Protocol_model.default_params with
+         max_ops_per_node = 1;
+         enable_updates = false;
+       })
+
+let expect_violation name outcome =
+  match outcome with
+  | S_violation _ -> ()
+  | S_ok _ -> Alcotest.failf "%s: seeded bug not detected" name
+  | S_deadlock _ -> () (* a seeded bug may also surface as deadlock *)
+
+let test_bug_skip_invals_detected () =
+  expect_violation "skip-invals"
+    (run_model
+       {
+         Protocol_model.default_params with
+         max_ops_per_node = 1;
+         bug = Some Protocol_model.Skip_invals_on_delegate;
+       })
+
+let test_bug_no_poison_detected () =
+  expect_violation "no-poison"
+    (run_model ~max_states:600_000
+       { Protocol_model.default_params with bug = Some Protocol_model.No_poison_on_inval })
+
+let test_bug_no_resharing_detected () =
+  expect_violation "no-resharing"
+    (run_model ~max_states:600_000
+       {
+         Protocol_model.default_params with
+         bug = Some Protocol_model.Updates_without_resharing;
+       })
+
+let suite =
+  [
+    Alcotest.test_case "engine: ok" `Quick test_checker_ok;
+    Alcotest.test_case "engine: violation + trace" `Quick test_checker_finds_violation;
+    Alcotest.test_case "engine: deadlock" `Quick test_checker_finds_deadlock;
+    Alcotest.test_case "engine: state bound" `Quick test_checker_bound;
+    Alcotest.test_case "base protocol 2n exhaustive" `Quick test_base_protocol_verified;
+    Alcotest.test_case "base protocol 3n exhaustive" `Slow test_base_protocol_3n;
+    Alcotest.test_case "full protocol 2n exhaustive" `Quick test_full_protocol_2n;
+    Alcotest.test_case "full protocol 3n (1 op)" `Slow test_full_protocol_3n_1op;
+    Alcotest.test_case "full protocol 3n (2 ops, bounded)" `Slow
+      test_full_protocol_3n_2ops_bounded;
+    Alcotest.test_case "delegation-only verified" `Quick test_delegation_without_updates;
+    Alcotest.test_case "seeded bug: skip invals" `Quick test_bug_skip_invals_detected;
+    Alcotest.test_case "seeded bug: no poison" `Slow test_bug_no_poison_detected;
+    Alcotest.test_case "seeded bug: no resharing" `Slow test_bug_no_resharing_detected;
+  ]

@@ -1,0 +1,155 @@
+(* Unit tests for address arithmetic, the generic cache, and DRAM. *)
+
+module Address = Pcc_memory.Address
+module Cache = Pcc_memory.Cache
+module Dram = Pcc_memory.Dram
+module Rng = Pcc_engine.Rng
+
+let test_address_roundtrip () =
+  Alcotest.(check int) "line of addr" 3 (Address.line_of_addr (3 * Address.line_size));
+  Alcotest.(check int) "addr of line" (7 * Address.line_size) (Address.addr_of_line 7);
+  Alcotest.(check int) "offset" 5 (Address.offset_in_line ((9 * Address.line_size) + 5))
+
+let test_address_lines_covering () =
+  Alcotest.(check (list int)) "single line" [ 0 ]
+    (Address.lines_covering 0 ~bytes:Address.line_size);
+  Alcotest.(check (list int)) "straddles" [ 0; 1 ]
+    (Address.lines_covering (Address.line_size - 4) ~bytes:8);
+  Alcotest.(check (list int)) "three lines" [ 2; 3; 4 ]
+    (Address.lines_covering (2 * Address.line_size) ~bytes:(2 * Address.line_size + 1))
+
+let fresh_cache ?(policy = Cache.Lru) ~sets ~ways () =
+  Cache.create ~policy ~rng:(Rng.create ~seed:1) ~sets ~ways ()
+
+let test_cache_insert_find () =
+  let c = fresh_cache ~sets:4 ~ways:2 () in
+  (match Cache.insert c 10 "a" with
+  | Cache.Inserted None -> ()
+  | _ -> Alcotest.fail "unexpected eviction");
+  Alcotest.(check (option string)) "find" (Some "a") (Cache.find c 10);
+  Alcotest.(check (option string)) "peek" (Some "a") (Cache.peek c 10);
+  Alcotest.(check bool) "mem" true (Cache.mem c 10);
+  Alcotest.(check (option string)) "miss" None (Cache.find c 11)
+
+let test_cache_overwrite () =
+  let c = fresh_cache ~sets:1 ~ways:2 () in
+  ignore (Cache.insert c 1 "a");
+  (match Cache.insert c 1 "b" with
+  | Cache.Inserted None -> ()
+  | _ -> Alcotest.fail "overwrite must not evict");
+  Alcotest.(check (option string)) "updated" (Some "b") (Cache.find c 1);
+  Alcotest.(check int) "size" 1 (Cache.size c)
+
+let test_cache_lru_eviction () =
+  let c = fresh_cache ~sets:1 ~ways:2 () in
+  ignore (Cache.insert c 1 "a");
+  ignore (Cache.insert c 2 "b");
+  ignore (Cache.find c 1);
+  (* 2 is now least recently used *)
+  (match Cache.insert c 3 "c" with
+  | Cache.Inserted (Some (victim, "b")) -> Alcotest.(check int) "victim" 2 victim
+  | _ -> Alcotest.fail "expected eviction of key 2");
+  Alcotest.(check bool) "1 kept" true (Cache.mem c 1)
+
+let test_cache_peek_does_not_touch () =
+  let c = fresh_cache ~sets:1 ~ways:2 () in
+  ignore (Cache.insert c 1 "a");
+  ignore (Cache.insert c 2 "b");
+  ignore (Cache.peek c 1);
+  (* peek must not refresh 1, so 1 is still LRU *)
+  (match Cache.insert c 3 "c" with
+  | Cache.Inserted (Some (victim, _)) -> Alcotest.(check int) "victim" 1 victim
+  | _ -> Alcotest.fail "expected eviction")
+
+let test_cache_pinning () =
+  let c = fresh_cache ~sets:1 ~ways:2 () in
+  ignore (Cache.insert ~pin:true c 1 "a");
+  ignore (Cache.insert ~pin:true c 2 "b");
+  (match Cache.insert c 3 "c" with
+  | Cache.All_ways_pinned -> ()
+  | _ -> Alcotest.fail "expected All_ways_pinned");
+  Cache.unpin c 1;
+  (match Cache.insert c 3 "c" with
+  | Cache.Inserted (Some (1, "a")) -> ()
+  | _ -> Alcotest.fail "expected unpinned victim 1");
+  Alcotest.(check bool) "pinned survivor" true (Cache.mem c 2)
+
+let test_cache_remove () =
+  let c = fresh_cache ~sets:2 ~ways:2 () in
+  ignore (Cache.insert c 5 "x");
+  Alcotest.(check (option string)) "removed" (Some "x") (Cache.remove c 5);
+  Alcotest.(check (option string)) "gone" None (Cache.remove c 5);
+  Alcotest.(check int) "empty" 0 (Cache.size c)
+
+let test_cache_is_pinned () =
+  let c = fresh_cache ~sets:1 ~ways:2 () in
+  ignore (Cache.insert ~pin:true c 1 "a");
+  Alcotest.(check bool) "pinned" true (Cache.is_pinned c 1);
+  Cache.unpin c 1;
+  Alcotest.(check bool) "unpinned" false (Cache.is_pinned c 1);
+  Alcotest.(check bool) "absent not pinned" false (Cache.is_pinned c 9)
+
+let test_cache_capacity_iter_fold () =
+  let c = fresh_cache ~sets:4 ~ways:2 () in
+  Alcotest.(check int) "capacity" 8 (Cache.capacity c);
+  for i = 0 to 5 do
+    ignore (Cache.insert c i i)
+  done;
+  let sum = Cache.fold (fun _ v acc -> acc + v) c 0 in
+  Alcotest.(check bool) "fold visits live entries" true (sum <= 15 && sum >= 0);
+  let count = ref 0 in
+  Cache.iter (fun _ _ -> incr count) c;
+  Alcotest.(check int) "iter count = size" (Cache.size c) !count
+
+let test_cache_set_hashing () =
+  (* lines with equal low bits but different "home" high bits must not all
+     collide into one set *)
+  let c = fresh_cache ~sets:64 ~ways:4 () in
+  let lines =
+    List.init 16 (fun home -> Pcc_core.Types.Layout.make_line ~home ~index:3)
+  in
+  List.iter (fun line -> ignore (Cache.insert c line line)) lines;
+  Alcotest.(check int) "no aliased evictions" 16 (Cache.size c)
+
+let test_dram_latency () =
+  let d = Dram.create ~channels:2 ~occupancy:10 ~latency:200 () in
+  Alcotest.(check int) "unloaded" 300 (Dram.access d ~now:100);
+  Alcotest.(check int) "accesses" 1 (Dram.accesses d)
+
+let test_dram_contention () =
+  let d = Dram.create ~channels:1 ~occupancy:16 ~latency:200 () in
+  let c1 = Dram.access d ~now:0 in
+  let c2 = Dram.access d ~now:0 in
+  Alcotest.(check int) "first" 200 c1;
+  Alcotest.(check int) "queued behind occupancy" 216 c2
+
+let test_dram_channels_parallel () =
+  let d = Dram.create ~channels:4 ~occupancy:16 ~latency:200 () in
+  let completions = List.init 4 (fun _ -> Dram.access d ~now:0) in
+  List.iter (fun c -> Alcotest.(check int) "parallel channels" 200 c) completions
+
+let test_dram_reset () =
+  let d = Dram.create ~channels:1 ~occupancy:16 ~latency:100 () in
+  ignore (Dram.access d ~now:0);
+  Dram.reset d;
+  Alcotest.(check int) "counter reset" 0 (Dram.accesses d);
+  Alcotest.(check int) "timing reset" 100 (Dram.access d ~now:0)
+
+let suite =
+  [
+    Alcotest.test_case "address roundtrip" `Quick test_address_roundtrip;
+    Alcotest.test_case "address lines covering" `Quick test_address_lines_covering;
+    Alcotest.test_case "cache insert/find" `Quick test_cache_insert_find;
+    Alcotest.test_case "cache overwrite" `Quick test_cache_overwrite;
+    Alcotest.test_case "cache LRU eviction" `Quick test_cache_lru_eviction;
+    Alcotest.test_case "cache peek preserves recency" `Quick test_cache_peek_does_not_touch;
+    Alcotest.test_case "cache pinning" `Quick test_cache_pinning;
+    Alcotest.test_case "cache remove" `Quick test_cache_remove;
+    Alcotest.test_case "cache is_pinned" `Quick test_cache_is_pinned;
+    Alcotest.test_case "cache capacity/iter/fold" `Quick test_cache_capacity_iter_fold;
+    Alcotest.test_case "cache set hashing" `Quick test_cache_set_hashing;
+    Alcotest.test_case "dram latency" `Quick test_dram_latency;
+    Alcotest.test_case "dram contention" `Quick test_dram_contention;
+    Alcotest.test_case "dram parallel channels" `Quick test_dram_channels_parallel;
+    Alcotest.test_case "dram reset" `Quick test_dram_reset;
+  ]

@@ -1,0 +1,107 @@
+(* Unit tests for counters, histograms, summaries and tables. *)
+
+module Counter = Pcc_stats.Counter
+module Histogram = Pcc_stats.Histogram
+module Summary = Pcc_stats.Summary
+module Table = Pcc_stats.Table
+
+let test_counter_basics () =
+  let c = Counter.create () in
+  Alcotest.(check int) "absent is zero" 0 (Counter.get c "x");
+  Counter.incr c "x";
+  Counter.incr c "x";
+  Counter.add c "y" 5;
+  Alcotest.(check int) "x" 2 (Counter.get c "x");
+  Alcotest.(check int) "y" 5 (Counter.get c "y")
+
+let test_counter_alist_sorted () =
+  let c = Counter.create () in
+  Counter.incr c "zebra";
+  Counter.incr c "alpha";
+  Counter.incr c "mid";
+  Alcotest.(check (list string)) "sorted names"
+    [ "alpha"; "mid"; "zebra" ]
+    (List.map fst (Counter.to_alist c))
+
+let test_counter_reset_and_merge () =
+  let a = Counter.create () and b = Counter.create () in
+  Counter.add a "m" 3;
+  Counter.add b "m" 4;
+  Counter.add b "n" 1;
+  Counter.merge_into ~dst:a b;
+  Alcotest.(check int) "merged m" 7 (Counter.get a "m");
+  Alcotest.(check int) "merged n" 1 (Counter.get a "n");
+  Counter.reset a;
+  Alcotest.(check int) "reset" 0 (Counter.get a "m")
+
+let test_histogram_counts () =
+  let h = Histogram.create () in
+  List.iter (Histogram.observe h) [ 1; 1; 2; 3; 5; 5; 5 ];
+  Alcotest.(check int) "total" 7 (Histogram.count h);
+  Alcotest.(check int) "ones" 2 (Histogram.count_value h 1);
+  Alcotest.(check int) ">=3" 4 (Histogram.count_ge h 3);
+  Alcotest.(check (float 1e-9)) "fraction of 5" (3.0 /. 7.0) (Histogram.fraction h 5);
+  Alcotest.(check (float 1e-9)) "fraction >= 4" (3.0 /. 7.0) (Histogram.fraction_ge h 4)
+
+let test_histogram_mean_max () =
+  let h = Histogram.create () in
+  Histogram.observe_n h 2 ~count:3;
+  Histogram.observe_n h 10 ~count:1;
+  Alcotest.(check (float 1e-9)) "mean" 4.0 (Histogram.mean h);
+  Alcotest.(check (option int)) "max" (Some 10) (Histogram.max_value h);
+  Histogram.clear h;
+  Alcotest.(check int) "cleared" 0 (Histogram.count h);
+  Alcotest.(check (float 1e-9)) "mean empty" 0.0 (Histogram.mean h)
+
+let test_histogram_alist () =
+  let h = Histogram.create () in
+  List.iter (Histogram.observe h) [ 3; 1; 3 ];
+  Alcotest.(check (list (pair int int))) "ascending buckets" [ (1, 1); (3, 2) ]
+    (Histogram.to_alist h)
+
+let test_means () =
+  Alcotest.(check (float 1e-9)) "arith" 2.0 (Summary.arithmetic_mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "geo of equal" 4.0 (Summary.geometric_mean [ 4.0; 4.0 ]);
+  Alcotest.(check (float 1e-6)) "geo" 2.0 (Summary.geometric_mean [ 1.0; 2.0; 4.0 ]);
+  Alcotest.(check (float 1e-9)) "empty arith" 0.0 (Summary.arithmetic_mean []);
+  Alcotest.check_raises "geo rejects nonpositive"
+    (Invalid_argument "geometric_mean: nonpositive") (fun () ->
+      ignore (Summary.geometric_mean [ 1.0; 0.0 ]))
+
+let test_normalize_speedup () =
+  Alcotest.(check (float 1e-9)) "normalize" 0.5 (Summary.normalize ~baseline:10.0 5.0);
+  Alcotest.(check (float 1e-9)) "speedup" 2.0 (Summary.speedup ~baseline:10.0 5.0);
+  Alcotest.(check (float 1e-9)) "reduction" 30.0
+    (Summary.percent_reduction ~baseline:10.0 7.0)
+
+let test_table_render () =
+  let t = Table.create ~title:"T" ~columns:[ "a"; "bb" ] in
+  Table.add_row t [ Table.String "x"; Table.Int 42 ];
+  Table.add_separator t;
+  Table.add_row t [ Table.Float 1.5; Table.Percent 12.34 ];
+  let rendered = Table.render t in
+  Alcotest.(check bool) "contains value" true
+    (String.length rendered > 0
+    && Astring_contains.contains rendered "42"
+    && Astring_contains.contains rendered "1.500"
+    && Astring_contains.contains rendered "12.3%")
+
+let test_table_arity_check () =
+  let t = Table.create ~title:"T" ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Table.add_row: wrong number of cells") (fun () ->
+      Table.add_row t [ Table.Int 1 ])
+
+let suite =
+  [
+    Alcotest.test_case "counter basics" `Quick test_counter_basics;
+    Alcotest.test_case "counter alist sorted" `Quick test_counter_alist_sorted;
+    Alcotest.test_case "counter reset/merge" `Quick test_counter_reset_and_merge;
+    Alcotest.test_case "histogram counts" `Quick test_histogram_counts;
+    Alcotest.test_case "histogram mean/max/clear" `Quick test_histogram_mean_max;
+    Alcotest.test_case "histogram alist" `Quick test_histogram_alist;
+    Alcotest.test_case "means" `Quick test_means;
+    Alcotest.test_case "normalize/speedup" `Quick test_normalize_speedup;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table arity check" `Quick test_table_arity_check;
+  ]

@@ -1,0 +1,202 @@
+(* Tests of the workload generators: structure, determinism, and the
+   Table 3 consumer distributions they are built to reproduce. *)
+
+open Pcc_core
+module Gen = Pcc_workload.Gen
+module Apps = Pcc_workload.Apps
+
+let count_ops p =
+  Array.fold_left
+    (fun (loads, stores, barriers) ops ->
+      List.fold_left
+        (fun (l, s, b) op ->
+          match op with
+          | Types.Access (Types.Load, _) -> (l + 1, s, b)
+          | Types.Access (Types.Store, _) -> (l, s + 1, b)
+          | Types.Barrier _ -> (l, s, b + 1)
+          | Types.Compute _ -> (l, s, b))
+        (loads, stores, barriers) ops)
+    (0, 0, 0) p
+
+let test_generator_determinism () =
+  let spec app = Apps.programs app ~scale:0.2 ~nodes:8 ~seed:5 () in
+  List.iter
+    (fun app ->
+      let a = spec app and b = spec app in
+      Alcotest.(check bool) (app.Apps.name ^ " deterministic") true (a = b))
+    Apps.all
+
+let test_generator_seed_sensitivity () =
+  let a = Apps.programs Apps.barnes ~scale:0.2 ~nodes:8 ~seed:1 () in
+  let b = Apps.programs Apps.barnes ~scale:0.2 ~nodes:8 ~seed:2 () in
+  Alcotest.(check bool) "different seeds differ" false (a = b)
+
+let test_all_apps_generate () =
+  List.iter
+    (fun app ->
+      let p = Apps.programs app ~scale:0.1 ~nodes:16 () in
+      Alcotest.(check int) (app.Apps.name ^ " one program per node") 16 (Array.length p);
+      let loads, stores, barriers = count_ops p in
+      Alcotest.(check bool) (app.Apps.name ^ " has loads") true (loads > 0);
+      Alcotest.(check bool) (app.Apps.name ^ " has stores") true (stores > 0);
+      Alcotest.(check bool) (app.Apps.name ^ " has barriers") true (barriers > 0))
+    Apps.all
+
+let test_barriers_symmetric () =
+  (* every node executes the same multiset of barrier ids, otherwise the
+     run would hang *)
+  List.iter
+    (fun app ->
+      let p = Apps.programs app ~scale:0.1 ~nodes:8 () in
+      let barrier_ids ops =
+        List.filter_map (function Types.Barrier b -> Some b | _ -> None) ops
+      in
+      let reference = barrier_ids p.(0) in
+      Array.iteri
+        (fun i ops ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "%s node %d barriers" app.Apps.name i)
+            reference (barrier_ids ops))
+        p)
+    Apps.all
+
+let test_scale_parameter () =
+  let small = Gen.total_ops (Apps.programs Apps.lu ~scale:0.2 ~nodes:8 ()) in
+  let big = Gen.total_ops (Apps.programs Apps.lu ~scale:1.0 ~nodes:8 ()) in
+  Alcotest.(check bool) "scale grows work" true (big > 3 * small)
+
+let test_find_by_name () =
+  Alcotest.(check (option string)) "case-insensitive" (Some "Em3D")
+    (Option.map (fun a -> a.Apps.name) (Apps.find "em3d"));
+  Alcotest.(check bool) "unknown" true (Apps.find "spec2006" = None);
+  Alcotest.(check int) "seven apps" 7 (List.length Apps.all)
+
+let test_shared_private_disjoint () =
+  let shared = Gen.shared_line ~home:3 17 in
+  let priv = Gen.private_line ~node:3 17 in
+  Alcotest.(check bool) "disjoint index spaces" false (shared = priv);
+  Alcotest.(check int) "same home" (Types.Layout.home_of_line shared)
+    (Types.Layout.home_of_line priv)
+
+let test_consumer_samplers () =
+  let rng = Pcc_engine.Rng.create ~seed:3 in
+  Alcotest.(check (list int)) "ring" [ 5 ] (Gen.Consumers.ring_neighbor ~nodes:16 4);
+  Alcotest.(check (list int)) "ring wraps" [ 0 ] (Gen.Consumers.ring_neighbor ~nodes:16 15);
+  for _ = 1 to 100 do
+    let sample = Gen.Consumers.sample ~rng ~nodes:8 ~exclude:3 ~count:4 in
+    Alcotest.(check int) "count" 4 (List.length sample);
+    Alcotest.(check bool) "excludes" false (List.mem 3 sample);
+    Alcotest.(check int) "distinct" 4 (List.length (List.sort_uniq compare sample))
+  done
+
+let test_consumer_dist_sampler () =
+  let rng = Pcc_engine.Rng.create ~seed:9 in
+  let dist = [ (1, 0.5); (3, 0.5) ] in
+  let ones = ref 0 and threes = ref 0 in
+  for _ = 1 to 2000 do
+    match List.length (Gen.Consumers.sample_dist ~rng ~nodes:16 ~exclude:0 ~dist) with
+    | 1 -> incr ones
+    | 3 -> incr threes
+    | n -> Alcotest.failf "unexpected size %d" n
+  done;
+  let ratio = float_of_int !ones /. 2000.0 in
+  Alcotest.(check bool) "roughly balanced" true (ratio > 0.45 && ratio < 0.55)
+
+(* Measured consumer distribution: run the app and compare the Table 3
+   buckets against the paper's numbers for the strongly-shaped apps. *)
+let consumer_fractions app =
+  (* the write-repeat counter needs four writes to saturate, so the run
+     must be long enough for detection (MG has only 10 epochs at scale 1) *)
+  let programs = Apps.programs app ~scale:0.8 ~nodes:16 () in
+  let result = System.run ~config:(Config.large_full ()) ~programs () in
+  Alcotest.(check int) (app.Apps.name ^ " coherent") 0 result.System.violations;
+  let h = result.System.stats.Run_stats.consumer_hist in
+  let frac n = 100.0 *. Pcc_stats.Histogram.fraction h n in
+  let frac_ge n = 100.0 *. Pcc_stats.Histogram.fraction_ge h n in
+  (frac 1, frac 2, frac 3, frac 4, frac_ge 5)
+
+let test_table3_ocean () =
+  let c1, _, _, _, c4plus = consumer_fractions Apps.ocean in
+  Alcotest.(check bool) "Ocean ~97.7% single consumer" true (c1 > 90.0);
+  Alcotest.(check bool) "Ocean few wide" true (c4plus < 5.0)
+
+let test_table3_em3d () =
+  let c1, c2, _, _, _ = consumer_fractions Apps.em3d in
+  Alcotest.(check bool) "Em3D mostly 1 (67.8%)" true (c1 > 55.0 && c1 < 80.0);
+  Alcotest.(check bool) "Em3D rest 2 (32.2%)" true (c2 > 20.0 && c2 < 45.0)
+
+let test_table3_lu () =
+  let c1, _, _, _, _ = consumer_fractions Apps.lu in
+  Alcotest.(check bool) "LU ~99.4% single consumer" true (c1 > 95.0)
+
+let test_table3_mg () =
+  let _, _, _, _, c4plus = consumer_fractions Apps.mg in
+  Alcotest.(check bool) "MG ~91.6% wide" true (c4plus > 80.0)
+
+let test_table3_cg () =
+  let _, _, _, _, c4plus = consumer_fractions Apps.cg in
+  Alcotest.(check bool) "CG ~99.7% wide (detected lines)" true (c4plus > 90.0)
+
+module Trace = Pcc_workload.Trace
+
+let test_trace_roundtrip () =
+  List.iter
+    (fun app ->
+      let programs = Apps.programs app ~scale:0.1 ~nodes:4 () in
+      match Trace.of_string (Trace.to_string programs) with
+      | Ok reloaded ->
+          Alcotest.(check bool) (app.Apps.name ^ " roundtrips") true (reloaded = programs)
+      | Error message -> Alcotest.failf "%s: %s" app.Apps.name message)
+    Apps.all
+
+let test_trace_parse_errors () =
+  let expect_error text =
+    match Trace.of_string text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted malformed trace %S" text
+  in
+  expect_error "";
+  expect_error "nodes 0";
+  expect_error "nodes 2\n5 L 0:0";
+  expect_error "nodes 2\n0 X 0:0";
+  expect_error "nodes 2\n0 L zero:0"
+
+let test_trace_comments_and_blanks () =
+  let text = "# a comment\n\nnodes 2\n# more\n0 S 1:3\n\n1 B 1\n" in
+  match Trace.of_string text with
+  | Ok programs ->
+      Alcotest.(check int) "two nodes" 2 (Array.length programs);
+      Alcotest.(check int) "node 0 ops" 1 (List.length programs.(0))
+  | Error message -> Alcotest.fail message
+
+let test_trace_runs () =
+  (* a hand-written trace executes and stays coherent *)
+  let text = "nodes 2\n0 S 0:1\n0 B 1\n1 B 1\n1 L 0:1\n" in
+  match Trace.of_string text with
+  | Error message -> Alcotest.fail message
+  | Ok programs ->
+      let r = System.run ~config:(Config.base ~nodes:2 ()) ~programs () in
+      Alcotest.(check int) "coherent" 0 r.System.violations;
+      Alcotest.(check int) "one remote read" 1 r.System.stats.Run_stats.remote_2hop
+
+let suite =
+  [
+    Alcotest.test_case "generator determinism" `Quick test_generator_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_generator_seed_sensitivity;
+    Alcotest.test_case "all apps generate" `Quick test_all_apps_generate;
+    Alcotest.test_case "barriers symmetric" `Quick test_barriers_symmetric;
+    Alcotest.test_case "scale parameter" `Quick test_scale_parameter;
+    Alcotest.test_case "find by name" `Quick test_find_by_name;
+    Alcotest.test_case "shared/private disjoint" `Quick test_shared_private_disjoint;
+    Alcotest.test_case "consumer samplers" `Quick test_consumer_samplers;
+    Alcotest.test_case "consumer dist sampler" `Quick test_consumer_dist_sampler;
+    Alcotest.test_case "trace roundtrip" `Quick test_trace_roundtrip;
+    Alcotest.test_case "trace parse errors" `Quick test_trace_parse_errors;
+    Alcotest.test_case "trace comments/blanks" `Quick test_trace_comments_and_blanks;
+    Alcotest.test_case "trace runs" `Quick test_trace_runs;
+    Alcotest.test_case "Table 3: Ocean" `Slow test_table3_ocean;
+    Alcotest.test_case "Table 3: Em3D" `Slow test_table3_em3d;
+    Alcotest.test_case "Table 3: LU" `Slow test_table3_lu;
+    Alcotest.test_case "Table 3: MG" `Slow test_table3_mg;
+    Alcotest.test_case "Table 3: CG" `Slow test_table3_cg;
+  ]
