@@ -1,0 +1,206 @@
+(* Differential-oracle driver: run seeded random and benchmark workloads
+   with the online coherence auditor attached, then replay each run's
+   serialized operations through the model checker and compare.
+
+     dune exec bin/pcc_oracle.exe -- --seeds 50
+     dune exec bin/pcc_oracle.exe -- --inject-fault --trace fault.jsonl
+     dune exec bin/pcc_oracle.exe -- --replay fault.jsonl *)
+
+open Cmdliner
+module Oracle = Pcc_oracle
+
+let bench_rotation = [| "random"; "barnes"; "ocean"; "em3d"; "lu"; "cg"; "mg"; "appbt" |]
+
+let configs = [ "base"; "full" ]
+
+let descs_for_seed ~nodes ~scale seed : Oracle.Trace.run_desc list =
+  (* every seed runs the random workload plus one rotating app benchmark,
+     each under both the baseline and the fully adaptive machine *)
+  let benches =
+    [ "random"; bench_rotation.(1 + ((seed - 1) mod (Array.length bench_rotation - 1))) ]
+  in
+  List.concat_map
+    (fun bench ->
+      List.map
+        (fun config_name ->
+          { Oracle.Trace.bench; config_name; nodes; scale; seed; fault = false })
+        configs)
+    benches
+
+let describe (d : Oracle.Trace.run_desc) =
+  Printf.sprintf "seed=%d bench=%s config=%s nodes=%d scale=%.2f%s" d.seed d.bench
+    d.config_name d.nodes d.scale
+    (if d.fault then " FAULT" else "")
+
+let report_failure ~trace ~artifact_written (report : Oracle.Runner.report) =
+  Printf.printf "FAIL %s\n" (describe report.desc);
+  List.iter (fun v -> Printf.printf "  %s\n" v) report.violations;
+  if not !artifact_written then begin
+    Oracle.Runner.save_artifact ~path:trace report;
+    artifact_written := true;
+    Printf.printf "  trace written to %s\n" trace
+  end
+
+let run_sweep ~seeds ~nodes ~scale ~max_lines ~trace =
+  let failures = ref 0 in
+  let runs = ref 0 in
+  let ops = ref 0 in
+  let steps = ref 0 in
+  let artifact_written = ref false in
+  for seed = 1 to seeds do
+    List.iter
+      (fun desc ->
+        incr runs;
+        let report = Oracle.Runner.run ~max_lines desc in
+        (match report.diff with
+        | Some o ->
+            ops := !ops + o.Oracle.Diff.ops_replayed;
+            steps := !steps + o.Oracle.Diff.model_steps
+        | None -> ());
+        if not (Oracle.Runner.clean report) then begin
+          incr failures;
+          report_failure ~trace ~artifact_written report
+        end)
+      (descs_for_seed ~nodes ~scale seed)
+  done;
+  Printf.printf "%d runs, %d failures; %d ops replayed through the model (%d steps)\n"
+    !runs !failures !ops !steps;
+  if !failures = 0 then 0 else 1
+
+let run_fault ~nodes ~scale ~trace =
+  (* the injected stale-update fault must be caught, with a replayable
+     artifact — this is the oracle's own smoke test.  Not every seed's
+     workload pushes an update into the window the fault corrupts, so try
+     a handful; one catch is a pass. *)
+  let rec attempt seed =
+    if seed > 10 then begin
+      Printf.printf "FAULT NOT CAUGHT in 10 seeds\n";
+      1
+    end
+    else
+      let desc =
+        { Oracle.Trace.bench = "random"; config_name = "full"; nodes; scale; seed;
+          fault = true }
+      in
+      let report = Oracle.Runner.run ~diff:false desc in
+      if Oracle.Runner.clean report then attempt (seed + 1)
+      else begin
+        Oracle.Runner.save_artifact ~path:trace report;
+        Printf.printf "fault caught on %s\n" (describe desc);
+        List.iter (fun v -> Printf.printf "  %s\n" v) report.violations;
+        Printf.printf "  %d recent events in the trace; artifact: %s\n"
+          (List.length report.events) trace;
+        0
+      end
+  in
+  attempt 1
+
+let run_replay ~max_lines ~path =
+  match Oracle.Trace.read_desc ~path with
+  | Error message ->
+      Printf.eprintf "cannot replay %s: %s\n" path message;
+      2
+  | Ok desc ->
+      Printf.printf "replaying %s\n" (describe desc);
+      let report = Oracle.Runner.run ~max_lines desc in
+      if Oracle.Runner.clean report then begin
+        Printf.printf "clean — failure did not reproduce\n";
+        0
+      end
+      else begin
+        List.iter (fun v -> Printf.printf "  %s\n" v) report.violations;
+        List.iter
+          (fun e -> Format.printf "  %a@." Oracle.Trace.pp_event e)
+          report.events;
+        1
+      end
+
+let run_golden ~nodes ~scale ~seed =
+  (* print the pinned-statistics table in the exact form test_golden.ml
+     embeds, for regeneration after an intentional protocol change *)
+  List.iter
+    (fun config_name ->
+      List.iter
+        (fun (app : Pcc_workload.Apps.app) ->
+          let desc =
+            { Oracle.Trace.bench = app.name; config_name; nodes; scale; seed;
+              fault = false }
+          in
+          let config = Oracle.Trace.config_of_desc desc in
+          let programs = Oracle.Trace.programs_of_desc desc in
+          let result = Pcc_core.System.run ~config ~programs () in
+          let s = result.Pcc_core.System.stats in
+          Printf.printf "    (%S, %S, (%d, %d, %d, %d, %d, %d));\n"
+            (String.lowercase_ascii app.name)
+            config_name s.Pcc_core.Run_stats.local_mem_misses
+            s.Pcc_core.Run_stats.rac_hits s.Pcc_core.Run_stats.remote_2hop
+            s.Pcc_core.Run_stats.remote_3hop s.Pcc_core.Run_stats.delegations
+            s.Pcc_core.Run_stats.updates_sent)
+        Pcc_workload.Apps.all)
+    configs;
+  0
+
+let main seeds nodes scale max_lines trace replay inject_fault golden =
+  if nodes < 2 then begin
+    Printf.eprintf "pcc_oracle: --nodes must be at least 2 (got %d)\n" nodes;
+    2
+  end
+  else if golden then run_golden ~nodes:8 ~scale ~seed:7
+  else
+    match replay with
+    | Some path -> run_replay ~max_lines ~path
+    | None ->
+        if inject_fault then run_fault ~nodes ~scale ~trace
+        else run_sweep ~seeds ~nodes ~scale ~max_lines ~trace
+
+let seeds_arg =
+  Arg.(value & opt int 50 & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeds to sweep.")
+
+let nodes_arg =
+  Arg.(value & opt int 6 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let scale_arg =
+  Arg.(
+    value & opt float 0.15
+    & info [ "s"; "scale" ] ~docv:"S" ~doc:"Run-length scale for app benchmarks.")
+
+let max_lines_arg =
+  Arg.(
+    value & opt int 400
+    & info [ "max-lines" ] ~docv:"N" ~doc:"Cap on lines replayed through the model.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt string "oracle-fault.jsonl"
+    & info [ "trace" ] ~docv:"FILE" ~doc:"Where to write the first failure artifact.")
+
+let replay_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"FILE" ~doc:"Re-run the descriptor in a trace file.")
+
+let fault_arg =
+  Arg.(
+    value & flag
+    & info [ "inject-fault" ]
+        ~doc:"Inject the stale-update protocol fault and verify the oracle catches it.")
+
+let golden_arg =
+  Arg.(
+    value & flag
+    & info [ "golden" ] ~doc:"Print the golden-statistics table for test_golden.ml.")
+
+let cmd =
+  let term =
+    Term.(
+      const main $ seeds_arg $ nodes_arg $ scale_arg $ max_lines_arg $ trace_arg
+      $ replay_arg $ fault_arg $ golden_arg)
+  in
+  Cmd.v
+    (Cmd.info "pcc_oracle"
+       ~doc:"Differential coherence oracle: audited simulation vs. model checker")
+    term
+
+let () = exit (Cmd.eval' cmd)

@@ -1,3 +1,5 @@
+type fault = Stale_update_no_resharing
+
 type t = {
   nodes : int;
   l2_bytes : int;
@@ -27,6 +29,7 @@ type t = {
   barrier_latency : int;
   network : Pcc_interconnect.Network.config;
   seed : int;
+  inject_fault : fault option;
 }
 
 let kib n = n * 1024
@@ -63,6 +66,7 @@ let base ?(nodes = 16) () =
     barrier_latency = 200;
     network = Pcc_interconnect.Network.default_config;
     seed = 42;
+    inject_fault = None;
   }
 
 let rac_only ?nodes ?(rac_bytes = kib 32) () =

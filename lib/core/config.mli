@@ -6,6 +6,13 @@
     (RAC, delegation, speculative updates) correspond to the machine
     variants evaluated in §3. *)
 
+type fault = Stale_update_no_resharing
+      (** pushed consumers are not re-added to the producer's sharing
+          vector, so the next upgrade skips their invalidations and a
+          stale pushed copy survives — the simulator twin of the model
+          checker's [Updates_without_resharing] bug, used to prove the
+          runtime oracle detects real protocol errors *)
+
 type t = {
   nodes : int;
   (* Processor-side caches *)
@@ -50,6 +57,8 @@ type t = {
   (* Interconnect *)
   network : Pcc_interconnect.Network.config;
   seed : int;
+  inject_fault : fault option;
+      (** deliberately break the protocol (test-only, default [None]) *)
 }
 
 val base : ?nodes:int -> unit -> t

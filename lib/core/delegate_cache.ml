@@ -12,6 +12,8 @@ module Producer = struct
 
   let find t line = Cache.find t line
 
+  let peek t line = Cache.peek t line
+
   type 'a insert_result = Inserted of (Types.line * 'a) option | Set_locked
 
   let insert t line state =

@@ -19,6 +19,10 @@ module Producer : sig
 
   val find : 'a t -> Types.line -> 'a option
 
+  val peek : 'a t -> Types.line -> 'a option
+  (** Lookup without the LRU side effect, for audit/inspection paths that
+      must not perturb replacement decisions. *)
+
   type 'a insert_result =
     | Inserted of (Types.line * 'a) option
         (** carries the victim whose delegation must be given up, if the

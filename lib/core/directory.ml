@@ -52,6 +52,8 @@ let entry t line =
       Hashtbl.add t.backing line e;
       e
 
+let find t line = Hashtbl.find_opt t.backing line
+
 let access t line =
   match Cache.find t.dir_cache line with
   | Some predictor -> { latency = t.hit_latency; dir_cache_hit = true; predictor }

@@ -43,6 +43,11 @@ val entry : t -> Types.line -> entry
 (** The authoritative directory entry, created [Unowned] on first touch.
     Raises [Invalid_argument] if the line is not homed here. *)
 
+val find : t -> Types.line -> entry option
+(** Non-creating probe: the entry if the line was ever touched at this
+    home, with no side effects.  Audit/inspection code must use this
+    rather than {!entry} so probing cannot manufacture state. *)
+
 val access : t -> Types.line -> access
 (** Model one directory-controller lookup: charges the directory-cache
     hit or miss latency and returns the (possibly freshly reset)

@@ -54,6 +54,19 @@ type prod_entry = {
   mutable flush_acks : int;  (* flush round trips outstanding *)
 }
 
+(* A committed processor operation, as seen by external observers (the
+   coherence oracle).  [c_value] is the value returned to the processor
+   (for stores: the globally unique version written). *)
+type commit_event = {
+  c_node : Types.node_id;
+  c_kind : Types.op_kind;
+  c_line : Types.line;
+  c_value : int;
+  c_started : int;
+  c_time : int;
+  c_l2_hit : bool;
+}
+
 type t = {
   config : Config.t;
   sim : Sim.t;
@@ -74,14 +87,34 @@ type t = {
       (* lines with an unacknowledged writeback in flight *)
   mutable next_tid : int;
   mutable pending : pending option;
-  mutable trace : (time:int -> dst:Types.node_id -> Message.t -> unit) option;
+  mutable trace : (time:int -> dst:Types.node_id -> Message.t -> unit) list;
+  mutable commit_hooks : (commit_event -> unit) list;
 }
 
 let id t = t.id
 
 let busy t = t.pending <> None
 
-let set_trace t f = t.trace <- Some f
+let set_trace t f = t.trace <- t.trace @ [ f ]
+
+let on_commit t f = t.commit_hooks <- t.commit_hooks @ [ f ]
+
+let notify_commit t ~kind ~line ~value ~started ~l2_hit =
+  match t.commit_hooks with
+  | [] -> ()
+  | hooks ->
+      let event =
+        {
+          c_node = t.id;
+          c_kind = kind;
+          c_line = line;
+          c_value = value;
+          c_started = started;
+          c_time = Sim.now t.sim;
+          c_l2_hit = l2_hit;
+        }
+      in
+      List.iter (fun f -> f event) hooks
 
 let directory t = t.dir
 
@@ -124,7 +157,9 @@ let effective_intervention_delay t entry =
 (* ------------------------------------------------------------------ *)
 
 let send t ~dst msg =
-  (match t.trace with Some f -> f ~time:(Sim.now t.sim) ~dst msg | None -> ());
+  (match t.trace with
+  | [] -> ()
+  | fs -> List.iter (fun f -> f ~time:(Sim.now t.sim) ~dst msg) fs);
   if dst <> t.id then
     Pcc_stats.Counter.incr t.stats.message_classes (Message.class_name msg);
   Network.send t.network ~src:t.id ~dst
@@ -217,7 +252,9 @@ let downgrade_and_push t line entry ~exclude =
       targets;
     (* pushed nodes hold fresh copies again: they rejoin the sharing
        vector so the next write invalidates their RACs *)
-    entry.psharers <- Nodeset.union entry.psharers targets;
+    (match t.config.inject_fault with
+    | Some Config.Stale_update_no_resharing -> ()
+    | None -> entry.psharers <- Nodeset.union entry.psharers targets);
     if not (Nodeset.is_empty targets) then begin
       entry.unflushed <- Nodeset.union entry.unflushed targets;
       entry.last_push <- Sim.now t.sim
@@ -336,6 +373,8 @@ let commit_load t p ~value ~miss =
     (Memory_check.load_committed t.memcheck p.line ~value ~started:p.started ~time:now);
   Run_stats.record_miss t.stats miss ~latency:(now - p.started);
   t.pending <- None;
+  notify_commit t ~kind:Types.Load ~line:p.line ~value ~started:p.started
+    ~l2_hit:false;
   p.on_commit ()
 
 (* Producer bookkeeping common to store commits and exclusive store hits:
@@ -382,6 +421,8 @@ let rec commit_store t p =
   in
   Run_stats.record_miss t.stats miss ~latency:(now - p.started);
   t.pending <- None;
+  notify_commit t ~kind:Types.Store ~line:p.line ~value:version ~started:p.started
+    ~l2_hit:false;
   note_producer_write t p.line;
   List.iter
     (fun d ->
@@ -1053,6 +1094,8 @@ let submit t ~kind ~line ~on_commit =
           ignore
             (Memory_check.load_committed t.memcheck line ~value:entry.value ~started
                ~time:(Sim.now t.sim));
+          notify_commit t ~kind:Types.Load ~line ~value:entry.value ~started
+            ~l2_hit:true;
           on_commit ())
   | Some L2.{ state = Exclusive; _ }, Types.Store ->
       t.stats.l2_hits <- t.stats.l2_hits + 1;
@@ -1068,6 +1111,8 @@ let submit t ~kind ~line ~on_commit =
                   entry.last_write <- Sim.now t.sim;
                   schedule_intervention t line entry
               | None -> ());
+              notify_commit t ~kind:Types.Store ~line ~value:version ~started
+                ~l2_hit:true;
               on_commit ()
           | Some L2.{ state = Shared; _ } | None ->
               (* lost exclusivity in the hit window: take the miss path *)
@@ -1131,7 +1176,8 @@ let create ~config ~sim ~network ~id ~stats ~memcheck ~next_version ~rng =
       wb_pending = Hashtbl.create 16;
       next_tid = 0;
       pending = None;
-      trace = None;
+      trace = [];
+      commit_hooks = [];
     }
   in
   Network.set_receiver network ~node:id (fun ~src msg -> handle_message t ~src msg);
@@ -1159,6 +1205,52 @@ let consumer_hint t line =
 
 let delegated_line_count t =
   match t.producer_table with Some table -> Producer.size table | None -> 0
+
+(* Side-effect-free views for external auditors.  These must never go
+   through [find]-style accessors: touching LRU recency or consuming
+   pushed updates from an observer would perturb the run under test. *)
+
+type producer_view = {
+  view_state : [ `Busy | `Exclusive | `Shared ];
+  view_sharers : Nodeset.t;
+  view_update_set : Nodeset.t;
+  view_fence_pending : bool;
+}
+
+let view_of_prod_entry entry =
+  {
+    view_state =
+      (match entry.pstate with
+      | P_busy -> `Busy
+      | P_excl -> `Exclusive
+      | P_shared -> `Shared);
+    view_sharers = entry.psharers;
+    view_update_set = entry.update_set;
+    view_fence_pending =
+      entry.flush_acks > 0 || not (Nodeset.is_empty entry.unflushed);
+  }
+
+let producer_view t line =
+  match t.producer_table with
+  | None -> None
+  | Some table -> Option.map view_of_prod_entry (Producer.peek table line)
+
+let iter_producers t f =
+  match t.producer_table with
+  | None -> ()
+  | Some table -> Producer.iter (fun line entry -> f line (view_of_prod_entry entry)) table
+
+let iter_l2 t f = L2.iter f t.l2
+
+let iter_rac t f = match t.rac with Some rac -> Rac.iter f rac | None -> ()
+
+let rac_pinned t line =
+  match t.rac with Some rac -> Rac.is_pinned rac line | None -> false
+
+let pending_op t =
+  match t.pending with Some p -> Some (p.kind, p.line) | None -> None
+
+let wb_in_flight t line = Hashtbl.mem t.wb_pending line
 
 (* ------------------------------------------------------------------ *)
 (* Machine-wide invariants (§2.5)                                      *)

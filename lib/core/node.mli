@@ -37,7 +37,28 @@ val busy : t -> bool
 (** True while a submitted operation has not yet committed. *)
 
 val set_trace : t -> (time:int -> dst:Types.node_id -> Message.t -> unit) -> unit
-(** Observe every message this node sends (for trace tooling/tests). *)
+(** Observe every message this node sends (for trace tooling/tests).
+    Observers compose: each registered function is called in registration
+    order; none replaces another. *)
+
+(** A committed processor operation as reported to {!on_commit}
+    observers.  [c_value] is the value returned to the processor — for
+    stores, the globally unique version written. *)
+type commit_event = {
+  c_node : Types.node_id;
+  c_kind : Types.op_kind;
+  c_line : Types.line;
+  c_value : int;
+  c_started : int;  (** cycle the operation was submitted *)
+  c_time : int;  (** cycle it committed *)
+  c_l2_hit : bool;  (** satisfied entirely by the local L2 *)
+}
+
+val on_commit : t -> (commit_event -> unit) -> unit
+(** Observe every committed load/store on this node.  The hook fires
+    after the commit's cache effects but before the processor's
+    continuation runs.  Observers compose like {!set_trace} and must not
+    submit operations or mutate protocol state. *)
 
 (** {2 Inspection (tests, examples, invariant checks)} *)
 
@@ -59,6 +80,39 @@ val consumer_hint : t -> Types.line -> Types.node_id option
 (** Contents of the consumer delegate table for a line, if any. *)
 
 val delegated_line_count : t -> int
+
+(** {2 Side-effect-free audit views}
+
+    Unlike [find]-style accessors these never touch LRU recency, consume
+    pushed updates, or create directory entries, so an online auditor can
+    inspect a node mid-run without perturbing it. *)
+
+type producer_view = {
+  view_state : [ `Busy | `Exclusive | `Shared ];
+  view_sharers : Nodeset.t;  (** current sharing vector (includes self) *)
+  view_update_set : Nodeset.t;  (** previous epoch's consumers *)
+  view_fence_pending : bool;
+      (** raw: pushes not yet flushed or flush acks outstanding (no
+          flush-window aging applied) *)
+}
+
+val producer_view : t -> Types.line -> producer_view option
+(** The delegated directory state this node holds for a line, if any. *)
+
+val iter_producers : t -> (Types.line -> producer_view -> unit) -> unit
+
+val iter_l2 : t -> (Types.line -> L2.entry -> unit) -> unit
+
+val iter_rac : t -> (Types.line -> int -> unit) -> unit
+
+val rac_pinned : t -> Types.line -> bool
+(** True when the RAC holds a pinned (delegated backing) entry. *)
+
+val pending_op : t -> (Types.op_kind * Types.line) option
+(** The outstanding processor transaction, if any. *)
+
+val wb_in_flight : t -> Types.line -> bool
+(** True while a writeback for the line awaits its acknowledgement. *)
 
 val check_invariants : t array -> string list
 (** Machine-wide structural invariants over a quiesced system (§2.5):

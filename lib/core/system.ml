@@ -36,6 +36,8 @@ let create ~(config : Config.t) () =
 
 let sim t = t.sim
 
+let config t = t.config
+
 let node t id = t.nodes.(id)
 
 let nodes t = t.nodes
@@ -54,6 +56,21 @@ let violations t = Memory_check.violations t.memcheck
 let violation_report t = Memory_check.violation_report t.memcheck
 
 let check_invariants t = Node.check_invariants t.nodes
+
+(* Observer hooks for online auditors (the coherence oracle): post-event
+   callbacks from the simulator, plus machine-wide commit and message
+   streams assembled from the per-node hooks. *)
+
+let on_post_event t f = Sim.on_event t.sim f
+
+let on_commit t f = Array.iter (fun node -> Node.on_commit node f) t.nodes
+
+let on_message t f =
+  Array.iter
+    (fun node ->
+      let src = Node.id node in
+      Node.set_trace node (fun ~time ~dst msg -> f ~time ~src ~dst msg))
+    t.nodes
 
 type result = {
   config : Config.t;

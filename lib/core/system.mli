@@ -11,6 +11,8 @@ val create : config:Config.t -> unit -> t
 
 val sim : t -> Pcc_engine.Simulator.t
 
+val config : t -> Config.t
+
 val node : t -> Types.node_id -> Node.t
 
 val nodes : t -> Node.t array
@@ -35,6 +37,22 @@ val violation_report : t -> string list
 val check_invariants : t -> string list
 (** Run the machine-wide structural invariants; call on a quiesced
     system. *)
+
+(** {2 Observer hooks (online auditors)} *)
+
+val on_post_event : t -> (unit -> unit) -> unit
+(** Called after every executed simulator event (see
+    {!Pcc_engine.Simulator.on_event}).  Observers must not schedule
+    events or mutate protocol state; raising aborts the run. *)
+
+val on_commit : t -> (Node.commit_event -> unit) -> unit
+(** Observe every committed load/store on every node. *)
+
+val on_message :
+  t ->
+  (time:int -> src:Types.node_id -> dst:Types.node_id -> Message.t -> unit) ->
+  unit
+(** Observe every coherence message sent by any node. *)
 
 (** Results of a complete run. *)
 type result = {

@@ -3,12 +3,23 @@ type t = {
   mutable now : int;
   mutable stop_requested : bool;
   mutable executed : int;
+  mutable observers : (unit -> unit) list;  (* registration order *)
 }
 
 type outcome = Drained | Stopped | Time_limit_reached | Event_limit_reached
 
 let create () =
-  { queue = Event_queue.create (); now = 0; stop_requested = false; executed = 0 }
+  {
+    queue = Event_queue.create ();
+    now = 0;
+    stop_requested = false;
+    executed = 0;
+    observers = [];
+  }
+
+let on_event t f = t.observers <- t.observers @ [ f ]
+
+let clear_observers t = t.observers <- []
 
 let now t = t.now
 
@@ -48,6 +59,9 @@ let run ?until ?max_events t =
                       t.now <- time;
                       t.executed <- t.executed + 1;
                       action ();
+                      (match t.observers with
+                      | [] -> ()
+                      | observers -> List.iter (fun f -> f ()) observers);
                       loop ())))
   in
   loop ()

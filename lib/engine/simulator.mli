@@ -33,6 +33,15 @@ val events_executed : t -> int
 
 val pending_events : t -> int
 
+val on_event : t -> (unit -> unit) -> unit
+(** Register an observer called after {e every} executed event (in
+    registration order), once that event's action has fully run.  This is
+    the hook runtime verification tools use to audit component state at
+    event granularity; observers must not schedule or mutate simulation
+    state.  An observer may raise to abort the run. *)
+
+val clear_observers : t -> unit
+
 val run : ?until:int -> ?max_events:int -> t -> outcome
 (** Execute events in order.  [until] bounds simulated time (events at
     cycles > [until] are left queued); [max_events] bounds work. *)

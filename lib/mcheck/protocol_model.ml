@@ -995,69 +995,107 @@ let delegation_consistent st =
 (* Model assembly                                                      *)
 (* ------------------------------------------------------------------ *)
 
+let initial_state params =
+  norm
+    {
+      ns =
+        Array.init params.nodes (fun _ ->
+            {
+              cache = CI;
+              rac = None;
+              prod = None;
+              pend = None;
+              hint = None;
+              done_ = 0;
+              last_seen = 0;
+              wbp = false;
+            });
+      dir = DU;
+      shr = 0;
+      own = -1;
+      req = -1;
+      req_tid = 0;
+      mem = 0;
+      net = [];
+      nextv = 0;
+      error = None;
+    }
+
+(* a successor that overfills some channel is not taken; the message it
+   would react to stays in the network for later *)
+let channels_ok params st =
+  let counts = Hashtbl.create 16 in
+  List.for_all
+    (fun p ->
+      let key = (p.src, p.dst) in
+      let c = 1 + (try Hashtbl.find counts key with Not_found -> 0) in
+      Hashtbl.replace counts key c;
+      c <= params.channel_capacity)
+    st.net
+
+let all_successors params st =
+  let issues =
+    List.concat (List.init params.nodes (fun n -> issue_transitions params st n))
+  in
+  let spontaneous =
+    List.concat (List.init params.nodes (fun n -> spontaneous_transitions params st n))
+  in
+  let deliveries = deliver_transitions params st in
+  List.filter_map
+    (fun (label, st') -> if channels_ok params st' then Some (label, norm st') else None)
+    (issues @ spontaneous @ deliveries)
+
+let invariants_list =
+  [
+    ("value coherence", value_coherent);
+    ("single writer exists", single_writer);
+    ("consistency within the directory", directory_consistent);
+    ("delegation consistency", delegation_consistent);
+  ]
+
+let pp_state ppf st =
+  let cache_str node =
+    match node.cache with
+    | CI -> "I"
+    | CS v -> Printf.sprintf "S%d" v
+    | CE v -> Printf.sprintf "E%d" v
+  in
+  Format.fprintf ppf "@[<v>dir=%s own=%d req=%d shr=%x mem=%d nextv=%d@,"
+    (match st.dir with
+    | DU -> "U"
+    | DS -> "S"
+    | DE -> "E"
+    | DBs -> "Bs"
+    | DBe -> "Be"
+    | DD -> "D")
+    st.own st.req st.shr st.mem st.nextv;
+  Array.iteri
+    (fun n node ->
+      Format.fprintf ppf "n%d: cache=%s rac=%s prod=%s pend=%s done=%d seen=%d@," n
+        (cache_str node)
+        (match node.rac with Some v -> string_of_int v | None -> "-")
+        (match node.prod with
+        | Some { pst = PB; _ } -> "B"
+        | Some { pst = PEx; _ } -> "E"
+        | Some { pst = PSh; _ } -> "S"
+        | None -> "-")
+        (match node.pend with
+        | Some { pkind = PL; _ } -> "L"
+        | Some { pkind = PW; _ } -> "W"
+        | None -> "-")
+        node.done_ node.last_seen)
+    st.ns;
+  Format.fprintf ppf "net: %d msgs@]" (List.length st.net)
+
 let make params =
   (module struct
     type nonrec state = state
 
-    let initial =
-      [
-        norm
-          {
-            ns =
-              Array.init params.nodes (fun _ ->
-                  {
-                    cache = CI;
-                    rac = None;
-                    prod = None;
-                    pend = None;
-                    hint = None;
-                    done_ = 0;
-                    last_seen = 0;
-                    wbp = false;
-                  });
-            dir = DU;
-            shr = 0;
-            own = -1;
-            req = -1;
-            req_tid = 0;
-            mem = 0;
-            net = [];
-            nextv = 0;
-            error = None;
-          };
-      ]
+    let initial = [ initial_state params ]
 
-    (* a successor that overfills some channel is not taken; the message
-       it would react to stays in the network for later *)
-    let channels_ok st =
-      let counts = Hashtbl.create 16 in
-      List.for_all
-        (fun p ->
-          let key = (p.src, p.dst) in
-          let c = 1 + (try Hashtbl.find counts key with Not_found -> 0) in
-          Hashtbl.replace counts key c;
-          c <= params.channel_capacity)
-        st.net
+    let successors st = all_successors params st
 
-    let successors st =
-      let issues =
-        List.concat (List.init params.nodes (fun n -> issue_transitions params st n))
-      in
-      let spontaneous =
-        List.concat (List.init params.nodes (fun n -> spontaneous_transitions params st n))
-      in
-      let deliveries = deliver_transitions params st in
-      List.filter_map
-        (fun (label, st') -> if channels_ok st' then Some (label, norm st') else None)
-        (issues @ spontaneous @ deliveries)
-
-    let invariants =
-      [
-        ("value coherence", value_coherent);
-        ("single writer exists", single_writer);
-        ("consistency within the directory", directory_consistent);
-        ("delegation consistency", delegation_consistent);
-      ]
+    let invariants = invariants_list
 
     let is_quiescent st =
       st.net = []
@@ -1078,37 +1116,51 @@ let make params =
         None permutations
       |> Option.get
 
-    let pp ppf st =
-      let cache_str node =
-        match node.cache with
-        | CI -> "I"
-        | CS v -> Printf.sprintf "S%d" v
-        | CE v -> Printf.sprintf "E%d" v
-      in
-      Format.fprintf ppf "@[<v>dir=%s own=%d req=%d shr=%x mem=%d nextv=%d@,"
-        (match st.dir with
-        | DU -> "U"
-        | DS -> "S"
-        | DE -> "E"
-        | DBs -> "Bs"
-        | DBe -> "Be"
-        | DD -> "D")
-        st.own st.req st.shr st.mem st.nextv;
-      Array.iteri
-        (fun n node ->
-          Format.fprintf ppf "n%d: cache=%s rac=%s prod=%s pend=%s done=%d seen=%d@," n
-            (cache_str node)
-            (match node.rac with Some v -> string_of_int v | None -> "-")
-            (match node.prod with
-            | Some { pst = PB; _ } -> "B"
-            | Some { pst = PEx; _ } -> "E"
-            | Some { pst = PSh; _ } -> "S"
-            | None -> "-")
-            (match node.pend with
-            | Some { pkind = PL; _ } -> "L"
-            | Some { pkind = PW; _ } -> "W"
-            | None -> "-")
-            node.done_ node.last_seen)
-        st.ns;
-      Format.fprintf ppf "net: %d msgs@]" (List.length st.net)
+    let pp = pp_state
   end : Checker.MODEL)
+
+(* ------------------------------------------------------------------ *)
+(* Observable stepping (differential testing)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The packed [Checker.MODEL] hides the state type, which is right for
+   exhaustive search but useless for a driver that must steer the model
+   along a specific execution and compare observables against the
+   simulator.  [Step] re-exposes the same transition system with the
+   state abstract-but-inspectable. *)
+module Step = struct
+  type nonrec state = state
+
+  let initial = initial_state
+
+  let successors = all_successors
+
+  let invariants = invariants_list
+
+  let done_count st n = st.ns.(n).done_
+
+  let last_seen st n = st.ns.(n).last_seen
+
+  let has_pending st n = st.ns.(n).pend <> None
+
+  let store_count st = st.nextv
+
+  let net_size st = List.length st.net
+
+  let dir_stable st = match st.dir with DBs | DBe -> false | DU | DS | DE | DD -> true
+
+  let final_value st =
+    match st.dir with
+    | DU | DS -> Some st.mem
+    | DE | DBs | DBe -> (
+        if st.own < 0 then None
+        else
+          match st.ns.(st.own).cache with CE v | CS v -> Some v | CI -> None)
+    | DD -> (
+        let node = st.ns.(st.own) in
+        match node.cache with CE v | CS v -> Some v | CI -> node.rac)
+
+  let error st = st.error
+
+  let pp = pp_state
+end

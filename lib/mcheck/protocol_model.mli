@@ -50,3 +50,53 @@ val default_params : params
 (** 3 nodes, 2 ops each, delegation and updates on, no bug. *)
 
 val make : params -> (module Checker.MODEL)
+
+(** The same transition system with an inspectable state, for drivers
+    that steer the model along one specific execution instead of
+    exploring exhaustively — chiefly the differential oracle, which
+    replays a simulator run's serialized operations through the model and
+    compares observables after each step.
+
+    Transition labels are those reported by the checker:
+    ["n<i>:issue-load-…"], ["n<i>:issue-store-…"], spontaneous
+    ["n<i>:downgrade"]/["n<i>:evict-…"]/["n<i>:undelegate"]/
+    ["n<i>:drop-hint"], and deliveries ["deliver[s->d]:kind"] (with a
+    ["#k"] suffix for nondeterministic alternatives). *)
+module Step : sig
+  type state
+
+  val initial : params -> state
+
+  val successors : params -> state -> (string * state) list
+  (** Every enabled labeled transition from [state]. *)
+
+  val invariants : (string * (state -> bool)) list
+  (** Same invariants the exhaustive checker uses. *)
+
+  val done_count : state -> int -> int
+  (** Operations committed by a node so far. *)
+
+  val last_seen : state -> int -> int
+  (** Highest store version a node has observed. *)
+
+  val has_pending : state -> int -> bool
+
+  val store_count : state -> int
+  (** Total stores committed (= the last version handed out). *)
+
+  val net_size : state -> int
+  (** Messages in flight. *)
+
+  val dir_stable : state -> bool
+  (** The directory is not in a transient Busy state. *)
+
+  val final_value : state -> int option
+  (** The authoritative value of the line: home memory when the home owns
+      it, otherwise the owner's cached (or delegated-RAC) copy; [None]
+      only mid-handshake when no resting copy exists. *)
+
+  val error : state -> string option
+  (** The recorded coherence violation, if the run hit one. *)
+
+  val pp : Format.formatter -> state -> unit
+end

@@ -1,0 +1,37 @@
+(** A minimal JSON codec for the oracle's trace files.
+
+    Failure artifacts must be plain text a human (or a replay run) can
+    consume without extra dependencies, so this is a small hand-rolled
+    subset: the seven JSON value forms, compact one-line printing, and a
+    recursive-descent parser.  It is not a general-purpose JSON library —
+    numbers are OCaml [int]/[float], strings are byte sequences with the
+    standard escapes, and [\uXXXX] escapes outside ASCII decode to ['?']. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering (no trailing newline). *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value; trailing garbage is an error. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] otherwise. *)
+
+val get_int : t -> int option
+
+val get_float : t -> float option
+(** Accepts both [Int] and [Float]. *)
+
+val get_string : t -> string option
+
+val get_bool : t -> bool option
+
+val get_list : t -> t list option

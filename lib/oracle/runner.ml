@@ -1,0 +1,69 @@
+open Pcc_core
+
+type report = {
+  desc : Trace.run_desc;
+  result : System.result option;
+  violations : string list;
+  events : Trace.event list;
+  diff : Diff.outcome option;
+}
+
+let run ?(diff = true) ?(max_lines = 400) (desc : Trace.run_desc) =
+  let config = Trace.config_of_desc desc in
+  let programs = Trace.programs_of_desc desc in
+  let sys = System.create ~config () in
+  let audit = Audit.attach sys in
+  match System.run_programs sys programs with
+  | exception Audit.Violation { message; time; events } ->
+      {
+        desc;
+        result = None;
+        violations = [ Printf.sprintf "t=%d: %s" time message ];
+        events;
+        diff = None;
+      }
+  | result ->
+      let violations = ref [] in
+      (try Audit.check_all audit
+       with Audit.Violation { message; time; _ } ->
+         violations := [ Printf.sprintf "t=%d (final sweep): %s" time message ]);
+      if result.System.violations > 0 then
+        violations :=
+          !violations
+          @ List.map
+              (fun v -> "memory check: " ^ v)
+              (System.violation_report sys);
+      violations := !violations @ result.System.invariant_errors;
+      violations :=
+        !violations
+        @ List.map (fun v -> "stats: " ^ v) (Stats_check.check sys result);
+      let diff_outcome =
+        if diff && !violations = [] then begin
+          let outcome =
+            Diff.replay ~max_lines ~seed:desc.seed ~sys ~order:(Audit.order audit) ()
+          in
+          violations :=
+            List.map
+              (fun (d : Diff.divergence) ->
+                Printf.sprintf "diff: line %d@%d: %s"
+                  (Types.Layout.index_of_line d.d_line)
+                  (Types.Layout.home_of_line d.d_line)
+                  d.d_detail)
+              outcome.divergences;
+          Some outcome
+        end
+        else None
+      in
+      {
+        desc;
+        result = Some result;
+        violations = !violations;
+        events = (if !violations = [] then [] else Audit.events audit);
+        diff = diff_outcome;
+      }
+
+let clean report = report.violations = []
+
+let save_artifact ~path report =
+  Trace.write ~path ~desc:report.desc ~violations:report.violations
+    ~events:report.events

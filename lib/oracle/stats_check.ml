@@ -1,0 +1,41 @@
+open Pcc_core
+
+let check sys (result : System.result) =
+  let config = result.config in
+  let stats = result.stats in
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let accesses = stats.loads + stats.stores in
+  let resolved = stats.l2_hits + Run_stats.total_misses stats in
+  if accesses <> resolved then
+    err "accesses (%d loads + %d stores) <> l2_hits + misses (%d + %d)" stats.loads
+      stats.stores stats.l2_hits (Run_stats.total_misses stats);
+  if (not config.rac_enabled) && stats.rac_hits > 0 then
+    err "RAC disabled but %d RAC hits recorded" stats.rac_hits;
+  if (not config.speculative_updates) && stats.updates_sent > 0 then
+    err "updates disabled but %d updates sent" stats.updates_sent;
+  if not config.delegation_enabled then begin
+    if stats.delegations > 0 then
+      err "delegation disabled but %d delegations recorded" stats.delegations;
+    if stats.undelegations > 0 then
+      err "delegation disabled but %d undelegations recorded" stats.undelegations;
+    if stats.delegation_refusals > 0 then
+      err "delegation disabled but %d refusals recorded" stats.delegation_refusals
+  end;
+  let live_delegated =
+    Array.fold_left
+      (fun acc node -> acc + Node.delegated_line_count node)
+      0 (System.nodes sys)
+  in
+  let accounted = stats.undelegations + stats.delegation_refusals + live_delegated in
+  if stats.delegations < accounted then
+    err "delegations %d < undelegations %d + refusals %d + live %d" stats.delegations
+      stats.undelegations stats.delegation_refusals live_delegated;
+  let classified =
+    result.updates_consumed + result.updates_wasted + stats.updates_as_reply
+  in
+  if classified > stats.updates_sent then
+    err "classified updates (%d consumed + %d wasted + %d as-reply) > %d sent"
+      result.updates_consumed result.updates_wasted stats.updates_as_reply
+      stats.updates_sent;
+  List.rev !errors

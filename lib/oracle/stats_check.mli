@@ -1,0 +1,25 @@
+(** Cross-checks on a completed run's statistics.
+
+    The counters in {!Pcc_core.Run_stats} are incremented at many
+    independent points in the protocol; these identities tie them
+    together so a miscounted path shows up as an imbalance:
+
+    - every access is either an L2 hit or a classified miss:
+      [loads + stores = l2_hits + total_misses];
+    - features that are configured off leave no trace: with the RAC
+      disabled [rac_hits = 0], with updates off [updates_sent = 0], with
+      delegation off [delegations = undelegations = refusals = 0];
+    - delegation bookkeeping balances: every undelegation, refusal, and
+      still-live delegated line was once delegated, so
+      [delegations >= undelegations + refusals + live_delegated]
+      (an inequality — the defensive undelegate path counts on neither
+      side);
+    - every classified update was sent:
+      [updates_consumed + updates_wasted + updates_as_reply <= updates_sent]. *)
+
+open Pcc_core
+
+val check : System.t -> System.result -> string list
+(** Returns one message per violated identity; empty means consistent.
+    Call after the run completes (the live-delegation term reads the
+    producer tables). *)

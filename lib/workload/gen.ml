@@ -54,6 +54,45 @@ module Consumers = struct
     sample ~rng ~nodes ~exclude ~count:size
 end
 
+(* Small random sharing structures for differential/fuzz testing: a few
+   shared lines with per-phase producers and consumer sets drawn up
+   front, so the spec (and hence the generated programs) is a pure
+   function of (nodes, seed). *)
+let random_spec ~nodes ~seed =
+  assert (nodes >= 2);
+  let rng = Rng.create ~seed:(0x5EED + (seed * 65537)) in
+  let phases = 3 in
+  let num_lines = 2 + Rng.int rng ~bound:5 in
+  let lines =
+    List.init num_lines (fun i ->
+        let home = Rng.int rng ~bound:nodes in
+        let producers = Array.init phases (fun _ -> Rng.int rng ~bound:nodes) in
+        let consumers =
+          Array.init phases (fun phase ->
+              Consumers.sample ~rng ~nodes ~exclude:producers.(phase)
+                ~count:(1 + Rng.int rng ~bound:(max 1 (nodes - 1))))
+        in
+        {
+          line = shared_line ~home i;
+          producer_of_phase = (fun phase -> producers.(phase mod phases));
+          consumers_of_phase = (fun phase -> consumers.(phase mod phases));
+          writes_per_epoch = 1 + Rng.int rng ~bound:3;
+          reads_per_epoch = 1 + Rng.int rng ~bound:2;
+        })
+  in
+  {
+    name = "random";
+    nodes;
+    phases;
+    epochs_per_phase = 2;
+    lines;
+    private_lines_per_node = 4;
+    private_accesses_per_epoch = 2;
+    private_write_fraction = 0.5;
+    compute_per_epoch = 200;
+    seed;
+  }
+
 let programs spec =
   assert (spec.nodes > 0 && spec.phases > 0 && spec.epochs_per_phase > 0);
   let node_rngs =

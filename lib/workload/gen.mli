@@ -40,6 +40,13 @@ type app_spec = {
   seed : int;
 }
 
+val random_spec : nodes:int -> seed:int -> app_spec
+(** A small random sharing structure (a few shared lines, three phases
+    with freshly drawn producers and consumer sets, a light private mix)
+    for differential and fuzz testing.  A pure function of
+    [(nodes, seed)], so a failing seed is a complete reproducer.
+    Requires [nodes >= 2]. *)
+
 val programs : app_spec -> Types.op list array
 (** Materialize one program per node.  Deterministic for a given spec. *)
 

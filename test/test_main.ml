@@ -14,4 +14,6 @@ let () =
       ("workload", Test_workload.suite);
       ("mcheck", Test_mcheck.suite);
       ("properties", Test_properties.suite);
+      ("oracle", Test_oracle.suite);
+      ("golden", Test_golden.suite);
     ]

@@ -1,0 +1,232 @@
+(* The oracle subsystem's own tests: the JSONL codec and trace artifacts
+   round-trip, the order checker accepts legal histories and rejects
+   illegal ones, the online auditor catches the injected protocol fault,
+   and — the headline property — oracle-checked runs of every benchmark
+   come back clean, including the differential replay against the model
+   checker. *)
+
+open Pcc_core
+module Oracle = Pcc_oracle
+module Q = QCheck
+
+let line ~home ~index = Types.Layout.make_line ~home ~index
+
+(* ---------------- JSONL codec ---------------- *)
+
+let json_gen =
+  let open Q.Gen in
+  sized @@ fix (fun self n ->
+      let leaf =
+        oneof
+          [
+            return Oracle.Jsonl.Null;
+            map (fun b -> Oracle.Jsonl.Bool b) bool;
+            map (fun i -> Oracle.Jsonl.Int i) small_signed_int;
+            map (fun f -> Oracle.Jsonl.Float (float_of_int f)) small_signed_int;
+            map (fun s -> Oracle.Jsonl.String s) string_printable;
+          ]
+      in
+      if n <= 0 then leaf
+      else
+        frequency
+          [
+            (3, leaf);
+            (1, map (fun l -> Oracle.Jsonl.List l) (list_size (0 -- 4) (self (n / 2))));
+            ( 1,
+              map
+                (fun kvs -> Oracle.Jsonl.Obj kvs)
+                (list_size (0 -- 4)
+                   (pair (string_size ~gen:(char_range 'a' 'z') (1 -- 6)) (self (n / 2))))
+            );
+          ])
+
+let prop_jsonl_roundtrip =
+  Q.Test.make ~count:300 ~name:"jsonl: to_string |> of_string is the identity"
+    (Q.make json_gen)
+    (fun v ->
+      match Oracle.Jsonl.of_string (Oracle.Jsonl.to_string v) with
+      | Ok v' -> v = v'
+      | Error e -> Q.Test.fail_reportf "parse error: %s" e)
+
+(* ---------------- trace artifacts ---------------- *)
+
+let test_trace_roundtrip () =
+  let desc =
+    { Oracle.Trace.bench = "em3d"; config_name = "full"; nodes = 6; scale = 0.25;
+      seed = 17; fault = true }
+  in
+  let events =
+    [
+      Oracle.Trace.Msg { time = 3; src = 1; dst = 2; cls = "inval"; line = line ~home:2 ~index:5 };
+      Oracle.Trace.Commit
+        { time = 9; node = 4; kind = Types.Store; line = line ~home:0 ~index:1;
+          value = 42; started = 7 };
+    ]
+  in
+  let path = Filename.temp_file "pcc-oracle" ".jsonl" in
+  Oracle.Trace.write ~path ~desc ~violations:[ "boom" ] ~events;
+  let reread = Oracle.Trace.read_desc ~path in
+  Sys.remove path;
+  match reread with
+  | Ok desc' -> Alcotest.(check bool) "descriptor round-trips" true (desc = desc')
+  | Error e -> Alcotest.failf "read_desc: %s" e
+
+(* ---------------- order checker ---------------- *)
+
+let test_order_accepts_legal () =
+  let o = Oracle.Order.create () in
+  let l = line ~home:0 ~index:0 in
+  Oracle.Order.record_load o ~node:2 ~line:l ~value:0 ~started:1 ~time:5;
+  Oracle.Order.record_store o ~node:1 ~line:l ~value:10 ~time:10;
+  Oracle.Order.record_load o ~node:2 ~line:l ~value:10 ~started:12 ~time:15;
+  Oracle.Order.record_store o ~node:1 ~line:l ~value:20 ~time:20;
+  (* started before the second store committed: still a legal window *)
+  Oracle.Order.record_load o ~node:3 ~line:l ~value:10 ~started:18 ~time:25;
+  Oracle.Order.record_load o ~node:2 ~line:l ~value:20 ~started:21 ~time:26;
+  Alcotest.(check int) "stores counted" 2 (Oracle.Order.store_count o l);
+  Alcotest.(check int) "last store" 20 (Oracle.Order.last_store o l);
+  match Oracle.Order.linearize o with
+  | [ (l', ops) ] ->
+      Alcotest.(check bool) "same line" true (l = l');
+      let shape =
+        List.map
+          (function
+            | Oracle.Order.O_store { value; _ } -> `S value
+            | Oracle.Order.O_load { value; _ } -> `L value)
+          ops
+      in
+      Alcotest.(check bool) "serial shape" true
+        (shape = [ `L 0; `S 10; `L 10; `L 10; `S 20; `L 20 ])
+  | other -> Alcotest.failf "expected one line, got %d" (List.length other)
+
+let expect_order_violation name f =
+  match f () with
+  | () -> Alcotest.failf "%s: violation not detected" name
+  | exception Oracle.Order.Violation _ -> ()
+
+let test_order_rejects_stale_read () =
+  expect_order_violation "stale read" (fun () ->
+      let o = Oracle.Order.create () in
+      let l = line ~home:1 ~index:3 in
+      Oracle.Order.record_store o ~node:0 ~line:l ~value:7 ~time:10;
+      Oracle.Order.record_store o ~node:0 ~line:l ~value:9 ~time:20;
+      (* started after version 9 committed, yet returned version 7 *)
+      Oracle.Order.record_load o ~node:2 ~line:l ~value:7 ~started:30 ~time:35)
+
+let test_order_rejects_nonmonotone () =
+  expect_order_violation "non-monotone observation" (fun () ->
+      let o = Oracle.Order.create () in
+      let l = line ~home:0 ~index:1 in
+      Oracle.Order.record_store o ~node:0 ~line:l ~value:5 ~time:10;
+      Oracle.Order.record_store o ~node:0 ~line:l ~value:6 ~time:20;
+      Oracle.Order.record_load o ~node:3 ~line:l ~value:6 ~started:25 ~time:30;
+      (* legal window on its own (started before store 6), but node 3
+         already observed the newer version *)
+      Oracle.Order.record_load o ~node:3 ~line:l ~value:5 ~started:5 ~time:40)
+
+let test_order_rejects_unknown_value () =
+  expect_order_violation "load of a value never stored" (fun () ->
+      let o = Oracle.Order.create () in
+      let l = line ~home:0 ~index:2 in
+      Oracle.Order.record_store o ~node:1 ~line:l ~value:3 ~time:10;
+      Oracle.Order.record_load o ~node:2 ~line:l ~value:4 ~started:11 ~time:12)
+
+(* ---------------- fault injection ---------------- *)
+
+let test_fault_is_caught () =
+  (* not every seed's workload pushes an update into the corrupted
+     window, so scan a few; the oracle must catch at least one, and the
+     artifact it writes must replay *)
+  let caught = ref None in
+  let seed = ref 1 in
+  while !caught = None && !seed <= 10 do
+    let desc =
+      { Oracle.Trace.bench = "random"; config_name = "full"; nodes = 6; scale = 0.15;
+        seed = !seed; fault = true }
+    in
+    let report = Oracle.Runner.run ~diff:false desc in
+    if not (Oracle.Runner.clean report) then caught := Some report;
+    incr seed
+  done;
+  match !caught with
+  | None -> Alcotest.fail "injected stale-update fault never caught in 10 seeds"
+  | Some report ->
+      Alcotest.(check bool) "the run aborted online" true (report.result = None);
+      Alcotest.(check bool) "events captured" true (report.events <> []);
+      let path = Filename.temp_file "pcc-oracle-fault" ".jsonl" in
+      Oracle.Runner.save_artifact ~path report;
+      let reread = Oracle.Trace.read_desc ~path in
+      Sys.remove path;
+      (match reread with
+      | Ok desc -> Alcotest.(check bool) "artifact records the fault" true desc.fault
+      | Error e -> Alcotest.failf "artifact unreadable: %s" e)
+
+let test_fault_free_config_ignores_flag () =
+  (* the same workload under the baseline machine has no update path, so
+     the fault flag must be inert there *)
+  let desc =
+    { Oracle.Trace.bench = "random"; config_name = "base"; nodes = 6; scale = 0.15;
+      seed = 2; fault = true }
+  in
+  let report = Oracle.Runner.run ~diff:false desc in
+  Alcotest.(check bool) "clean" true (Oracle.Runner.clean report)
+
+(* ---------------- oracle-checked runs come back clean ---------------- *)
+
+let clean_run desc =
+  let report = Oracle.Runner.run ~max_lines:150 desc in
+  if not (Oracle.Runner.clean report) then
+    Alcotest.failf "%s/%s seed=%d: %s" desc.Oracle.Trace.bench
+      desc.Oracle.Trace.config_name desc.Oracle.Trace.seed
+      (String.concat "; " report.violations);
+  match report.diff with
+  | Some o ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s replayed something" desc.bench desc.config_name)
+        true
+        (o.Oracle.Diff.ops_replayed > 0)
+  | None -> Alcotest.fail "differential replay did not run"
+
+let test_all_benchmarks_clean () =
+  let seed = 1 + (Test_seed.value mod 1000) in
+  List.iter
+    (fun (app : Pcc_workload.Apps.app) ->
+      List.iter
+        (fun config_name ->
+          clean_run
+            { Oracle.Trace.bench = app.name; config_name; nodes = 6; scale = 0.1;
+              seed; fault = false })
+        [ "base"; "full" ])
+    Pcc_workload.Apps.all
+
+let prop_random_runs_clean =
+  Q.Test.make ~count:8 ~name:"oracle: seeded random runs are clean and convergent"
+    Q.(pair small_int small_int)
+    (fun (s, shape) ->
+      let desc =
+        { Oracle.Trace.bench = "random"; config_name = (if shape mod 2 = 0 then "full" else "rac");
+          nodes = 4 + (shape mod 3); scale = 0.1; seed = 1 + s; fault = false }
+      in
+      let report = Oracle.Runner.run ~max_lines:150 desc in
+      if not (Oracle.Runner.clean report) then
+        Q.Test.fail_reportf "seed %d: %s" desc.seed
+          (String.concat "; " report.violations);
+      true)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_jsonl_roundtrip;
+    Alcotest.test_case "trace artifact round-trips" `Quick test_trace_roundtrip;
+    Alcotest.test_case "order: accepts a legal history" `Quick test_order_accepts_legal;
+    Alcotest.test_case "order: rejects a stale read" `Quick test_order_rejects_stale_read;
+    Alcotest.test_case "order: rejects non-monotone observation" `Quick
+      test_order_rejects_nonmonotone;
+    Alcotest.test_case "order: rejects an unknown value" `Quick
+      test_order_rejects_unknown_value;
+    Alcotest.test_case "audit catches the injected fault" `Quick test_fault_is_caught;
+    Alcotest.test_case "fault flag inert without updates" `Quick
+      test_fault_free_config_ignores_flag;
+    Alcotest.test_case "all benchmarks clean under the oracle" `Slow
+      test_all_benchmarks_clean;
+    QCheck_alcotest.to_alcotest prop_random_runs_clean;
+  ]

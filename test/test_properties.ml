@@ -115,6 +115,39 @@ let prop_cache_matches_reference =
         !reference
       && Pcc_memory.Cache.size cache = List.length !reference)
 
+(* ---------------- predictor hysteresis ---------------- *)
+
+(* The write-repeat counter must saturate at the configured threshold and
+   drop straight back to zero the moment a different node writes — the
+   hysteresis that keeps one migratory write from flagging a block. *)
+let prop_predictor_hysteresis =
+  Q.Test.make ~count:300 ~name:"predictor: write-repeat bounded, resets on writer change"
+    Q.(pair (int_range 1 3) (small_list (pair (int_bound 3) bool)))
+    (fun (threshold, script) ->
+      let params =
+        { Predictor.write_repeat_threshold = threshold; reader_count_max = 3 }
+      in
+      let entry = Predictor.fresh () in
+      let last_writer = ref None in
+      List.for_all
+        (fun (node, is_write) ->
+          if is_write then begin
+            let changed =
+              match !last_writer with Some w -> w <> node | None -> false
+            in
+            Predictor.record_write params entry ~writer:node;
+            last_writer := Some node;
+            Predictor.write_repeat entry <= threshold
+            && ((not changed) || Predictor.write_repeat entry = 0)
+            && Predictor.is_producer_consumer params entry
+               = (Predictor.write_repeat entry >= threshold)
+          end
+          else begin
+            Predictor.record_read params entry ~reader:node ~unique:true;
+            Predictor.write_repeat entry <= threshold
+          end)
+        script)
+
 (* ---------------- nodeset vs stdlib Set ---------------- *)
 
 module Int_set = Set.Make (Int)
@@ -129,6 +162,33 @@ let prop_nodeset_matches_set =
       && Nodeset.to_list (Nodeset.diff ns_a ns_b) = Int_set.elements (Int_set.diff set_a set_b)
       && Nodeset.cardinal ns_a = Int_set.cardinal set_a
       && List.for_all (fun x -> Nodeset.mem ns_a x = Int_set.mem x set_a) (xs @ ys))
+
+(* A second, independent reference: drive the same add/remove script
+   through Nodeset and a sorted-unique list, comparing every observer
+   after each step. *)
+let prop_nodeset_add_remove_matches_list =
+  Q.Test.make ~count:300 ~name:"nodeset add/remove agrees with a list reference"
+    Q.(small_list (pair (int_bound 61) bool))
+    (fun script ->
+      let ns = ref Nodeset.empty and reference = ref [] in
+      List.for_all
+        (fun (x, add) ->
+          if add then begin
+            ns := Nodeset.add !ns x;
+            reference := List.sort_uniq compare (x :: !reference)
+          end
+          else begin
+            ns := Nodeset.remove !ns x;
+            reference := List.filter (fun y -> y <> x) !reference
+          end;
+          Nodeset.to_list !ns = !reference
+          && Nodeset.cardinal !ns = List.length !reference
+          && Nodeset.is_empty !ns = (!reference = [])
+          && Nodeset.mem !ns x = List.mem x !reference
+          && Nodeset.fold (fun y acc -> y + acc) !ns 0
+             = List.fold_left ( + ) 0 !reference
+          && Nodeset.equal !ns (Nodeset.of_list !reference))
+        script)
 
 (* ---------------- histogram properties ---------------- *)
 
@@ -195,7 +255,9 @@ let suite =
       prop_full_tiny_structures_coherent;
       prop_aggressive_delegation_coherent;
       prop_cache_matches_reference;
+      prop_predictor_hysteresis;
       prop_nodeset_matches_set;
+      prop_nodeset_add_remove_matches_list;
       prop_histogram_total;
       prop_geomean_bounds;
       prop_memcheck_accepts_serial_execution;

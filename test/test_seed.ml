@@ -1,0 +1,12 @@
+(* The single base seed every deterministic test in the repository
+   derives from.  Override it to reproduce a CI failure locally or to
+   diversify coverage across runs:
+
+     PCC_TEST_SEED=1234 dune runtest
+
+   Golden tests (test_golden.ml) pin their own seed and ignore this. *)
+
+let value =
+  match Sys.getenv_opt "PCC_TEST_SEED" with
+  | Some s -> ( match int_of_string_opt s with Some v -> v | None -> 0xC0FFEE)
+  | None -> 0xC0FFEE
