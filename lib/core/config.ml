@@ -28,6 +28,14 @@ type t = {
   nack_retry_delay : int;
   barrier_latency : int;
   network : Pcc_interconnect.Network.config;
+  net_faults : Pcc_interconnect.Fault.profile option;
+  link_rto : int;
+  link_rto_cap : int;
+  txn_timeout : int;
+  txn_timeout_cap : int;
+  fallback_threshold : int;
+  watchdog_interval : int;
+  watchdog_checks : int;
   seed : int;
   inject_fault : fault option;
 }
@@ -65,6 +73,14 @@ let base ?(nodes = 16) () =
     nack_retry_delay = 50;
     barrier_latency = 200;
     network = Pcc_interconnect.Network.default_config;
+    net_faults = None;
+    link_rto = 500;
+    link_rto_cap = 8_000;
+    txn_timeout = 5_000;
+    txn_timeout_cap = 80_000;
+    fallback_threshold = 3;
+    watchdog_interval = 100_000;
+    watchdog_checks = 10;
     seed = 42;
     inject_fault = None;
   }
@@ -97,6 +113,10 @@ let small_full ?nodes () = full ?nodes ~rac_bytes:(kib 32) ~delegate_entries:32 
 let large_full ?nodes () = full ?nodes ~rac_bytes:(mib 1) ~delegate_entries:1024 ()
 
 let with_hop_latency t hop_latency = { t with network = { t.network with hop_latency } }
+
+let with_faults t profile = { t with net_faults = Some profile }
+
+let hardened t = t.net_faults <> None
 
 let l2_lines t = t.l2_bytes / t.line_bytes
 

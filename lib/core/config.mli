@@ -56,6 +56,31 @@ type t = {
   barrier_latency : int;
   (* Interconnect *)
   network : Pcc_interconnect.Network.config;
+  (* Fault injection and recovery (robustness layer) *)
+  net_faults : Pcc_interconnect.Fault.profile option;
+      (** chaos profile for the interconnect (default [None] = reliable
+          network).  Setting it also arms the hub link layer, transaction
+          timeouts, and the progress watchdog — see {!hardened}. *)
+  link_rto : int;
+      (** initial hub-link retransmission timeout, cycles *)
+  link_rto_cap : int;
+      (** ceiling for the link layer's exponential backoff *)
+  txn_timeout : int;
+      (** cycles a pending transaction may sit without completing before
+          the node re-attempts it and records a strike against the line
+          (0 disables; only armed when {!hardened}) *)
+  txn_timeout_cap : int;
+      (** ceiling for the per-transaction timeout backoff *)
+  fallback_threshold : int;
+      (** timeout strikes against a line before the node gives up on the
+          optimized path for it: the line is undelegated, speculative
+          updates are disabled, and future delegation requests are
+          refused — falling back to the verified base 3-hop protocol *)
+  watchdog_interval : int;
+      (** executed events between progress-watchdog samples *)
+  watchdog_checks : int;
+      (** consecutive no-progress samples before the run is declared
+          stalled (livelock) *)
   seed : int;
   inject_fault : fault option;
       (** deliberately break the protocol (test-only, default [None]) *)
@@ -82,6 +107,15 @@ val large_full : ?nodes:int -> unit -> t
 
 val with_hop_latency : t -> int -> t
 (** Functional update of the network hop latency (Fig. 10 sweeps). *)
+
+val with_faults : t -> Pcc_interconnect.Fault.profile -> t
+(** Enable interconnect fault injection with the given chaos profile
+    (and with it the recovery machinery — see {!hardened}). *)
+
+val hardened : t -> bool
+(** True when a fault profile is configured: the hub link layer runs in
+    reliable (seq/ack/retransmit) mode, transaction timeouts are armed,
+    and {!Pcc_core.System.create} installs the progress watchdog. *)
 
 val l2_lines : t -> int
 

@@ -1,0 +1,134 @@
+module Sim = Pcc_engine.Simulator
+module Network = Pcc_interconnect.Network
+
+type 'a frame = Data of { seq : int; payload : 'a } | Ack of { upto : int }
+
+(* Sender half of one (this node -> dst) link. *)
+type 'a link_out = {
+  mutable next_seq : int;
+  unacked : (int, int * 'a) Hashtbl.t;  (* seq -> wire bytes, payload *)
+}
+
+(* Receiver half of one (src -> this node) link. *)
+type 'a link_in = {
+  mutable expected : int;
+  held : (int, 'a) Hashtbl.t;  (* out-of-order frames awaiting the gap *)
+}
+
+type 'a t = {
+  sim : Sim.t;
+  network : 'a frame Network.t;
+  id : int;
+  reliable : bool;
+  rto : int;
+  rto_cap : int;
+  ack_bytes : int;
+  out : 'a link_out array;
+  inn : 'a link_in array;
+  on_retransmit : unit -> unit;
+  on_duplicate : unit -> unit;
+  deliver : src:int -> 'a -> unit;
+}
+
+let in_flight t = Array.fold_left (fun acc o -> acc + Hashtbl.length o.unacked) 0 t.out
+
+(* Exponential backoff from [rto], capped at [rto_cap]: retransmission is
+   unbounded in count (delivery must eventually succeed once a transient
+   outage ends) but bounded in rate. *)
+let backoff t attempt = min t.rto_cap (t.rto lsl min attempt 16)
+
+let rec arm_retransmit t ~dst ~seq ~attempt =
+  Sim.schedule t.sim ~delay:(backoff t attempt) (fun () ->
+      match Hashtbl.find_opt t.out.(dst).unacked seq with
+      | None -> () (* acknowledged meanwhile *)
+      | Some (bytes, payload) ->
+          t.on_retransmit ();
+          if Sim.trace_enabled t.sim then
+            Sim.record t.sim ~time:(Sim.now t.sim)
+              (Printf.sprintf "link %d->%d retransmit seq %d (attempt %d)" t.id dst seq
+                 (attempt + 1));
+          Network.send t.network ~src:t.id ~dst ~bytes (Data { seq; payload });
+          arm_retransmit t ~dst ~seq ~attempt:(attempt + 1))
+
+let send t ~dst ~bytes payload =
+  if (not t.reliable) || dst = t.id then
+    (* pass-through: same packet count, bytes, and delivery schedule as a
+       bare network — the link layer is zero-cost when hardening is off,
+       and hub-local traffic never needs it *)
+    Network.send t.network ~src:t.id ~dst ~bytes (Data { seq = 0; payload })
+  else begin
+    let out = t.out.(dst) in
+    let seq = out.next_seq in
+    out.next_seq <- seq + 1;
+    Hashtbl.replace out.unacked seq (bytes, payload);
+    Network.send t.network ~src:t.id ~dst ~bytes (Data { seq; payload });
+    arm_retransmit t ~dst ~seq ~attempt:0
+  end
+
+let send_ack t ~dst ~upto =
+  Network.send t.network ~src:t.id ~dst ~bytes:t.ack_bytes (Ack { upto })
+
+let receive t ~src frame =
+  match frame with
+  | Ack { upto } ->
+      let out = t.out.(src) in
+      let acked =
+        Hashtbl.fold (fun seq _ acc -> if seq <= upto then seq :: acc else acc)
+          out.unacked []
+      in
+      List.iter (Hashtbl.remove out.unacked) acked
+  | Data { payload; _ } when (not t.reliable) || src = t.id -> t.deliver ~src payload
+  | Data { seq; payload } ->
+      let inn = t.inn.(src) in
+      if seq = inn.expected then begin
+        inn.expected <- seq + 1;
+        t.deliver ~src payload;
+        (* release any buffered successors the gap was holding back *)
+        let rec drain () =
+          match Hashtbl.find_opt inn.held inn.expected with
+          | Some next ->
+              Hashtbl.remove inn.held inn.expected;
+              inn.expected <- inn.expected + 1;
+              t.deliver ~src next;
+              drain ()
+          | None -> ()
+        in
+        drain ();
+        send_ack t ~dst:src ~upto:(inn.expected - 1)
+      end
+      else if seq > inn.expected then begin
+        (* out of order: hold until the gap fills, so the layer above
+           keeps its per-link FIFO guarantee under reordering *)
+        if Hashtbl.mem inn.held seq then t.on_duplicate ()
+        else Hashtbl.replace inn.held seq payload;
+        send_ack t ~dst:src ~upto:(inn.expected - 1)
+      end
+      else begin
+        (* duplicate of an already-delivered frame (retransmission or
+           chaos-layer copy): suppress, but re-ack in case our previous
+           acknowledgement was lost *)
+        t.on_duplicate ();
+        send_ack t ~dst:src ~upto:(inn.expected - 1)
+      end
+
+let create ~sim ~network ~id ~nodes ~reliable ~rto ~rto_cap ~ack_bytes ~on_retransmit
+    ~on_duplicate ~deliver =
+  if reliable && rto <= 0 then invalid_arg "Hub_link.create: rto must be positive";
+  let t =
+    {
+      sim;
+      network;
+      id;
+      reliable;
+      rto;
+      rto_cap = max rto rto_cap;
+      ack_bytes;
+      out = Array.init nodes (fun _ -> { next_seq = 0; unacked = Hashtbl.create 8 });
+      inn = Array.init nodes (fun _ -> { expected = 0; held = Hashtbl.create 8 });
+      on_retransmit;
+      on_duplicate;
+      deliver;
+    }
+  in
+  Network.set_receiver network ~node:id (fun ~src frame -> receive t ~src frame);
+  t

@@ -88,6 +88,10 @@ type t =
 
 val line_of : t -> Types.line
 
+val header_bytes : int
+(** Fixed per-packet header size; also the wire cost of a hub-link
+    acknowledgement frame, which carries no payload. *)
+
 val wire_bytes : line_bytes:int -> t -> int
 (** Logical packet size: a 16-byte header, plus the line payload for
     data-carrying messages, plus 8 bytes of directory state for

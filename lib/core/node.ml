@@ -1,5 +1,4 @@
 module Sim = Pcc_engine.Simulator
-module Network = Pcc_interconnect.Network
 module Producer = Delegate_cache.Producer
 module Consumer = Delegate_cache.Consumer
 
@@ -21,6 +20,7 @@ type pending = {
   started : int;
   tid : int;  (* MSHR tag echoed by replies; stale replies are dropped *)
   on_commit : unit -> unit;
+  mutable timeouts : int;  (* completion-timeout expiries (hardened mode) *)
   mutable target : Types.node_id;
   mutable reply_src : Types.node_id;
   mutable acks_needed : int;
@@ -70,7 +70,7 @@ type commit_event = {
 type t = {
   config : Config.t;
   sim : Sim.t;
-  network : Message.t Network.t;
+  hub : Message.t Hub_link.t;
   id : Types.node_id;
   stats : Run_stats.t;
   memcheck : Memory_check.t;
@@ -85,6 +85,10 @@ type t = {
   params : Predictor.params;
   wb_pending : (Types.line, unit) Hashtbl.t;
       (* lines with an unacknowledged writeback in flight *)
+  strikes : (Types.line, int) Hashtbl.t;
+      (* completion-timeout strikes per line (hardened mode) *)
+  fallback_lines : (Types.line, unit) Hashtbl.t;
+      (* lines demoted to the base protocol: no delegation, no updates *)
   mutable next_tid : int;
   mutable pending : pending option;
   mutable trace : (time:int -> dst:Types.node_id -> Message.t -> unit) list;
@@ -129,8 +133,12 @@ let find_producer t line =
    been delivered on this bounded-latency interconnect, so their targets
    age out without a flush round. *)
 let fence_needed t entry =
+  (* the aging shortcut is sound only on a reliable, bounded-latency
+     interconnect; under fault injection delivery latency is unbounded,
+     so every undelegation takes the full flush round *)
   if
-    (not (Nodeset.is_empty entry.unflushed))
+    (not (Config.hardened t.config))
+    && (not (Nodeset.is_empty entry.unflushed))
     && Sim.now t.sim - entry.last_push > t.config.flush_window
   then entry.unflushed <- Nodeset.empty;
   (not (Nodeset.is_empty entry.unflushed)) || entry.flush_acks > 0
@@ -162,7 +170,7 @@ let send t ~dst msg =
   | fs -> List.iter (fun f -> f ~time:(Sim.now t.sim) ~dst msg) fs);
   if dst <> t.id then
     Pcc_stats.Counter.incr t.stats.message_classes (Message.class_name msg);
-  Network.send t.network ~src:t.id ~dst
+  Hub_link.send t.hub ~dst
     ~bytes:(Message.wire_bytes ~line_bytes:t.config.line_bytes msg)
     msg
 
@@ -235,7 +243,7 @@ let downgrade_and_push t line entry ~exclude =
       | None -> assert false)
   | Some L2.{ state = Shared; _ } | None -> () (* data already in the RAC *));
   entry.pstate <- P_shared;
-  if t.config.speculative_updates then begin
+  if t.config.speculative_updates && not (Hashtbl.mem t.fallback_lines line) then begin
     let value =
       match t.rac with
       | Some rac -> ( match Rac.peek rac line with Some v -> v | None -> assert false)
@@ -338,6 +346,47 @@ let do_undelegate t line entry ~pending =
 
 (* Victim already evicted from the producer table by an insert. *)
 let undelegate_victim t line entry = undelegate_common t line entry ~pending:None
+
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation (hardened mode)                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A completion timeout records a strike against the line.  Past the
+   configured threshold the node stops trusting the optimized path for
+   it: the consumer hint is dropped, future delegation offers are
+   refused, speculative updates stop, and — if this node is the line's
+   delegated home — the line is given back, falling back to the
+   verified base 3-hop protocol. *)
+let note_strike t line =
+  let strikes =
+    (match Hashtbl.find_opt t.strikes line with Some n -> n | None -> 0) + 1
+  in
+  Hashtbl.replace t.strikes line strikes;
+  if
+    strikes >= t.config.fallback_threshold
+    && not (Hashtbl.mem t.fallback_lines line)
+  then begin
+    Hashtbl.replace t.fallback_lines line ();
+    t.stats.fallbacks <- t.stats.fallbacks + 1;
+    (match t.consumer_table with
+    | Some table -> Consumer.remove table line
+    | None -> ());
+    if Sim.trace_enabled t.sim then
+      Sim.record t.sim ~time:(Sim.now t.sim)
+        (Printf.sprintf "node %d: line %d@%d falls back to base protocol" t.id
+           (Types.Layout.index_of_line line)
+           (Types.Layout.home_of_line line));
+    match find_producer t line with
+    | None -> ()
+    | Some entry ->
+        if entry.pstate = P_busy || fence_needed t entry then begin
+          (match entry.after_busy with
+          | No_recall -> entry.after_busy <- Undelegate_plain
+          | Undelegate_plain | Undelegate_with _ -> ());
+          if entry.pstate <> P_busy then start_flush t line entry
+        end
+        else do_undelegate t line entry ~pending:None
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Miss classification                                                 *)
@@ -544,7 +593,9 @@ and schedule_retry t p =
   t.stats.retries <- t.stats.retries + 1;
   let jitter = Pcc_engine.Rng.int t.rng ~bound:16 in
   Sim.schedule t.sim ~delay:(t.config.nack_retry_delay + jitter) (fun () ->
-      match t.pending with Some q when q == p -> start_attempt t q | _ -> ())
+      match t.pending with
+      | Some q when q == p && not q.have_data -> start_attempt t q
+      | _ -> () (* committed, superseded, or granted while the retry waited *))
 
 (* ------------------------------------------------------------------ *)
 (* Home-side request handling                                          *)
@@ -854,6 +905,10 @@ let on_delegate t ~src line ~sharers ~value ~acks_expected ~tid =
         accept_grant ()
       in
       match (t.producer_table, t.rac) with
+      | _ when Hashtbl.mem t.fallback_lines line ->
+          (* this line repeatedly timed out on the optimized path: stay
+             on the verified base protocol *)
+          refuse ()
       | Some table, Some rac ->
           (* fence locks age out with the flush window; refresh them so a
              stale lock cannot spuriously refuse this delegation *)
@@ -924,7 +979,11 @@ let on_inv_ack t line =
 
 let on_nack t line ~reason ~tid =
   match t.pending with
-  | Some p when p.line = line && p.tid = tid ->
+  (* [not p.have_data]: a timeout re-attempt can elicit a NACK for a
+     transaction the original request already granted (impossible on a
+     reliable network, where each tid sees exactly one reply); retrying a
+     granted store would re-enter the upgrade path mid-flight *)
+  | Some p when p.line = line && p.tid = tid && not p.have_data ->
       t.stats.nacks_received <- t.stats.nacks_received + 1;
       (match (reason, t.consumer_table) with
       | Message.Not_home, Some table -> Consumer.remove table line
@@ -1060,6 +1119,33 @@ let handle_message t ~src (msg : Message.t) =
 (* Processor interface                                                 *)
 (* ------------------------------------------------------------------ *)
 
+(* Second-line defense (the hub link already guarantees delivery): a
+   transaction that sits unfinished for the timeout re-attempts — unless
+   it already holds data and is merely collecting acks, which duplicate
+   requests could corrupt — and records a strike that may demote the line
+   to the base protocol.  The timer re-arms with exponential backoff so a
+   genuinely slow transaction is not hammered. *)
+let rec arm_txn_timeout t p ~delay =
+  Sim.schedule t.sim ~delay (fun () ->
+      match t.pending with
+      | Some q when q == p ->
+          t.stats.txn_timeouts <- t.stats.txn_timeouts + 1;
+          p.timeouts <- p.timeouts + 1;
+          if Sim.trace_enabled t.sim then
+            Sim.record t.sim ~time:(Sim.now t.sim)
+              (Printf.sprintf "node %d: %s on line %d@%d timed out (strike %d)" t.id
+                 (match p.kind with Types.Load -> "load" | Types.Store -> "store")
+                 (Types.Layout.index_of_line p.line)
+                 (Types.Layout.home_of_line p.line)
+                 p.timeouts);
+          note_strike t p.line;
+          if not p.have_data then start_attempt t p;
+          arm_txn_timeout t p
+            ~delay:
+              (min t.config.txn_timeout_cap
+                 (t.config.txn_timeout lsl min p.timeouts 10))
+      | _ -> () (* committed; let the timer die *))
+
 let start_miss t ~kind ~line ~on_commit =
   t.next_tid <- t.next_tid + 1;
   let p =
@@ -1069,6 +1155,7 @@ let start_miss t ~kind ~line ~on_commit =
       started = Sim.now t.sim;
       tid = t.next_tid;
       on_commit;
+      timeouts = 0;
       target = t.id;
       reply_src = t.id;
       acks_needed = 0;
@@ -1079,7 +1166,9 @@ let start_miss t ~kind ~line ~on_commit =
     }
   in
   t.pending <- Some p;
-  start_attempt t p
+  start_attempt t p;
+  if Config.hardened t.config && t.config.txn_timeout > 0 then
+    arm_txn_timeout t p ~delay:t.config.txn_timeout
 
 let submit t ~kind ~line ~on_commit =
   if t.pending <> None then invalid_arg "Node.submit: operation already pending";
@@ -1156,11 +1245,24 @@ let create ~config ~sim ~network ~id ~stats ~memcheck ~next_version ~rng =
            ~ways:config.delegate_ways ())
     else None
   in
+  (* The hub link needs the node's message handler and the node needs the
+     hub to send: tie the knot through a forward reference. *)
+  let handler = ref (fun ~src:_ (_ : Message.t) -> assert false) in
+  let hub =
+    Hub_link.create ~sim ~network ~id ~nodes:config.nodes
+      ~reliable:(Config.hardened config) ~rto:config.link_rto
+      ~rto_cap:config.link_rto_cap ~ack_bytes:Message.header_bytes
+      ~on_retransmit:(fun () ->
+        stats.Run_stats.retransmits <- stats.Run_stats.retransmits + 1)
+      ~on_duplicate:(fun () ->
+        stats.Run_stats.dup_dropped <- stats.Run_stats.dup_dropped + 1)
+      ~deliver:(fun ~src msg -> !handler ~src msg)
+  in
   let t =
     {
       config;
       sim;
-      network;
+      hub;
       id;
       stats;
       memcheck;
@@ -1174,13 +1276,15 @@ let create ~config ~sim ~network ~id ~stats ~memcheck ~next_version ~rng =
       dram = Pcc_memory.Dram.create ~latency:config.dram_latency ();
       params = Predictor.params_of_config config;
       wb_pending = Hashtbl.create 16;
+      strikes = Hashtbl.create 16;
+      fallback_lines = Hashtbl.create 16;
       next_tid = 0;
       pending = None;
       trace = [];
       commit_hooks = [];
     }
   in
-  Network.set_receiver network ~node:id (fun ~src msg -> handle_message t ~src msg);
+  handler := (fun ~src msg -> handle_message t ~src msg);
   t
 
 (* ------------------------------------------------------------------ *)
@@ -1249,6 +1353,13 @@ let rac_pinned t line =
 
 let pending_op t =
   match t.pending with Some p -> Some (p.kind, p.line) | None -> None
+
+let pending_info t =
+  match t.pending with
+  | Some p -> Some (p.kind, p.line, p.started, p.timeouts)
+  | None -> None
+
+let in_fallback t line = Hashtbl.mem t.fallback_lines line
 
 let wb_in_flight t line = Hashtbl.mem t.wb_pending line
 

@@ -13,14 +13,17 @@ type t
 val create :
   config:Config.t ->
   sim:Pcc_engine.Simulator.t ->
-  network:Message.t Pcc_interconnect.Network.t ->
+  network:Message.t Hub_link.frame Pcc_interconnect.Network.t ->
   id:Types.node_id ->
   stats:Run_stats.t ->
   memcheck:Memory_check.t ->
   next_version:(unit -> int) ->
   rng:Pcc_engine.Rng.t ->
   t
-(** Build a node and register it as the network receiver for [id].
+(** Build a node and register its hub link endpoint as the network
+    receiver for [id].  All node traffic travels as {!Hub_link.frame}s;
+    with a fault profile configured ({!Config.hardened}) the link runs
+    in reliable mode, otherwise it is a strict pass-through.
     [next_version] supplies globally unique store values for coherence
     checking. *)
 
@@ -110,6 +113,16 @@ val rac_pinned : t -> Types.line -> bool
 
 val pending_op : t -> (Types.op_kind * Types.line) option
 (** The outstanding processor transaction, if any. *)
+
+val pending_info : t -> (Types.op_kind * Types.line * int * int) option
+(** The outstanding transaction with its start cycle and the number of
+    completion timeouts it has taken — the raw material of a stall
+    report. *)
+
+val in_fallback : t -> Types.line -> bool
+(** True when repeated completion timeouts demoted the line to the base
+    3-hop protocol on this node (no delegation, no speculative
+    updates). *)
 
 val wb_in_flight : t -> Types.line -> bool
 (** True while a writeback for the line awaits its acknowledgement. *)

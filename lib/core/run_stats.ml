@@ -21,6 +21,10 @@ type t = {
   mutable dir_cache_hits : int;
   mutable dir_cache_misses : int;
   mutable writebacks : int;
+  mutable retransmits : int;
+  mutable dup_dropped : int;
+  mutable txn_timeouts : int;
+  mutable fallbacks : int;
 }
 
 let create () =
@@ -47,6 +51,10 @@ let create () =
     dir_cache_hits = 0;
     dir_cache_misses = 0;
     writebacks = 0;
+    retransmits = 0;
+    dup_dropped = 0;
+    txn_timeouts = 0;
+    fallbacks = 0;
   }
 
 let record_miss t (miss : Types.miss_class) ~latency =
@@ -77,9 +85,11 @@ let pp ppf t =
      misses: rac=%d local-mem=%d 2hop=%d 3hop=%d (remote %.1f%%)@,\
      nacks=%d retries=%d delegations=%d undelegations=%d refusals=%d@,\
      updates: sent=%d as-reply=%d@,\
-     invals=%d interventions=%d writebacks=%d dir$=%d/%d@]"
+     invals=%d interventions=%d writebacks=%d dir$=%d/%d@,\
+     recovery: retransmits=%d dup-dropped=%d txn-timeouts=%d fallbacks=%d@]"
     t.loads t.stores t.l2_hits t.rac_hits t.local_mem_misses t.remote_2hop t.remote_3hop
     (100.0 *. remote_miss_fraction t)
     t.nacks_received t.retries t.delegations t.undelegations t.delegation_refusals
     t.updates_sent t.updates_as_reply t.invals_sent t.interventions_sent t.writebacks
-    t.dir_cache_hits t.dir_cache_misses
+    t.dir_cache_hits t.dir_cache_misses t.retransmits t.dup_dropped t.txn_timeouts
+    t.fallbacks

@@ -30,6 +30,16 @@ type t = {
   mutable dir_cache_hits : int;
   mutable dir_cache_misses : int;
   mutable writebacks : int;
+  (* Fault recovery (only nonzero when a chaos profile is configured) *)
+  mutable retransmits : int;
+      (** hub-link packets re-sent after a retransmission timeout *)
+  mutable dup_dropped : int;
+      (** hub-link frames suppressed as duplicates at the receiver *)
+  mutable txn_timeouts : int;
+      (** pending transactions that hit their completion timeout *)
+  mutable fallbacks : int;
+      (** lines demoted to the base 3-hop protocol after repeated
+          timeouts (undelegated, updates off, delegation refused) *)
 }
 
 val create : unit -> t

@@ -7,18 +7,19 @@ type barrier = { mutable arrived : int; mutable waiters : (unit -> unit) list }
 type t = {
   config : Config.t;
   sim : Sim.t;
-  network : Message.t Network.t;
+  network : Message.t Hub_link.frame Network.t;
   nodes : Node.t array;
   stats : Run_stats.t;
   memcheck : Memory_check.t;
   barriers : (int, barrier) Hashtbl.t;
   mutable last_finish : int;
+  mutable commits : int;  (* watchdog progress counter (hardened mode) *)
 }
 
 let create ~(config : Config.t) () =
   let sim = Sim.create () in
   let topology = Topology.fat_tree ~nodes:config.nodes ~radix:8 in
-  let network = Network.create sim topology config.network in
+  let network = Network.create ?faults:config.net_faults sim topology config.network in
   let stats = Run_stats.create () in
   let memcheck = Memory_check.create () in
   let version = ref 0 in
@@ -32,7 +33,41 @@ let create ~(config : Config.t) () =
         Node.create ~config ~sim ~network ~id ~stats ~memcheck ~next_version
           ~rng:(Pcc_engine.Rng.split rng))
   in
-  { config; sim; network; nodes; stats; memcheck; barriers = Hashtbl.create 16; last_finish = 0 }
+  let t =
+    {
+      config;
+      sim;
+      network;
+      nodes;
+      stats;
+      memcheck;
+      barriers = Hashtbl.create 16;
+      last_finish = 0;
+      commits = 0;
+    }
+  in
+  if Config.hardened config then begin
+    (* livelock detection: committed operations are the progress measure —
+       under fault injection events keep flowing (retransmissions, retries)
+       even when the protocol is stuck *)
+    Sim.set_watchdog sim ~interval:config.watchdog_interval
+      ~stall_checks:config.watchdog_checks
+      ~progress:(fun () -> t.commits);
+    Array.iter
+      (fun node ->
+        Node.on_commit node (fun (e : Node.commit_event) ->
+            t.commits <- t.commits + 1;
+            Sim.record sim ~time:e.c_time
+              (Printf.sprintf "node %d commits %s" e.c_node
+                 (match e.c_kind with Types.Load -> "load" | Types.Store -> "store")));
+        Node.set_trace node (fun ~time ~dst msg ->
+            if Sim.trace_enabled sim then
+              Sim.record sim ~time
+                (Printf.sprintf "%d->%d %s" (Node.id node) dst
+                   (Message.class_name msg))))
+      nodes
+  end;
+  t
 
 let sim t = t.sim
 
@@ -47,6 +82,8 @@ let stats t = t.stats
 let network_messages t = Network.messages_sent t.network
 
 let network_bytes t = Network.bytes_sent t.network
+
+let fault_stats t = Network.fault_stats t.network
 
 let submit t ~node ~kind ~line ~on_commit =
   Node.submit t.nodes.(node) ~kind ~line ~on_commit
@@ -72,6 +109,22 @@ let on_message t f =
       Node.set_trace node (fun ~time ~dst msg -> f ~time ~src ~dst msg))
     t.nodes
 
+(* One transaction still outstanding when a run failed to drain. *)
+type in_flight = {
+  stalled_node : Types.node_id;
+  stalled_kind : Types.op_kind;
+  stalled_line : Types.line;
+  stalled_since : int;
+  stalled_timeouts : int;
+}
+
+type stall_report = {
+  stall_outcome : Sim.outcome;
+  stall_unfinished : int;
+  stall_in_flight : in_flight list;
+  stall_recent : (int * string) list;
+}
+
 type result = {
   config : Config.t;
   cycles : int;
@@ -83,7 +136,27 @@ type result = {
   invariant_errors : string list;
   updates_consumed : int;
   updates_wasted : int;
+  stall : stall_report option;
 }
+
+let pp_stall_report ppf r =
+  Format.fprintf ppf "@[<v>run ended %a with %d processor(s) unfinished"
+    Sim.pp_outcome r.stall_outcome r.stall_unfinished;
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "@,  node %d: %s on line %d@@%d in flight since cycle %d (%d timeouts)"
+        f.stalled_node
+        (match f.stalled_kind with Types.Load -> "load" | Types.Store -> "store")
+        (Types.Layout.index_of_line f.stalled_line)
+        (Types.Layout.home_of_line f.stalled_line)
+        f.stalled_since f.stalled_timeouts)
+    r.stall_in_flight;
+  (match r.stall_recent with
+  | [] -> ()
+  | events ->
+      Format.fprintf ppf "@,recent events:";
+      List.iter (fun (time, label) -> Format.fprintf ppf "@,  [%d] %s" time label) events);
+  Format.fprintf ppf "@]"
 
 (* A barrier releases every processor [barrier_latency] cycles after the
    last arrival, modeling the synchronization round trip without adding
@@ -148,6 +221,29 @@ let run_programs ?max_events (t : t) programs =
   let updates_wasted =
     Array.fold_left (fun acc node -> acc + Node.rac_updates_wasted node) 0 t.nodes
   in
+  let stall =
+    if outcome = Sim.Drained && !remaining = 0 then None
+    else
+      Some
+        {
+          stall_outcome = outcome;
+          stall_unfinished = !remaining;
+          stall_in_flight =
+            Array.to_list t.nodes
+            |> List.filter_map (fun node ->
+                   Option.map
+                     (fun (kind, line, started, timeouts) ->
+                       {
+                         stalled_node = Node.id node;
+                         stalled_kind = kind;
+                         stalled_line = line;
+                         stalled_since = started;
+                         stalled_timeouts = timeouts;
+                       })
+                     (Node.pending_info node));
+          stall_recent = Sim.recent_events t.sim;
+        }
+  in
   {
     config = t.config;
     cycles = t.last_finish;
@@ -159,6 +255,7 @@ let run_programs ?max_events (t : t) programs =
     invariant_errors;
     updates_consumed;
     updates_wasted;
+    stall;
   }
 
 let run ?max_events ~config ~programs () =
@@ -174,4 +271,7 @@ let pp_result ppf r =
     r.violations
     (match r.invariant_errors with
     | [] -> ""
-    | errs -> Printf.sprintf ", INVARIANT ERRORS: %d" (List.length errs))
+    | errs -> Printf.sprintf ", INVARIANT ERRORS: %d" (List.length errs));
+  match r.stall with
+  | None -> ()
+  | Some stall -> Format.fprintf ppf "@\n%a" pp_stall_report stall

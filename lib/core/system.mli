@@ -23,6 +23,9 @@ val network_messages : t -> int
 
 val network_bytes : t -> int
 
+val fault_stats : t -> Pcc_interconnect.Fault.stats option
+(** Chaos-layer injection counters, when a fault profile is configured. *)
+
 val submit :
   t -> node:Types.node_id -> kind:Types.op_kind -> line:Types.line ->
   on_commit:(unit -> unit) -> unit
@@ -54,6 +57,31 @@ val on_message :
   unit
 (** Observe every coherence message sent by any node. *)
 
+(** {2 Stall reports}
+
+    When a run fails to drain — time limit, event limit, or the progress
+    watchdog declaring livelock — the result carries a structured report
+    of what was still in flight instead of a bare outcome. *)
+
+type in_flight = {
+  stalled_node : Types.node_id;
+  stalled_kind : Types.op_kind;
+  stalled_line : Types.line;
+  stalled_since : int;  (** cycle the transaction was submitted *)
+  stalled_timeouts : int;  (** completion timeouts it had taken *)
+}
+
+type stall_report = {
+  stall_outcome : Pcc_engine.Simulator.outcome;
+  stall_unfinished : int;  (** processors that had not finished their program *)
+  stall_in_flight : in_flight list;
+  stall_recent : (int * string) list;
+      (** bounded recent-event trace (time, label), oldest first; empty
+          unless the watchdog armed it (hardened mode) *)
+}
+
+val pp_stall_report : Format.formatter -> stall_report -> unit
+
 (** Results of a complete run. *)
 type result = {
   config : Config.t;
@@ -66,6 +94,9 @@ type result = {
   invariant_errors : string list;
   updates_consumed : int;  (** pushed updates later read by a consumer *)
   updates_wasted : int;
+  stall : stall_report option;
+      (** [Some] exactly when the run did not quiesce ([outcome] not
+          [Drained] or a processor never finished) *)
 }
 
 val run_programs : ?max_events:int -> t -> Types.op list array -> result

@@ -1,12 +1,25 @@
+type watchdog = {
+  wd_interval : int;
+  wd_stall_checks : int;
+  wd_progress : unit -> int;
+  mutable wd_last : int;
+  mutable wd_idle : int;
+}
+
 type t = {
   queue : Event_queue.t;
   mutable now : int;
   mutable stop_requested : bool;
   mutable executed : int;
   mutable observers : (unit -> unit) list;  (* registration order *)
+  mutable watchdog : watchdog option;
+  (* bounded recent-event trace for stall reports; empty when disabled *)
+  mutable ring : (int * string) array;
+  mutable ring_next : int;
+  mutable ring_count : int;
 }
 
-type outcome = Drained | Stopped | Time_limit_reached | Event_limit_reached
+type outcome = Drained | Stopped | Time_limit_reached | Event_limit_reached | Stalled
 
 let create () =
   {
@@ -15,6 +28,10 @@ let create () =
     stop_requested = false;
     executed = 0;
     observers = [];
+    watchdog = None;
+    ring = [||];
+    ring_next = 0;
+    ring_count = 0;
   }
 
 let on_event t f = t.observers <- t.observers @ [ f ]
@@ -36,6 +53,73 @@ let stop t = t.stop_requested <- true
 let events_executed t = t.executed
 
 let pending_events t = Event_queue.length t.queue
+
+(* ------------------------------------------------------------------ *)
+(* Progress watchdog and recent-event trace                            *)
+(* ------------------------------------------------------------------ *)
+
+let set_watchdog ?(trace_capacity = 64) t ~interval ~stall_checks ~progress =
+  if interval <= 0 then invalid_arg "Simulator.set_watchdog: interval must be positive";
+  if stall_checks <= 0 then
+    invalid_arg "Simulator.set_watchdog: stall_checks must be positive";
+  t.watchdog <-
+    Some
+      {
+        wd_interval = interval;
+        wd_stall_checks = stall_checks;
+        wd_progress = progress;
+        wd_last = progress ();
+        wd_idle = 0;
+      };
+  if Array.length t.ring <> trace_capacity then begin
+    t.ring <-
+      (if trace_capacity > 0 then Array.make trace_capacity (0, "") else [||]);
+    t.ring_next <- 0;
+    t.ring_count <- 0
+  end
+
+let clear_watchdog t =
+  t.watchdog <- None;
+  t.ring <- [||];
+  t.ring_next <- 0;
+  t.ring_count <- 0
+
+let trace_enabled t = Array.length t.ring > 0
+
+let record t ~time label =
+  let capacity = Array.length t.ring in
+  if capacity > 0 then begin
+    t.ring.(t.ring_next) <- (time, label);
+    t.ring_next <- (t.ring_next + 1) mod capacity;
+    t.ring_count <- min (t.ring_count + 1) capacity
+  end
+
+let recent_events t =
+  let capacity = Array.length t.ring in
+  if capacity = 0 then []
+  else
+    let start = (t.ring_next - t.ring_count + capacity) mod capacity in
+    List.init t.ring_count (fun i -> t.ring.((start + i) mod capacity))
+
+(* True when the watchdog has seen no progress for [wd_stall_checks]
+   consecutive check intervals: the run is livelocked (events keep
+   executing — retry storms, retransmissions — but nothing commits). *)
+let watchdog_tripped t =
+  match t.watchdog with
+  | None -> false
+  | Some wd ->
+      t.executed mod wd.wd_interval = 0
+      &&
+      let progress = wd.wd_progress () in
+      if progress <> wd.wd_last then begin
+        wd.wd_last <- progress;
+        wd.wd_idle <- 0;
+        false
+      end
+      else begin
+        wd.wd_idle <- wd.wd_idle + 1;
+        wd.wd_idle >= wd.wd_stall_checks
+      end
 
 let run ?until ?max_events t =
   t.stop_requested <- false;
@@ -62,7 +146,7 @@ let run ?until ?max_events t =
                       (match t.observers with
                       | [] -> ()
                       | observers -> List.iter (fun f -> f ()) observers);
-                      loop ())))
+                      if watchdog_tripped t then Stalled else loop ())))
   in
   loop ()
 
@@ -71,3 +155,4 @@ let pp_outcome ppf = function
   | Stopped -> Format.pp_print_string ppf "stopped"
   | Time_limit_reached -> Format.pp_print_string ppf "time-limit"
   | Event_limit_reached -> Format.pp_print_string ppf "event-limit"
+  | Stalled -> Format.pp_print_string ppf "stalled"

@@ -12,6 +12,10 @@ type outcome =
   | Stopped  (** a component called {!stop} *)
   | Time_limit_reached
   | Event_limit_reached
+  | Stalled
+      (** the progress watchdog saw no progress for its configured number
+          of consecutive check intervals (livelock: events keep executing
+          but nothing commits) *)
 
 val create : unit -> t
 
@@ -45,5 +49,37 @@ val clear_observers : t -> unit
 val run : ?until:int -> ?max_events:int -> t -> outcome
 (** Execute events in order.  [until] bounds simulated time (events at
     cycles > [until] are left queued); [max_events] bounds work. *)
+
+(** {2 Progress watchdog}
+
+    Detects livelock — the event queue never drains because components
+    keep scheduling (retry storms, retransmissions) while no useful work
+    completes — and makes {!run} return {!Stalled} instead of hanging. *)
+
+val set_watchdog :
+  ?trace_capacity:int ->
+  t ->
+  interval:int ->
+  stall_checks:int ->
+  progress:(unit -> int) ->
+  unit
+(** Every [interval] executed events the watchdog samples [progress] (any
+    monotone counter of useful work, e.g. committed operations); after
+    [stall_checks] consecutive samples without change, {!run} returns
+    {!Stalled}.  Also enables the bounded recent-event trace
+    ([trace_capacity] entries, default 64; [0] disables it). *)
+
+val clear_watchdog : t -> unit
+
+val trace_enabled : t -> bool
+
+val record : t -> time:int -> string -> unit
+(** Append a line to the bounded recent-event trace (no-op while the
+    trace is disabled).  Components log deliveries, commits, and
+    retransmissions here so a stall report can show what the machine was
+    doing when it stopped making progress. *)
+
+val recent_events : t -> (int * string) list
+(** The trace contents, oldest first, at most [trace_capacity] entries. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,126 @@
+module Rng = Pcc_engine.Rng
+
+type profile = {
+  drop : float;
+  duplicate : float;
+  delay : float;
+  delay_max : int;
+  reorder : float;
+  reorder_window : int;
+  outage : float;
+  outage_cycles : int;
+  chaos_seed : int;
+}
+
+let zero =
+  {
+    drop = 0.0;
+    duplicate = 0.0;
+    delay = 0.0;
+    delay_max = 0;
+    reorder = 0.0;
+    reorder_window = 0;
+    outage = 0.0;
+    outage_cycles = 0;
+    chaos_seed = 1;
+  }
+
+let drops ~seed = { zero with drop = 0.08; chaos_seed = seed }
+
+let storm ~seed =
+  {
+    zero with
+    drop = 0.08;
+    duplicate = 0.06;
+    delay = 0.1;
+    delay_max = 800;
+    reorder = 0.15;
+    reorder_window = 400;
+    chaos_seed = seed;
+  }
+
+let outages ~seed =
+  {
+    zero with
+    drop = 0.02;
+    duplicate = 0.02;
+    outage = 0.003;
+    outage_cycles = 15_000;
+    chaos_seed = seed;
+  }
+
+let presets = [ ("drops", drops); ("storm", storm); ("outages", outages) ]
+
+let preset name ~seed =
+  Option.map (fun make -> make ~seed) (List.assoc_opt name presets)
+
+type stats = {
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable delayed : int;
+  mutable outages_started : int;
+}
+
+type t = {
+  profile : profile;
+  rng : Rng.t;
+  outage_until : (int * int, int) Hashtbl.t;  (* (src, dst) -> end cycle *)
+  stats : stats;
+}
+
+let create profile =
+  {
+    profile;
+    rng = Rng.create ~seed:profile.chaos_seed;
+    outage_until = Hashtbl.create 64;
+    stats = { dropped = 0; duplicated = 0; delayed = 0; outages_started = 0 };
+  }
+
+let stats t = t.stats
+
+(* Guard every probability with [> 0.0] so an all-zero profile draws
+   nothing from the RNG: the packet schedule is then bit-identical to a
+   network with no fault layer at all. *)
+let plan t ~src ~dst ~now =
+  let p = t.profile in
+  let link = (src, dst) in
+  let down =
+    match Hashtbl.find_opt t.outage_until link with
+    | Some until_ when now < until_ -> true
+    | Some _ | None ->
+        p.outage > 0.0
+        && Rng.bool t.rng ~p:p.outage
+        &&
+        (Hashtbl.replace t.outage_until link (now + p.outage_cycles);
+         t.stats.outages_started <- t.stats.outages_started + 1;
+         true)
+  in
+  if down then begin
+    t.stats.dropped <- t.stats.dropped + 1;
+    []
+  end
+  else if p.drop > 0.0 && Rng.bool t.rng ~p:p.drop then begin
+    t.stats.dropped <- t.stats.dropped + 1;
+    []
+  end
+  else begin
+    let jitter =
+      if p.reorder > 0.0 && Rng.bool t.rng ~p:p.reorder then
+        1 + Rng.int t.rng ~bound:(max 1 p.reorder_window)
+      else 0
+    in
+    let slow =
+      if p.delay > 0.0 && Rng.bool t.rng ~p:p.delay then
+        1 + Rng.int t.rng ~bound:(max 1 p.delay_max)
+      else 0
+    in
+    let extra = jitter + slow in
+    if extra > 0 then t.stats.delayed <- t.stats.delayed + 1;
+    if p.duplicate > 0.0 && Rng.bool t.rng ~p:p.duplicate then begin
+      t.stats.duplicated <- t.stats.duplicated + 1;
+      let echo_gap = 1 + Rng.int t.rng ~bound:(max 1 (max p.delay_max p.reorder_window))
+      in
+      [ extra; extra + echo_gap ]
+    end
+    else [ extra ]
+  end

@@ -1,0 +1,61 @@
+(** Seeded chaos/fault injection for the interconnect.
+
+    A fault profile gives each remote packet an independent chance of
+    being dropped, duplicated, delayed, or reordered, and each link an
+    independent chance of a transient outage during which every packet on
+    that (src, dst) link is lost.  The layer is driven by its own
+    SplitMix64 stream, so a chaotic run is exactly reproducible from
+    [chaos_seed] and fault decisions never perturb the protocol RNGs.
+
+    An all-zero profile draws nothing from the RNG and schedules every
+    packet exactly as the fault-free network would: the chaos layer is
+    bit-identical to no chaos layer when its probabilities are zero. *)
+
+type profile = {
+  drop : float;  (** per-packet loss probability *)
+  duplicate : float;  (** per-packet duplication probability *)
+  delay : float;  (** per-packet chance of an extra delivery delay *)
+  delay_max : int;  (** extra delay is uniform in [1, delay_max] cycles *)
+  reorder : float;
+      (** per-packet chance of jitter large enough to overtake later
+          packets on the same link *)
+  reorder_window : int;  (** jitter is uniform in [1, reorder_window] *)
+  outage : float;  (** per-packet chance the (src, dst) link goes down *)
+  outage_cycles : int;  (** outage duration *)
+  chaos_seed : int;
+}
+
+val zero : profile
+(** All probabilities zero: behaviourally identical to no fault layer. *)
+
+val drops : seed:int -> profile
+(** Moderate independent packet loss. *)
+
+val storm : seed:int -> profile
+(** Loss + duplication + delay + reordering all at once. *)
+
+val outages : seed:int -> profile
+(** Light loss plus long transient link outages. *)
+
+val presets : (string * (seed:int -> profile)) list
+
+val preset : string -> seed:int -> profile option
+
+type stats = {
+  mutable dropped : int;  (** packets lost (including outage losses) *)
+  mutable duplicated : int;
+  mutable delayed : int;  (** packets given extra delay or jitter *)
+  mutable outages_started : int;
+}
+
+type t
+
+val create : profile -> t
+
+val stats : t -> stats
+
+val plan : t -> src:int -> dst:int -> now:int -> int list
+(** Fault decision for one packet: the list of extra delays (in cycles,
+    relative to the undisturbed arrival time) at which copies of the
+    packet should be delivered.  [[]] means the packet is lost; [[0]]
+    means undisturbed delivery; two entries mean duplication. *)

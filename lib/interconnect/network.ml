@@ -23,6 +23,7 @@ type 'a t = {
   sim : Simulator.t;
   topology : Topology.t;
   config : config;
+  faults : Fault.t option;
   receivers : (src:int -> 'a -> unit) option array;
   egress_free : int array; (* per-node egress port availability *)
   ingress_free : int array;
@@ -31,12 +32,13 @@ type 'a t = {
   mutable hops : int;
 }
 
-let create sim topology config =
+let create ?faults sim topology config =
   let n = Topology.nodes topology in
   {
     sim;
     topology;
     config;
+    faults = Option.map Fault.create faults;
     receivers = Array.make n None;
     egress_free = Array.make n 0;
     ingress_free = Array.make n 0;
@@ -47,10 +49,39 @@ let create sim topology config =
 
 let set_receiver t ~node handler = t.receivers.(node) <- Some handler
 
+let fault_stats t = Option.map Fault.stats t.faults
+
 let deliver t ~src ~dst payload =
   match t.receivers.(dst) with
   | Some handler -> handler ~src payload
-  | None -> invalid_arg (Printf.sprintf "Network: node %d has no receiver" dst)
+  | None ->
+      failwith
+        (Printf.sprintf
+           "Network.deliver: node %d has no receiver for the packet from node %d" dst
+           src)
+
+(* Misrouted or premature traffic must fail loudly at the send, not as a
+   bare [Invalid_argument] (or a silent misroute) deep inside a scheduled
+   delivery event where the caller is long gone. *)
+let check_route t ~src ~dst =
+  let n = Array.length t.receivers in
+  if src < 0 || src >= n then
+    invalid_arg
+      (Printf.sprintf "Network.send: source node %d outside the %d-node machine" src n);
+  if dst < 0 || dst >= n then
+    invalid_arg
+      (Printf.sprintf
+         "Network.send: destination node %d outside the %d-node machine (packet from \
+          node %d)"
+         dst n src);
+  match t.receivers.(dst) with
+  | Some _ -> ()
+  | None ->
+      failwith
+        (Printf.sprintf
+           "Network.send: no receiver installed for destination node %d (packet from \
+            node %d); call set_receiver for every node before sending traffic"
+           dst src)
 
 (* Reserve a port: the packet occupies it for [occupancy] cycles starting
    no earlier than [earliest]; returns when the packet clears the port. *)
@@ -60,6 +91,7 @@ let reserve port ~node ~earliest ~occupancy =
   start + occupancy
 
 let send t ~src ~dst ~bytes payload =
+  check_route t ~src ~dst;
   let now = Simulator.now t.sim in
   if src = dst then
     Simulator.schedule t.sim ~delay:t.config.local_latency (fun () ->
@@ -79,7 +111,17 @@ let send t ~src ~dst ~bytes payload =
     t.messages <- t.messages + 1;
     t.bytes <- t.bytes + wire_bytes;
     t.hops <- t.hops + router_hops;
-    Simulator.schedule_at t.sim ~time:in_clear (fun () -> deliver t ~src ~dst payload)
+    match t.faults with
+    | None ->
+        Simulator.schedule_at t.sim ~time:in_clear (fun () -> deliver t ~src ~dst payload)
+    | Some chaos ->
+        (* traffic counters above describe what was {e sent}; the fault
+           layer only decides what arrives, and when *)
+        List.iter
+          (fun extra ->
+            Simulator.schedule_at t.sim ~time:(in_clear + extra) (fun () ->
+                deliver t ~src ~dst payload))
+          (Fault.plan chaos ~src ~dst ~now)
   end
 
 let messages_sent t = t.messages

@@ -33,7 +33,11 @@ val default_config : config
     minimum packets, 8 bytes/cycle ports, [Uniform]. *)
 
 val create :
-  Pcc_engine.Simulator.t -> Topology.t -> config -> 'a t
+  ?faults:Fault.profile -> Pcc_engine.Simulator.t -> Topology.t -> config -> 'a t
+(** [?faults] attaches a chaos layer (see {!Fault}) that may drop,
+    duplicate, delay, or reorder remote packets and take links down
+    transiently.  Local (src = dst) hub deliveries are never disturbed.
+    An all-zero profile is behaviourally identical to no profile. *)
 
 val set_receiver : 'a t -> node:int -> (src:int -> 'a -> unit) -> unit
 (** Install the handler invoked when a payload reaches a node.  Must be
@@ -41,7 +45,15 @@ val set_receiver : 'a t -> node:int -> (src:int -> 'a -> unit) -> unit
 
 val send : 'a t -> src:int -> dst:int -> bytes:int -> 'a -> unit
 (** Queue a packet.  [bytes] is the logical payload size; the packet is
-    padded to [min_packet_bytes]. *)
+    padded to [min_packet_bytes].
+
+    Raises [Invalid_argument] if [src] or [dst] is outside the machine
+    and [Failure] with a diagnostic naming both endpoints if no receiver
+    was ever installed for [dst] — a packet must never be silently
+    misrouted or fail only inside a far-future delivery event. *)
+
+val fault_stats : 'a t -> Fault.stats option
+(** Live counters of the attached chaos layer, if any. *)
 
 val messages_sent : 'a t -> int
 (** Remote packets sent so far (local deliveries excluded). *)

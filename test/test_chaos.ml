@@ -1,0 +1,204 @@
+(* The unreliable-interconnect chaos layer and the recovery machinery
+   above it: zero-probability profiles must be invisible, the hub link
+   must restore exactly-once in-order delivery under arbitrary packet
+   abuse, full chaotic runs must stay coherent with every operation
+   committed, and runs that cannot finish must produce a stall report. *)
+
+open Pcc_core
+module Fault = Pcc_interconnect.Fault
+module Network = Pcc_interconnect.Network
+module Topology = Pcc_interconnect.Topology
+module Simulator = Pcc_engine.Simulator
+module Oracle = Pcc_oracle
+module Q = QCheck
+
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* ---------------- zero-probability equivalence ---------------- *)
+
+let random_stream rand ~nodes ~n =
+  List.init n (fun tag ->
+      let src = Random.State.int rand nodes in
+      let dst = Random.State.int rand nodes in
+      let bytes = 16 + Random.State.int rand 160 in
+      (src, dst, bytes, tag))
+
+(* Deliver one fixed stream and return everything observable: arrival
+   (time, src, dst, tag) in order, plus the traffic counters. *)
+let arrivals_of ?faults ~nodes stream =
+  let sim = Simulator.create () in
+  let topo = Topology.fat_tree ~nodes ~radix:8 in
+  let net = Network.create ?faults sim topo Network.default_config in
+  let arrivals = ref [] in
+  for n = 0 to nodes - 1 do
+    Network.set_receiver net ~node:n (fun ~src tag ->
+        arrivals := (Simulator.now sim, src, n, tag) :: !arrivals)
+  done;
+  List.iter (fun (src, dst, bytes, tag) -> Network.send net ~src ~dst ~bytes tag) stream;
+  ignore (Simulator.run sim);
+  (List.rev !arrivals, Network.messages_sent net, Network.bytes_sent net)
+
+let zero_profile_invisible =
+  Q.Test.make ~count:30 ~name:"zero-probability chaos profile is invisible"
+    Q.(pair small_int small_int)
+    (fun (seed, shape) ->
+      let rand = Random.State.make [| seed; shape; 77 |] in
+      let nodes = 2 + (shape mod 7) in
+      let stream = random_stream rand ~nodes ~n:(10 + (seed mod 40)) in
+      arrivals_of ~nodes stream = arrivals_of ~faults:Fault.zero ~nodes stream)
+
+(* ---------------- hub link reliability ---------------- *)
+
+(* Two hubs over a hostile network: every payload must come out exactly
+   once, in order, despite drops, duplicates, delays, and reordering. *)
+let test_hub_link_exactly_once () =
+  let nodes = 2 in
+  let sim = Simulator.create () in
+  let topo = Topology.fat_tree ~nodes ~radix:8 in
+  let net =
+    Network.create ~faults:(Fault.storm ~seed:1234) sim topo Network.default_config
+  in
+  let retransmits = ref 0 and duplicates = ref 0 in
+  let received = ref [] in
+  let mk id deliver =
+    Hub_link.create ~sim ~network:net ~id ~nodes ~reliable:true ~rto:500 ~rto_cap:8000
+      ~ack_bytes:16
+      ~on_retransmit:(fun () -> incr retransmits)
+      ~on_duplicate:(fun () -> incr duplicates)
+      ~deliver
+  in
+  let link0 = mk 0 (fun ~src:_ _ -> ()) in
+  let _link1 = mk 1 (fun ~src:_ tag -> received := tag :: !received) in
+  for i = 1 to 200 do
+    Simulator.schedule sim ~delay:(i * 40) (fun () -> Hub_link.send link0 ~dst:1 ~bytes:48 i)
+  done;
+  Alcotest.(check bool) "drains" true (Simulator.run sim = Simulator.Drained);
+  Alcotest.(check (list int)) "exactly once, in order"
+    (List.init 200 (fun i -> i + 1))
+    (List.rev !received);
+  Alcotest.(check int) "nothing left unacknowledged" 0 (Hub_link.in_flight link0);
+  Alcotest.(check bool) "loss forced retransmissions" true (!retransmits > 0)
+
+(* ---------------- end-to-end chaotic runs ---------------- *)
+
+let count_accesses programs =
+  Array.fold_left
+    (fun acc ops ->
+      List.fold_left
+        (fun acc op ->
+          match op with
+          | Types.Access _ -> acc + 1
+          | Types.Compute _ | Types.Barrier _ -> acc)
+        acc ops)
+    0 programs
+
+let chaos_run ?(txn_timeout = 2000) ?(fallback_threshold = 2) ~profile ~seed ~bench ()
+    =
+  let desc =
+    { Oracle.Trace.bench; config_name = "full"; nodes = 6; scale = 0.1; seed;
+      fault = false }
+  in
+  let config =
+    {
+      (Oracle.Trace.config_of_desc desc) with
+      Config.net_faults = Some profile;
+      txn_timeout;
+      fallback_threshold;
+    }
+  in
+  let programs = Oracle.Trace.programs_of_desc desc in
+  let sys = System.create ~config () in
+  let _audit = Oracle.Audit.attach sys in
+  let committed = ref 0 in
+  System.on_commit sys (fun _ -> incr committed);
+  let result = System.run_programs ~max_events:20_000_000 sys programs in
+  (result, count_accesses programs, !committed)
+
+let assert_clean (result : System.result) ~total ~committed =
+  Alcotest.(check bool) "drained" true (result.outcome = Simulator.Drained);
+  Alcotest.(check bool) "no stall report" true (result.stall = None);
+  Alcotest.(check int) "every operation committed" total committed;
+  Alcotest.(check int) "no memory violations" 0 result.violations;
+  Alcotest.(check (list string)) "no invariant errors" [] result.invariant_errors
+
+let test_storm_run_stays_coherent () =
+  let result, total, committed =
+    chaos_run ~profile:(Fault.storm ~seed:42) ~seed:3 ~bench:"random" ()
+  in
+  assert_clean result ~total ~committed;
+  Alcotest.(check bool) "retransmissions happened" true
+    (result.stats.Run_stats.retransmits > 0);
+  Alcotest.(check bool) "duplicates suppressed" true
+    (result.stats.Run_stats.dup_dropped > 0)
+
+(* Long link outages against a short completion timeout: some line must
+   take enough strikes to be demoted to the base protocol, and the run
+   must still finish clean.  Workloads are seeded, so scan a few seeds
+   deterministically for one where an outage actually hits a live
+   transaction. *)
+let test_outage_forces_fallback () =
+  let rec attempt seed =
+    if seed > 6 then Alcotest.fail "no seed in 1..6 exercised the fallback path"
+    else
+      let result, total, committed =
+        chaos_run ~txn_timeout:1000 ~fallback_threshold:1
+          ~profile:(Fault.outages ~seed:(seed * 131)) ~seed ~bench:"random" ()
+      in
+      assert_clean result ~total ~committed;
+      if result.stats.Run_stats.fallbacks > 0 then
+        Alcotest.(check bool) "timeouts preceded the fallback" true
+          (result.stats.Run_stats.txn_timeouts > 0)
+      else attempt (seed + 1)
+  in
+  attempt 1
+
+(* An all-zero profile still runs the full hardened machinery (sequence
+   numbers, acks, timeouts armed) — the protocol outcome must be as
+   clean as a reliable run. *)
+let test_zero_profile_run_clean () =
+  let result, total, committed =
+    chaos_run ~profile:Fault.zero ~seed:5 ~bench:"random" ()
+  in
+  assert_clean result ~total ~committed;
+  Alcotest.(check int) "nothing injected, nothing suppressed" 0
+    result.stats.Run_stats.dup_dropped
+
+(* ---------------- stall reports ---------------- *)
+
+let test_stall_report_on_event_limit () =
+  let desc =
+    { Oracle.Trace.bench = "random"; config_name = "full"; nodes = 6; scale = 0.1;
+      seed = 4; fault = false }
+  in
+  let config = Oracle.Trace.config_of_desc desc in
+  let programs = Oracle.Trace.programs_of_desc desc in
+  let sys = System.create ~config () in
+  let result = System.run_programs ~max_events:300 sys programs in
+  match result.System.stall with
+  | None -> Alcotest.fail "a truncated run must carry a stall report"
+  | Some stall ->
+      Alcotest.(check bool) "event limit surfaced" true
+        (stall.System.stall_outcome = Simulator.Event_limit_reached);
+      Alcotest.(check bool) "unfinished processors reported" true
+        (stall.System.stall_unfinished > 0);
+      (* the report is renderable *)
+      let text = Format.asprintf "%a" System.pp_stall_report stall in
+      Alcotest.(check bool) "report names the outcome" true
+        (contains_sub ~sub:"event-limit" text)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest zero_profile_invisible;
+    Alcotest.test_case "hub link: exactly once, in order" `Quick
+      test_hub_link_exactly_once;
+    Alcotest.test_case "storm run stays coherent" `Quick test_storm_run_stays_coherent;
+    Alcotest.test_case "outages force base-protocol fallback" `Quick
+      test_outage_forces_fallback;
+    Alcotest.test_case "zero-probability profile runs clean" `Quick
+      test_zero_profile_run_clean;
+    Alcotest.test_case "stall report on event limit" `Quick
+      test_stall_report_on_event_limit;
+  ]

@@ -183,6 +183,51 @@ let test_sim_stop () =
   ignore (Simulator.run sim);
   Alcotest.(check bool) "resumed" true !ran_after_stop
 
+let test_watchdog_detects_livelock () =
+  let sim = Simulator.create () in
+  (* events keep flowing but the progress counter never moves *)
+  Simulator.set_watchdog sim ~interval:10 ~stall_checks:3 ~progress:(fun () -> 0);
+  let rec spin () = Simulator.schedule sim ~delay:1 spin in
+  spin ();
+  let outcome = Simulator.run ~max_events:100_000 sim in
+  Alcotest.(check bool) "stalled" true (outcome = Simulator.Stalled);
+  Alcotest.(check bool) "tripped long before the event limit" true
+    (Simulator.events_executed sim <= 50)
+
+let test_watchdog_spares_progress () =
+  let sim = Simulator.create () in
+  let done_count = ref 0 in
+  Simulator.set_watchdog sim ~interval:10 ~stall_checks:3 ~progress:(fun () ->
+      !done_count);
+  let rec tick n =
+    if n < 500 then
+      Simulator.schedule sim ~delay:1 (fun () ->
+          incr done_count;
+          tick (n + 1))
+  in
+  tick 0;
+  Alcotest.(check bool) "drains" true (Simulator.run sim = Simulator.Drained);
+  check "all ticks ran" 500 !done_count
+
+let test_watchdog_trace_ring () =
+  let sim = Simulator.create () in
+  Alcotest.(check bool) "trace off by default" false (Simulator.trace_enabled sim);
+  Simulator.record sim ~time:0 "dropped";
+  Alcotest.(check (list (pair int string))) "record is a no-op when off" []
+    (Simulator.recent_events sim);
+  Simulator.set_watchdog ~trace_capacity:4 sim ~interval:1000 ~stall_checks:1000
+    ~progress:(fun () -> 0);
+  Alcotest.(check bool) "trace on" true (Simulator.trace_enabled sim);
+  for i = 1 to 10 do
+    Simulator.record sim ~time:i (string_of_int i)
+  done;
+  Alcotest.(check (list (pair int string)))
+    "bounded, oldest first"
+    [ (7, "7"); (8, "8"); (9, "9"); (10, "10") ]
+    (Simulator.recent_events sim);
+  Simulator.clear_watchdog sim;
+  Alcotest.(check bool) "trace off again" false (Simulator.trace_enabled sim)
+
 let suite =
   [
     Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
@@ -204,4 +249,8 @@ let suite =
     Alcotest.test_case "sim until limit" `Quick test_sim_until_limit;
     Alcotest.test_case "sim max events" `Quick test_sim_max_events;
     Alcotest.test_case "sim stop and resume" `Quick test_sim_stop;
+    Alcotest.test_case "watchdog detects livelock" `Quick
+      test_watchdog_detects_livelock;
+    Alcotest.test_case "watchdog spares progress" `Quick test_watchdog_spares_progress;
+    Alcotest.test_case "watchdog trace ring" `Quick test_watchdog_trace_ring;
   ]

@@ -103,6 +103,30 @@ let test_network_fifo_per_pair () =
   Alcotest.(check (list int)) "per-pair FIFO" (List.init 20 (fun i -> i + 1))
     (List.rev !order)
 
+let test_send_without_receiver () =
+  let _sim, net = make_network 4 in
+  Network.set_receiver net ~node:1 (fun ~src:_ _ -> ());
+  (* destination 3 never got a receiver: the send itself must fail with a
+     message naming both endpoints, not a far-future delivery event *)
+  Alcotest.check_raises "missing receiver"
+    (Failure
+       "Network.send: no receiver installed for destination node 3 (packet \
+        from node 1); call set_receiver for every node before sending traffic")
+    (fun () -> Network.send net ~src:1 ~dst:3 ~bytes:16 "x")
+
+let test_send_out_of_range () =
+  let _sim, net = make_network 4 in
+  for n = 0 to 3 do
+    Network.set_receiver net ~node:n (fun ~src:_ _ -> ())
+  done;
+  let raises f =
+    match f () with exception Invalid_argument _ -> true | () -> false
+  in
+  Alcotest.(check bool) "dst too large" true
+    (raises (fun () -> Network.send net ~src:0 ~dst:4 ~bytes:16 "x"));
+  Alcotest.(check bool) "negative src" true
+    (raises (fun () -> Network.send net ~src:(-1) ~dst:2 ~bytes:16 "x"))
+
 let test_network_proportional_mode () =
   let config =
     { Network.default_config with mode = Network.Proportional; hop_latency = 100 }
@@ -133,5 +157,8 @@ let suite =
     Alcotest.test_case "traffic counters" `Quick test_network_counters;
     Alcotest.test_case "port serialization" `Quick test_network_port_serialization;
     Alcotest.test_case "per-pair FIFO" `Quick test_network_fifo_per_pair;
+    Alcotest.test_case "send without receiver fails loudly" `Quick
+      test_send_without_receiver;
+    Alcotest.test_case "send out of range" `Quick test_send_out_of_range;
     Alcotest.test_case "proportional mode" `Quick test_network_proportional_mode;
   ]

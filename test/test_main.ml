@@ -15,5 +15,6 @@ let () =
       ("mcheck", Test_mcheck.suite);
       ("properties", Test_properties.suite);
       ("oracle", Test_oracle.suite);
+      ("chaos", Test_chaos.suite);
       ("golden", Test_golden.suite);
     ]
