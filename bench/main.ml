@@ -13,6 +13,8 @@ open Pcc_core
 module Apps = Pcc_workload.Apps
 module Table = Pcc_stats.Table
 module Summary = Pcc_stats.Summary
+module Jsonl = Pcc_stats.Jsonl
+module Histogram = Pcc_stats.Histogram
 
 let nodes = 16
 
@@ -598,6 +600,69 @@ let micro () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* JSON export (--json out.json)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Machine-readable snapshot of every run the requested experiments
+   performed, straight from the run cache: cycles, traffic, miss mix,
+   and per-class latency percentiles. *)
+let json_of_run key (r : System.result) =
+  let stats = r.System.stats in
+  let latency =
+    List.filter_map
+      (fun miss ->
+        let h = Run_stats.latency_hist stats miss in
+        let n = Histogram.count h in
+        if n = 0 then None
+        else
+          Some
+            ( Types.miss_class_name miss,
+              Jsonl.Obj
+                [
+                  ("n", Jsonl.Int n);
+                  ("avg", Jsonl.Float (Histogram.mean h));
+                  ("p50", Jsonl.Float (Histogram.p50 h));
+                  ("p95", Jsonl.Float (Histogram.p95 h));
+                  ("p99", Jsonl.Float (Histogram.p99 h));
+                ] ))
+      Types.miss_classes
+  in
+  Jsonl.Obj
+    [
+      ("key", Jsonl.String key);
+      ("cycles", Jsonl.Int r.System.cycles);
+      ("network_messages", Jsonl.Int r.System.network_messages);
+      ("network_bytes", Jsonl.Int r.System.network_bytes);
+      ("remote_misses", Jsonl.Int (Run_stats.remote_misses stats));
+      ("remote_miss_fraction", Jsonl.Float (Run_stats.remote_miss_fraction stats));
+      ("avg_miss_latency", Jsonl.Float (Run_stats.avg_miss_latency stats));
+      ("updates_sent", Jsonl.Int stats.Run_stats.updates_sent);
+      ("delegations", Jsonl.Int stats.Run_stats.delegations);
+      ("latency", Jsonl.Obj latency);
+    ]
+
+let write_json path =
+  let runs =
+    Hashtbl.fold (fun key r acc -> (key, r) :: acc) run_cache []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let doc =
+    Jsonl.Obj
+      [
+        ("nodes", Jsonl.Int nodes);
+        ("scale", Jsonl.Float scale);
+        ("runs", Jsonl.List (List.map (fun (k, r) -> json_of_run k r) runs));
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Jsonl.to_string doc);
+      output_char oc '\n');
+  Format.printf "wrote %s (%d runs)@." path (List.length runs)
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -621,11 +686,16 @@ let experiments =
   ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+  let rec split_json acc = function
+    | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
+    | [ "--json" ] ->
+        Format.eprintf "--json requires a path@.";
+        exit 2
+    | x :: rest -> split_json (x :: acc) rest
+    | [] -> (None, List.rev acc)
   in
+  let json_path, names = split_json [] (List.tl (Array.to_list Sys.argv)) in
+  let requested = match names with [] -> List.map fst experiments | names -> names in
   Format.printf
     "Reproduction harness: %d nodes, scale %.2f (set PCC_SCALE to change)@.@." nodes scale;
   List.iter
@@ -635,4 +705,5 @@ let () =
       | None ->
           Format.eprintf "unknown experiment %S; available: %s@." name
             (String.concat ", " (List.map fst experiments)))
-    requested
+    requested;
+  match json_path with Some path -> write_json path | None -> ()

@@ -1,0 +1,146 @@
+(* Transaction-level telemetry: run one workload with the telemetry
+   recorder attached and emit a Perfetto trace (trace.json), time-series
+   metrics (metrics.jsonl), and a text latency/phase report.  Doubles as
+   a self-profiler of the simulator (events/sec, peak queue depth).
+
+     dune exec bin/pcc_trace.exe -- --out-dir /tmp/pcc
+     dune exec bin/pcc_trace.exe -- --bench em3d --config full --sample-every 200
+
+   Load trace.json at https://ui.perfetto.dev or chrome://tracing. *)
+
+open Cmdliner
+open Pcc_core
+module Sim = Pcc_engine.Simulator
+module Oracle = Pcc_oracle
+module Telemetry = Pcc_telemetry
+module Gen = Pcc_workload.Gen
+
+(* A distilled producer-consumer microbenchmark (the paper's target
+   pattern): node 0 writes a handful of lines each epoch, every other
+   node reads them, barrier, repeat.  Kept here rather than in Apps —
+   it is a telemetry demo, not an evaluation benchmark. *)
+let prodcons_spec ~nodes ~scale ~seed =
+  {
+    Gen.name = "prodcons";
+    nodes;
+    phases = 2;
+    epochs_per_phase = max 2 (int_of_float (20.0 *. scale /. 0.15));
+    lines =
+      List.init 4 (fun i ->
+          {
+            Gen.line = Gen.shared_line ~home:0 i;
+            producer_of_phase = (fun _ -> 0);
+            consumers_of_phase = (fun _ -> List.init (nodes - 1) (fun c -> c + 1));
+            writes_per_epoch = 4;
+            reads_per_epoch = 2;
+          });
+    private_lines_per_node = 4;
+    private_accesses_per_epoch = 6;
+    private_write_fraction = 0.4;
+    compute_per_epoch = 60;
+    seed;
+  }
+
+let programs_of ~bench ~nodes ~scale ~seed ~config_name =
+  if bench = "prodcons" then Gen.programs (prodcons_spec ~nodes ~scale ~seed)
+  else
+    Oracle.Trace.programs_of_desc
+      { Oracle.Trace.bench; config_name; nodes; scale; seed; fault = false }
+
+let main bench config_name nodes scale seed sample_every out_dir max_events =
+  let config =
+    Oracle.Trace.config_of_desc
+      { Oracle.Trace.bench; config_name; nodes; scale; seed; fault = false }
+  in
+  let programs = programs_of ~bench ~nodes ~scale ~seed ~config_name in
+  let sys = System.create ~config () in
+  let recorder = Telemetry.Recorder.attach ~sample_every sys in
+  let wall_start = Unix.gettimeofday () in
+  let result = System.run_programs ~max_events sys programs in
+  let wall = Unix.gettimeofday () -. wall_start in
+  let sim = System.sim sys in
+  (match Unix.mkdir out_dir 0o755 with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let spans = Telemetry.Recorder.spans recorder in
+  let samples = Telemetry.Recorder.samples recorder in
+  let trace_path = Filename.concat out_dir "trace.json" in
+  let metrics_path = Filename.concat out_dir "metrics.jsonl" in
+  Telemetry.Perfetto.write ~path:trace_path spans;
+  Telemetry.Metrics.write ~path:metrics_path
+    ~links:(Telemetry.Recorder.retransmits_by_link recorder)
+    samples;
+  Telemetry.Report.print Format.std_formatter ~result ~spans ~samples
+    ~self:
+      {
+        Telemetry.Report.wall_seconds = wall;
+        events_executed = Sim.events_executed sim;
+        peak_queue_depth = Sim.peak_pending sim;
+      }
+    ();
+  Format.printf "wrote %s (%d spans), %s (%d samples)@." trace_path
+    (List.length spans) metrics_path (List.length samples);
+  let leftovers = Telemetry.Recorder.open_span_count recorder in
+  if leftovers > 0 then begin
+    Format.printf "WARNING: %d spans never closed (run did not quiesce?)@." leftovers;
+    1
+  end
+  else if result.System.outcome <> Sim.Drained then 1
+  else 0
+
+let bench_arg =
+  Arg.(
+    value & opt string "prodcons"
+    & info [ "b"; "bench" ] ~docv:"NAME"
+        ~doc:
+          "Workload: prodcons (built-in producer-consumer microbenchmark), random, \
+           or an app benchmark (barnes, ocean, em3d, lu, cg, mg, appbt).")
+
+let config_arg =
+  Arg.(
+    value & opt string "full"
+    & info [ "c"; "config" ] ~docv:"NAME"
+        ~doc:"Protocol configuration: base, rac, delegation, or full.")
+
+let nodes_arg =
+  Arg.(value & opt int 8 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let scale_arg =
+  Arg.(
+    value & opt float 0.15
+    & info [ "s"; "scale" ] ~docv:"S" ~doc:"Run-length scale for app benchmarks.")
+
+let seed_arg = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.")
+
+let sample_arg =
+  Arg.(
+    value & opt int 500
+    & info [ "sample-every" ] ~docv:"CYCLES"
+        ~doc:"Time-series sampling cadence in simulated cycles (0 disables).")
+
+let out_dir_arg =
+  Arg.(
+    value & opt string "telemetry-out"
+    & info [ "o"; "out-dir" ] ~docv:"DIR"
+        ~doc:"Directory for trace.json and metrics.jsonl (created if missing).")
+
+let max_events_arg =
+  Arg.(
+    value
+    & opt int 50_000_000
+    & info [ "max-events" ] ~docv:"N" ~doc:"Event budget for the run.")
+
+let cmd =
+  let term =
+    Term.(
+      const main $ bench_arg $ config_arg $ nodes_arg $ scale_arg $ seed_arg
+      $ sample_arg $ out_dir_arg $ max_events_arg)
+  in
+  Cmd.v
+    (Cmd.info "pcc_trace"
+       ~doc:
+         "Run a workload with transaction-level telemetry: Perfetto trace export, \
+          time-series metrics, and a latency/phase report")
+    term
+
+let () = exit (Cmd.eval' cmd)

@@ -28,7 +28,7 @@ let remote_time_fraction (stats : Run_stats.t) ~cycles ~nodes =
       let total = Run_stats.total_misses stats in
       if total = 0 then 0.0
       else
-        float_of_int stats.Run_stats.miss_latency_total
+        float_of_int (Run_stats.miss_latency_total stats)
         *. (float_of_int (Run_stats.remote_misses stats) /. float_of_int total)
     in
     min 1.0 (remote_latency /. aggregate_time)

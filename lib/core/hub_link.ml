@@ -25,12 +25,20 @@ type 'a t = {
   ack_bytes : int;
   out : 'a link_out array;
   inn : 'a link_in array;
-  on_retransmit : unit -> unit;
+  retx_by_dst : int array;  (* per-link retransmission totals *)
+  on_retransmit : dst:int -> unit;
   on_duplicate : unit -> unit;
   deliver : src:int -> 'a -> unit;
 }
 
 let in_flight t = Array.fold_left (fun acc o -> acc + Hashtbl.length o.unacked) 0 t.out
+
+let retransmits_by_link t =
+  let acc = ref [] in
+  for dst = Array.length t.retx_by_dst - 1 downto 0 do
+    if t.retx_by_dst.(dst) > 0 then acc := (dst, t.retx_by_dst.(dst)) :: !acc
+  done;
+  !acc
 
 (* Exponential backoff from [rto], capped at [rto_cap]: retransmission is
    unbounded in count (delivery must eventually succeed once a transient
@@ -42,7 +50,8 @@ let rec arm_retransmit t ~dst ~seq ~attempt =
       match Hashtbl.find_opt t.out.(dst).unacked seq with
       | None -> () (* acknowledged meanwhile *)
       | Some (bytes, payload) ->
-          t.on_retransmit ();
+          t.retx_by_dst.(dst) <- t.retx_by_dst.(dst) + 1;
+          t.on_retransmit ~dst;
           if Sim.trace_enabled t.sim then
             Sim.record t.sim ~time:(Sim.now t.sim)
               (Printf.sprintf "link %d->%d retransmit seq %d (attempt %d)" t.id dst seq
@@ -125,6 +134,7 @@ let create ~sim ~network ~id ~nodes ~reliable ~rto ~rto_cap ~ack_bytes ~on_retra
       ack_bytes;
       out = Array.init nodes (fun _ -> { next_seq = 0; unacked = Hashtbl.create 8 });
       inn = Array.init nodes (fun _ -> { expected = 0; held = Hashtbl.create 8 });
+      retx_by_dst = Array.make nodes 0;
       on_retransmit;
       on_duplicate;
       deliver;

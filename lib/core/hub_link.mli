@@ -35,7 +35,7 @@ val create :
   rto:int ->
   rto_cap:int ->
   ack_bytes:int ->
-  on_retransmit:(unit -> unit) ->
+  on_retransmit:(dst:int -> unit) ->
   on_duplicate:(unit -> unit) ->
   deliver:(src:int -> 'a -> unit) ->
   'a t
@@ -53,3 +53,7 @@ val send : 'a t -> dst:int -> bytes:int -> 'a -> unit
 val in_flight : 'a t -> int
 (** Unacknowledged outgoing packets across all links (0 in pass-through
     mode). *)
+
+val retransmits_by_link : 'a t -> (int * int) list
+(** [(dst, count)] for every outgoing link that has retransmitted at
+    least once, in destination order (empty in pass-through mode). *)

@@ -65,6 +65,7 @@ type commit_event = {
   c_started : int;
   c_time : int;
   c_l2_hit : bool;
+  c_miss : Types.miss_class option;  (* None for L2 hits *)
 }
 
 type t = {
@@ -93,6 +94,10 @@ type t = {
   mutable pending : pending option;
   mutable trace : (time:int -> dst:Types.node_id -> Message.t -> unit) list;
   mutable commit_hooks : (commit_event -> unit) list;
+  mutable issue_hooks :
+    (time:int -> kind:Types.op_kind -> line:Types.line -> unit) list;
+  mutable recv_hooks : (time:int -> src:Types.node_id -> Message.t -> unit) list;
+  mutable retransmit_hooks : (time:int -> dst:Types.node_id -> unit) list;
 }
 
 let id t = t.id
@@ -103,7 +108,18 @@ let set_trace t f = t.trace <- t.trace @ [ f ]
 
 let on_commit t f = t.commit_hooks <- t.commit_hooks @ [ f ]
 
-let notify_commit t ~kind ~line ~value ~started ~l2_hit =
+let on_issue t f = t.issue_hooks <- t.issue_hooks @ [ f ]
+
+let on_recv t f = t.recv_hooks <- t.recv_hooks @ [ f ]
+
+let on_retransmit t f = t.retransmit_hooks <- t.retransmit_hooks @ [ f ]
+
+let notify_issue t ~kind ~line =
+  match t.issue_hooks with
+  | [] -> ()
+  | fs -> List.iter (fun f -> f ~time:(Sim.now t.sim) ~kind ~line) fs
+
+let notify_commit t ~kind ~line ~value ~started ~l2_hit ~miss =
   match t.commit_hooks with
   | [] -> ()
   | hooks ->
@@ -116,6 +132,7 @@ let notify_commit t ~kind ~line ~value ~started ~l2_hit =
           c_started = started;
           c_time = Sim.now t.sim;
           c_l2_hit = l2_hit;
+          c_miss = miss;
         }
       in
       List.iter (fun f -> f event) hooks
@@ -335,6 +352,7 @@ let undelegate_common t line entry ~pending =
     else Nodeset.remove entry.psharers t.id
   in
   t.stats.undelegations <- t.stats.undelegations + 1;
+  Run_stats.note_churn t.stats ~line;
   send t ~dst:(home_of line)
     (Undelegate { line; sharers; owner = None; value = Some value; pending })
 
@@ -420,10 +438,10 @@ let commit_load t p ~value ~miss =
     fill_l2 t p.line L2.{ state = Shared; value; dirty = false };
   ignore
     (Memory_check.load_committed t.memcheck p.line ~value ~started:p.started ~time:now);
-  Run_stats.record_miss t.stats miss ~latency:(now - p.started);
+  Run_stats.record_miss t.stats miss ~line:p.line ~latency:(now - p.started);
   t.pending <- None;
   notify_commit t ~kind:Types.Load ~line:p.line ~value ~started:p.started
-    ~l2_hit:false;
+    ~l2_hit:false ~miss:(Some miss);
   p.on_commit ()
 
 (* Producer bookkeeping common to store commits and exclusive store hits:
@@ -468,10 +486,10 @@ let rec commit_store t p =
     | Some m -> m
     | None -> classify_legs t ~target:p.target ~reply_src:p.reply_src
   in
-  Run_stats.record_miss t.stats miss ~latency:(now - p.started);
+  Run_stats.record_miss t.stats miss ~line:p.line ~latency:(now - p.started);
   t.pending <- None;
   notify_commit t ~kind:Types.Store ~line:p.line ~value:version ~started:p.started
-    ~l2_hit:false;
+    ~l2_hit:false ~miss:(Some miss);
   note_producer_write t p.line;
   List.iter
     (fun d ->
@@ -585,6 +603,7 @@ and start_local_upgrade t p entry =
         Nodeset.iter
           (fun consumer ->
             t.stats.invals_sent <- t.stats.invals_sent + 1;
+            Run_stats.note_inval t.stats ~line;
             send_after t ~delay:t.config.hub_latency ~dst:consumer
               (Inval { line; requester = t.id }))
           consumers
@@ -668,6 +687,7 @@ and home_get_exclusive t ~src ~tid line =
       Nodeset.iter
         (fun node ->
           t.stats.invals_sent <- t.stats.invals_sent + 1;
+          Run_stats.note_inval t.stats ~line;
           send_after t ~delay:access.latency ~dst:node (Inval { line; requester = src }))
         consumers;
       (* Delegation to the home's own producer-table entry ("self
@@ -681,6 +701,7 @@ and home_get_exclusive t ~src ~tid line =
       entry.sharers <- Nodeset.empty;
       if delegate then begin
         t.stats.delegations <- t.stats.delegations + 1;
+        Run_stats.note_churn t.stats ~line;
         entry.state <- Directory.Dele;
         send_after t
           ~delay:(access.latency + dram_delay t)
@@ -899,6 +920,7 @@ let on_delegate t ~src line ~sharers ~value ~acks_expected ~tid =
       ignore tid;
       let refuse () =
         t.stats.delegation_refusals <- t.stats.delegation_refusals + 1;
+        Run_stats.note_churn t.stats ~line;
         send t ~dst:src
           (Undelegate
              { line; sharers = Nodeset.empty; owner = Some t.id; value = None; pending = None });
@@ -1082,6 +1104,9 @@ let on_update_flush_ack t line =
 (* ------------------------------------------------------------------ *)
 
 let handle_message t ~src (msg : Message.t) =
+  (match t.recv_hooks with
+  | [] -> ()
+  | fs -> List.iter (fun f -> f ~time:(Sim.now t.sim) ~src msg) fs);
   match msg with
   | Get_shared { line; tid } ->
       if home_of line = t.id then home_get_shared t ~src ~tid line
@@ -1173,6 +1198,7 @@ let start_miss t ~kind ~line ~on_commit =
 let submit t ~kind ~line ~on_commit =
   if t.pending <> None then invalid_arg "Node.submit: operation already pending";
   let started = Sim.now t.sim in
+  notify_issue t ~kind ~line;
   (match kind with
   | Types.Load -> t.stats.loads <- t.stats.loads + 1
   | Types.Store -> t.stats.stores <- t.stats.stores + 1);
@@ -1184,7 +1210,7 @@ let submit t ~kind ~line ~on_commit =
             (Memory_check.load_committed t.memcheck line ~value:entry.value ~started
                ~time:(Sim.now t.sim));
           notify_commit t ~kind:Types.Load ~line ~value:entry.value ~started
-            ~l2_hit:true;
+            ~l2_hit:true ~miss:None;
           on_commit ())
   | Some L2.{ state = Exclusive; _ }, Types.Store ->
       t.stats.l2_hits <- t.stats.l2_hits + 1;
@@ -1201,7 +1227,7 @@ let submit t ~kind ~line ~on_commit =
                   schedule_intervention t line entry
               | None -> ());
               notify_commit t ~kind:Types.Store ~line ~value:version ~started
-                ~l2_hit:true;
+                ~l2_hit:true ~miss:None;
               on_commit ()
           | Some L2.{ state = Shared; _ } | None ->
               (* lost exclusivity in the hit window: take the miss path *)
@@ -1245,15 +1271,18 @@ let create ~config ~sim ~network ~id ~stats ~memcheck ~next_version ~rng =
            ~ways:config.delegate_ways ())
     else None
   in
-  (* The hub link needs the node's message handler and the node needs the
-     hub to send: tie the knot through a forward reference. *)
+  (* The hub link needs the node's message handler (and the node's
+     retransmit hooks) while the node needs the hub to send: tie the knot
+     through forward references. *)
   let handler = ref (fun ~src:_ (_ : Message.t) -> assert false) in
+  let retransmit_notify = ref (fun ~dst:_ -> ()) in
   let hub =
     Hub_link.create ~sim ~network ~id ~nodes:config.nodes
       ~reliable:(Config.hardened config) ~rto:config.link_rto
       ~rto_cap:config.link_rto_cap ~ack_bytes:Message.header_bytes
-      ~on_retransmit:(fun () ->
-        stats.Run_stats.retransmits <- stats.Run_stats.retransmits + 1)
+      ~on_retransmit:(fun ~dst ->
+        stats.Run_stats.retransmits <- stats.Run_stats.retransmits + 1;
+        !retransmit_notify ~dst)
       ~on_duplicate:(fun () ->
         stats.Run_stats.dup_dropped <- stats.Run_stats.dup_dropped + 1)
       ~deliver:(fun ~src msg -> !handler ~src msg)
@@ -1282,9 +1311,17 @@ let create ~config ~sim ~network ~id ~stats ~memcheck ~next_version ~rng =
       pending = None;
       trace = [];
       commit_hooks = [];
+      issue_hooks = [];
+      recv_hooks = [];
+      retransmit_hooks = [];
     }
   in
   handler := (fun ~src msg -> handle_message t ~src msg);
+  (retransmit_notify :=
+     fun ~dst ->
+       match t.retransmit_hooks with
+       | [] -> ()
+       | fs -> List.iter (fun f -> f ~time:(Sim.now t.sim) ~dst) fs);
   t
 
 (* ------------------------------------------------------------------ *)
@@ -1362,6 +1399,14 @@ let pending_info t =
 let in_fallback t line = Hashtbl.mem t.fallback_lines line
 
 let wb_in_flight t line = Hashtbl.mem t.wb_pending line
+
+let rac_occupancy t = match t.rac with Some rac -> Rac.size rac | None -> 0
+
+let rac_capacity t = match t.rac with Some rac -> Rac.capacity rac | None -> 0
+
+let hub_in_flight t = Hub_link.in_flight t.hub
+
+let link_retransmits t = Hub_link.retransmits_by_link t.hub
 
 (* ------------------------------------------------------------------ *)
 (* Machine-wide invariants (§2.5)                                      *)

@@ -55,6 +55,8 @@ type commit_event = {
   c_started : int;  (** cycle the operation was submitted *)
   c_time : int;  (** cycle it committed *)
   c_l2_hit : bool;  (** satisfied entirely by the local L2 *)
+  c_miss : Types.miss_class option;
+      (** how the miss was serviced; [None] for L2 hits *)
 }
 
 val on_commit : t -> (commit_event -> unit) -> unit
@@ -62,6 +64,22 @@ val on_commit : t -> (commit_event -> unit) -> unit
     after the commit's cache effects but before the processor's
     continuation runs.  Observers compose like {!set_trace} and must not
     submit operations or mutate protocol state. *)
+
+val on_issue :
+  t -> (time:int -> kind:Types.op_kind -> line:Types.line -> unit) -> unit
+(** Observe every processor operation as it is submitted, before any
+    cache lookup.  Paired with {!on_commit} this brackets the lifetime of
+    each transaction (telemetry spans).  Observers compose like
+    {!set_trace}; all hooks cost nothing when none are registered. *)
+
+val on_recv : t -> (time:int -> src:Types.node_id -> Message.t -> unit) -> unit
+(** Observe every coherence message as this node's hub delivers it,
+    before the protocol reacts to it.  The mirror of {!set_trace}
+    (sends). *)
+
+val on_retransmit : t -> (time:int -> dst:Types.node_id -> unit) -> unit
+(** Observe every hub-link retransmission this node performs (hardened
+    mode only). *)
 
 (** {2 Inspection (tests, examples, invariant checks)} *)
 
@@ -126,6 +144,20 @@ val in_fallback : t -> Types.line -> bool
 
 val wb_in_flight : t -> Types.line -> bool
 (** True while a writeback for the line awaits its acknowledgement. *)
+
+val rac_occupancy : t -> int
+(** Valid RAC entries right now (0 without a RAC) — a telemetry gauge. *)
+
+val rac_capacity : t -> int
+(** Total RAC entries (0 without a RAC). *)
+
+val hub_in_flight : t -> int
+(** Unacknowledged hub-link packets across this node's outgoing links
+    (0 in pass-through mode). *)
+
+val link_retransmits : t -> (Types.node_id * int) list
+(** Per-destination hub-link retransmission totals ([(dst, count)],
+    destinations with at least one retransmission). *)
 
 val check_invariants : t array -> string list
 (** Machine-wide structural invariants over a quiesced system (§2.5):

@@ -1,6 +1,16 @@
+module Histogram = Pcc_stats.Histogram
+
+type line_activity = {
+  mutable l_misses : int;
+  mutable l_invals : int;
+  mutable l_churn : int;
+}
+
 type t = {
   message_classes : Pcc_stats.Counter.t;
   consumer_hist : Pcc_stats.Histogram.t;
+  miss_latency : Pcc_stats.Histogram.t array;
+  line_activity : (Types.line, line_activity) Hashtbl.t;
   mutable loads : int;
   mutable stores : int;
   mutable l2_hits : int;
@@ -8,7 +18,6 @@ type t = {
   mutable local_mem_misses : int;
   mutable remote_2hop : int;
   mutable remote_3hop : int;
-  mutable miss_latency_total : int;
   mutable nacks_received : int;
   mutable retries : int;
   mutable delegations : int;
@@ -31,6 +40,9 @@ let create () =
   {
     message_classes = Pcc_stats.Counter.create ();
     consumer_hist = Pcc_stats.Histogram.create ();
+    miss_latency =
+      Array.init (List.length Types.miss_classes) (fun _ -> Histogram.create ());
+    line_activity = Hashtbl.create 64;
     loads = 0;
     stores = 0;
     l2_hits = 0;
@@ -38,7 +50,6 @@ let create () =
     local_mem_misses = 0;
     remote_2hop = 0;
     remote_3hop = 0;
-    miss_latency_total = 0;
     nacks_received = 0;
     retries = 0;
     delegations = 0;
@@ -57,13 +68,36 @@ let create () =
     fallbacks = 0;
   }
 
-let record_miss t (miss : Types.miss_class) ~latency =
-  t.miss_latency_total <- t.miss_latency_total + latency;
+let activity t line =
+  match Hashtbl.find_opt t.line_activity line with
+  | Some a -> a
+  | None ->
+      let a = { l_misses = 0; l_invals = 0; l_churn = 0 } in
+      Hashtbl.add t.line_activity line a;
+      a
+
+let record_miss t (miss : Types.miss_class) ~line ~latency =
+  Histogram.observe t.miss_latency.(Types.miss_class_index miss) latency;
+  let a = activity t line in
+  a.l_misses <- a.l_misses + 1;
   match miss with
   | Types.Rac_hit -> t.rac_hits <- t.rac_hits + 1
   | Types.Local_mem -> t.local_mem_misses <- t.local_mem_misses + 1
   | Types.Remote_2hop -> t.remote_2hop <- t.remote_2hop + 1
   | Types.Remote_3hop -> t.remote_3hop <- t.remote_3hop + 1
+
+let note_inval t ~line =
+  let a = activity t line in
+  a.l_invals <- a.l_invals + 1
+
+let note_churn t ~line =
+  let a = activity t line in
+  a.l_churn <- a.l_churn + 1
+
+let latency_hist t miss = t.miss_latency.(Types.miss_class_index miss)
+
+let miss_latency_total t =
+  Array.fold_left (fun acc h -> acc + Histogram.sum h) 0 t.miss_latency
 
 let remote_misses t = t.remote_2hop + t.remote_3hop
 
@@ -77,7 +111,20 @@ let remote_miss_fraction t =
 
 let avg_miss_latency t =
   let total = total_misses t in
-  if total = 0 then 0.0 else float_of_int t.miss_latency_total /. float_of_int total
+  if total = 0 then 0.0 else float_of_int (miss_latency_total t) /. float_of_int total
+
+let top_lines t ~n =
+  let score (_, a) = a.l_misses + a.l_invals + a.l_churn in
+  let all = Hashtbl.fold (fun line a acc -> (line, a) :: acc) t.line_activity [] in
+  let sorted =
+    List.sort
+      (fun a b ->
+        let c = compare (score b) (score a) in
+        (* deterministic order: ties broken by line number *)
+        if c <> 0 then c else compare (fst a) (fst b))
+      all
+  in
+  List.filteri (fun i _ -> i < n) sorted
 
 let pp ppf t =
   Format.fprintf ppf
@@ -86,10 +133,29 @@ let pp ppf t =
      nacks=%d retries=%d delegations=%d undelegations=%d refusals=%d@,\
      updates: sent=%d as-reply=%d@,\
      invals=%d interventions=%d writebacks=%d dir$=%d/%d@,\
-     recovery: retransmits=%d dup-dropped=%d txn-timeouts=%d fallbacks=%d@]"
+     recovery: retransmits=%d dup-dropped=%d txn-timeouts=%d fallbacks=%d"
     t.loads t.stores t.l2_hits t.rac_hits t.local_mem_misses t.remote_2hop t.remote_3hop
     (100.0 *. remote_miss_fraction t)
     t.nacks_received t.retries t.delegations t.undelegations t.delegation_refusals
     t.updates_sent t.updates_as_reply t.invals_sent t.interventions_sent t.writebacks
     t.dir_cache_hits t.dir_cache_misses t.retransmits t.dup_dropped t.txn_timeouts
-    t.fallbacks
+    t.fallbacks;
+  List.iter
+    (fun miss ->
+      let h = latency_hist t miss in
+      let count = Histogram.count h in
+      if count > 0 then
+        Format.fprintf ppf "@,latency[%s]: n=%d avg=%.1f p50=%.0f p95=%.0f p99=%.0f"
+          (Types.miss_class_name miss) count (Histogram.mean h) (Histogram.p50 h)
+          (Histogram.p95 h) (Histogram.p99 h))
+    Types.miss_classes;
+  (match top_lines t ~n:5 with
+  | [] -> ()
+  | hot ->
+      Format.fprintf ppf "@,hot lines:";
+      List.iter
+        (fun (line, a) ->
+          Format.fprintf ppf "@, 0x%x misses=%d invals=%d churn=%d" line a.l_misses
+            a.l_invals a.l_churn)
+        hot);
+  Format.fprintf ppf "@]"

@@ -3,11 +3,24 @@
     One instance is shared by every node of a system; the evaluation
     aggregates are machine-wide, as in the paper. *)
 
+type line_activity = {
+  mutable l_misses : int;  (** completed misses on the line *)
+  mutable l_invals : int;  (** invalidations sent for the line *)
+  mutable l_churn : int;
+      (** delegation lifecycle events: delegations, undelegations and
+          refusals — a proxy for adaptation thrash on the line *)
+}
+
 type t = {
   message_classes : Pcc_stats.Counter.t;
       (** remote (network) messages by protocol class *)
   consumer_hist : Pcc_stats.Histogram.t;
       (** consumers invalidated per producer-consumer write epoch (Table 3) *)
+  miss_latency : Pcc_stats.Histogram.t array;
+      (** issue-to-commit latency per miss class, indexed by
+          {!Types.miss_class_index}; prefer {!latency_hist} *)
+  line_activity : (Types.line, line_activity) Hashtbl.t;
+      (** per-line activity, feeding the hot-line report *)
   mutable loads : int;
   mutable stores : int;
   mutable l2_hits : int;
@@ -15,7 +28,6 @@ type t = {
   mutable local_mem_misses : int;
   mutable remote_2hop : int;
   mutable remote_3hop : int;
-  mutable miss_latency_total : int;
   mutable nacks_received : int;
   mutable retries : int;
   mutable delegations : int;
@@ -44,7 +56,26 @@ type t = {
 
 val create : unit -> t
 
-val record_miss : t -> Types.miss_class -> latency:int -> unit
+val record_miss : t -> Types.miss_class -> line:Types.line -> latency:int -> unit
+(** Count one completed miss: bumps the class counter, observes [latency]
+    in the per-class histogram, and charges the line's activity record. *)
+
+val note_inval : t -> line:Types.line -> unit
+(** Charge one invalidation against [line]'s activity record (the global
+    [invals_sent] counter is maintained separately by the caller). *)
+
+val note_churn : t -> line:Types.line -> unit
+(** Charge one delegation-lifecycle event against [line]'s record. *)
+
+val latency_hist : t -> Types.miss_class -> Pcc_stats.Histogram.t
+(** Issue-to-commit latency distribution for one miss class. *)
+
+val miss_latency_total : t -> int
+(** Sum of all recorded miss latencies across every class. *)
+
+val top_lines : t -> n:int -> (Types.line * line_activity) list
+(** The [n] busiest lines by combined misses + invals + churn, busiest
+    first; ties broken by line number for determinism. *)
 
 val remote_misses : t -> int
 (** 2-hop plus 3-hop misses. *)

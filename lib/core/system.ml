@@ -109,6 +109,56 @@ let on_message t f =
       Node.set_trace node (fun ~time ~dst msg -> f ~time ~src ~dst msg))
     t.nodes
 
+let on_issue t f =
+  Array.iter
+    (fun node ->
+      let n = Node.id node in
+      Node.on_issue node (fun ~time ~kind ~line -> f ~time ~node:n ~kind ~line))
+    t.nodes
+
+let on_recv t f =
+  Array.iter
+    (fun node ->
+      let dst = Node.id node in
+      Node.on_recv node (fun ~time ~src msg -> f ~time ~src ~dst msg))
+    t.nodes
+
+let on_retransmit t f =
+  Array.iter
+    (fun node ->
+      let src = Node.id node in
+      Node.on_retransmit node (fun ~time ~dst -> f ~time ~src ~dst))
+    t.nodes
+
+(* Live occupancy gauges for telemetry samplers. *)
+
+let in_flight_txns t =
+  Array.fold_left
+    (fun acc node -> acc + if Node.pending_op node <> None then 1 else 0)
+    0 t.nodes
+
+let delegated_lines t =
+  Array.fold_left (fun acc node -> acc + Node.delegated_line_count node) 0 t.nodes
+
+let rac_occupancy t =
+  Array.fold_left (fun acc node -> acc + Node.rac_occupancy node) 0 t.nodes
+
+let rac_capacity t =
+  Array.fold_left (fun acc node -> acc + Node.rac_capacity node) 0 t.nodes
+
+let link_in_flight t =
+  Array.fold_left (fun acc node -> acc + Node.hub_in_flight node) 0 t.nodes
+
+let network_in_flight t = Network.in_flight t.network
+
+let event_queue_depth t = Sim.pending_events t.sim
+
+let retransmits_by_link t =
+  Array.to_list t.nodes
+  |> List.concat_map (fun node ->
+         let src = Node.id node in
+         List.map (fun (dst, count) -> (src, dst, count)) (Node.link_retransmits node))
+
 (* One transaction still outstanding when a run failed to drain. *)
 type in_flight = {
   stalled_node : Types.node_id;
@@ -136,6 +186,7 @@ type result = {
   invariant_errors : string list;
   updates_consumed : int;
   updates_wasted : int;
+  hot_lines : (Types.line * Run_stats.line_activity) list;
   stall : stall_report option;
 }
 
@@ -255,6 +306,7 @@ let run_programs ?max_events (t : t) programs =
     invariant_errors;
     updates_consumed;
     updates_wasted;
+    hot_lines = Run_stats.top_lines t.stats ~n:10;
     stall;
   }
 

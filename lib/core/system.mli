@@ -57,6 +57,56 @@ val on_message :
   unit
 (** Observe every coherence message sent by any node. *)
 
+val on_issue :
+  t ->
+  (time:int -> node:Types.node_id -> kind:Types.op_kind -> line:Types.line -> unit) ->
+  unit
+(** Observe every processor operation submitted on any node, before its
+    cache lookup.  Paired with {!on_commit} this brackets each
+    transaction's lifetime (telemetry spans). *)
+
+val on_recv :
+  t ->
+  (time:int -> src:Types.node_id -> dst:Types.node_id -> Message.t -> unit) ->
+  unit
+(** Observe every coherence message as it is delivered to a node — the
+    receive-side mirror of {!on_message}. *)
+
+val on_retransmit :
+  t -> (time:int -> src:Types.node_id -> dst:Types.node_id -> unit) -> unit
+(** Observe every hub-link retransmission (hardened mode only). *)
+
+(** {2 Occupancy gauges (telemetry samplers)}
+
+    Point-in-time, side-effect-free reads of live machine state; safe to
+    call from an {!on_post_event} observer. *)
+
+val in_flight_txns : t -> int
+(** Nodes with an outstanding processor transaction. *)
+
+val delegated_lines : t -> int
+(** Producer-table entries held across the machine. *)
+
+val rac_occupancy : t -> int
+(** Valid RAC entries across the machine. *)
+
+val rac_capacity : t -> int
+(** Total RAC entries across the machine. *)
+
+val link_in_flight : t -> int
+(** Unacknowledged hub-link packets across all nodes (0 when the link is
+    in pass-through mode). *)
+
+val network_in_flight : t -> int
+(** Network deliveries scheduled but not yet executed. *)
+
+val event_queue_depth : t -> int
+(** Pending simulator events right now. *)
+
+val retransmits_by_link : t -> (Types.node_id * Types.node_id * int) list
+(** Cumulative hub-link retransmissions as [(src, dst, count)], links
+    with at least one retransmission. *)
+
 (** {2 Stall reports}
 
     When a run fails to drain — time limit, event limit, or the progress
@@ -94,6 +144,9 @@ type result = {
   invariant_errors : string list;
   updates_consumed : int;  (** pushed updates later read by a consumer *)
   updates_wasted : int;
+  hot_lines : (Types.line * Run_stats.line_activity) list;
+      (** the 10 busiest lines by misses + invalidations + delegation
+          churn, busiest first *)
   stall : stall_report option;
       (** [Some] exactly when the run did not quiesce ([outcome] not
           [Drained] or a processor never finished) *)

@@ -14,6 +14,14 @@ let miss_class_name = function
   | Remote_2hop -> "remote-2hop"
   | Remote_3hop -> "remote-3hop"
 
+let miss_classes = [ Rac_hit; Local_mem; Remote_2hop; Remote_3hop ]
+
+let miss_class_index = function
+  | Rac_hit -> 0
+  | Local_mem -> 1
+  | Remote_2hop -> 2
+  | Remote_3hop -> 3
+
 let is_remote = function
   | Remote_2hop | Remote_3hop -> true
   | Rac_hit | Local_mem -> false

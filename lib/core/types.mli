@@ -26,6 +26,12 @@ type miss_class =
 
 val miss_class_name : miss_class -> string
 
+val miss_classes : miss_class list
+(** All four classes in declaration order (report row order). *)
+
+val miss_class_index : miss_class -> int
+(** Dense 0-based index, for per-class accumulator arrays. *)
+
 val is_remote : miss_class -> bool
 (** True for 2-hop and 3-hop misses; RAC hits and home-local DRAM accesses
     count as local (§1: updates "convert 2-hop misses into local misses"). *)

@@ -12,6 +12,7 @@ type t = {
   mutable stop_requested : bool;
   mutable executed : int;
   mutable observers : (unit -> unit) list;  (* registration order *)
+  mutable peak_pending : int;  (* high-water mark of the queue length *)
   mutable watchdog : watchdog option;
   (* bounded recent-event trace for stall reports; empty when disabled *)
   mutable ring : (int * string) array;
@@ -28,6 +29,7 @@ let create () =
     stop_requested = false;
     executed = 0;
     observers = [];
+    peak_pending = 0;
     watchdog = None;
     ring = [||];
     ring_next = 0;
@@ -40,19 +42,27 @@ let clear_observers t = t.observers <- []
 
 let now t = t.now
 
+let note_depth t =
+  let depth = Event_queue.length t.queue in
+  if depth > t.peak_pending then t.peak_pending <- depth
+
 let schedule t ~delay action =
   assert (delay >= 0);
-  Event_queue.add t.queue ~time:(t.now + delay) action
+  Event_queue.add t.queue ~time:(t.now + delay) action;
+  note_depth t
 
 let schedule_at t ~time action =
   assert (time >= t.now);
-  Event_queue.add t.queue ~time action
+  Event_queue.add t.queue ~time action;
+  note_depth t
 
 let stop t = t.stop_requested <- true
 
 let events_executed t = t.executed
 
 let pending_events t = Event_queue.length t.queue
+
+let peak_pending t = t.peak_pending
 
 (* ------------------------------------------------------------------ *)
 (* Progress watchdog and recent-event trace                            *)

@@ -37,6 +37,10 @@ val events_executed : t -> int
 
 val pending_events : t -> int
 
+val peak_pending : t -> int
+(** High-water mark of the event-queue length over the whole run (the
+    self-profiler's "peak queue depth"). *)
+
 val on_event : t -> (unit -> unit) -> unit
 (** Register an observer called after {e every} executed event (in
     registration order), once that event's action has fully run.  This is

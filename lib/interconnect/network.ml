@@ -30,6 +30,7 @@ type 'a t = {
   mutable messages : int;
   mutable bytes : int;
   mutable hops : int;
+  mutable in_flight : int;  (* scheduled deliveries not yet executed *)
 }
 
 let create ?faults sim topology config =
@@ -45,6 +46,7 @@ let create ?faults sim topology config =
     messages = 0;
     bytes = 0;
     hops = 0;
+    in_flight = 0;
   }
 
 let set_receiver t ~node handler = t.receivers.(node) <- Some handler
@@ -52,6 +54,7 @@ let set_receiver t ~node handler = t.receivers.(node) <- Some handler
 let fault_stats t = Option.map Fault.stats t.faults
 
 let deliver t ~src ~dst payload =
+  t.in_flight <- t.in_flight - 1;
   match t.receivers.(dst) with
   | Some handler -> handler ~src payload
   | None ->
@@ -93,9 +96,11 @@ let reserve port ~node ~earliest ~occupancy =
 let send t ~src ~dst ~bytes payload =
   check_route t ~src ~dst;
   let now = Simulator.now t.sim in
-  if src = dst then
+  if src = dst then begin
+    t.in_flight <- t.in_flight + 1;
     Simulator.schedule t.sim ~delay:t.config.local_latency (fun () ->
         deliver t ~src ~dst payload)
+  end
   else begin
     let wire_bytes = max bytes t.config.min_packet_bytes in
     let occupancy = (wire_bytes + t.config.port_bytes_per_cycle - 1) / t.config.port_bytes_per_cycle in
@@ -113,16 +118,20 @@ let send t ~src ~dst ~bytes payload =
     t.hops <- t.hops + router_hops;
     match t.faults with
     | None ->
+        t.in_flight <- t.in_flight + 1;
         Simulator.schedule_at t.sim ~time:in_clear (fun () -> deliver t ~src ~dst payload)
     | Some chaos ->
         (* traffic counters above describe what was {e sent}; the fault
            layer only decides what arrives, and when *)
         List.iter
           (fun extra ->
+            t.in_flight <- t.in_flight + 1;
             Simulator.schedule_at t.sim ~time:(in_clear + extra) (fun () ->
                 deliver t ~src ~dst payload))
           (Fault.plan chaos ~src ~dst ~now)
   end
+
+let in_flight t = t.in_flight
 
 let messages_sent t = t.messages
 

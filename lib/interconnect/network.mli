@@ -55,6 +55,11 @@ val send : 'a t -> src:int -> dst:int -> bytes:int -> 'a -> unit
 val fault_stats : 'a t -> Fault.stats option
 (** Live counters of the attached chaos layer, if any. *)
 
+val in_flight : 'a t -> int
+(** Deliveries scheduled but not yet executed (local and remote; a
+    dropped packet is never scheduled and so never counted).  A live
+    occupancy gauge for telemetry samplers. *)
+
 val messages_sent : 'a t -> int
 (** Remote packets sent so far (local deliveries excluded). *)
 

@@ -1,4 +1,5 @@
 open Pcc_core
+module Jsonl = Pcc_stats.Jsonl
 
 type run_desc = {
   bench : string;

@@ -11,7 +11,7 @@ let cell t name =
       r
 
 let add t name amount =
-  assert (amount >= 0);
+  if amount < 0 then invalid_arg "Counter.add: negative amount";
   let r = cell t name in
   r := !r + amount
 

@@ -12,7 +12,8 @@ val incr : t -> string -> unit
 (** Add one to the named counter. *)
 
 val add : t -> string -> int -> unit
-(** Add an arbitrary nonnegative amount. *)
+(** Add an arbitrary nonnegative amount.  Raises [Invalid_argument] on a
+    negative amount (counters are monotone). *)
 
 val get : t -> string -> int
 (** Current value; 0 if never touched. *)

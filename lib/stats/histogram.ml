@@ -36,6 +36,31 @@ let max_value t =
     (fun v _ acc -> match acc with Some m when m >= v -> acc | _ -> Some v)
     t.buckets None
 
+let percentile t p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile: p outside [0,100]";
+  if t.total = 0 then 0.0
+  else begin
+    (* nearest-rank on the sorted sample multiset: the smallest bucket
+       value whose cumulative count reaches ceil(p/100 * total) *)
+    let rank = max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int t.total))) in
+    let rec scan remaining = function
+      | [] -> assert false (* cumulative counts sum to [total] >= rank *)
+      | (value, count) :: rest ->
+          if remaining <= count then float_of_int value else scan (remaining - count) rest
+    in
+    scan rank
+      (Hashtbl.fold (fun v r acc -> (v, !r) :: acc) t.buckets []
+      |> List.sort (fun (a, _) (b, _) -> compare a b))
+  end
+
+let p50 t = percentile t 50.0
+
+let p95 t = percentile t 95.0
+
+let p99 t = percentile t 99.0
+
+let sum t = Hashtbl.fold (fun v r acc -> acc + (v * !r)) t.buckets 0
+
 let to_alist t =
   Hashtbl.fold (fun v r acc -> (v, !r) :: acc) t.buckets []
   |> List.sort (fun (a, _) (b, _) -> compare a b)

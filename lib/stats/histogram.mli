@@ -28,6 +28,21 @@ val fraction_ge : t -> int -> float
 
 val mean : t -> float
 
+val sum : t -> int
+(** Sum of all samples (value times count over every bucket). *)
+
+val percentile : t -> float -> float
+(** [percentile t p] is the nearest-rank p-th percentile of the sample
+    multiset, for [p] in [0, 100]: the smallest recorded value whose
+    cumulative count reaches [ceil (p/100 * count t)].  0 when empty.
+    Raises [Invalid_argument] outside [0, 100]. *)
+
+val p50 : t -> float
+
+val p95 : t -> float
+
+val p99 : t -> float
+
 val max_value : t -> int option
 
 val to_alist : t -> (int * int) list

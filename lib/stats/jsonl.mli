@@ -1,6 +1,7 @@
-(** A minimal JSON codec for the oracle's trace files.
+(** A minimal JSON codec for machine-readable artifacts.
 
-    Failure artifacts must be plain text a human (or a replay run) can
+    Oracle failure traces, telemetry metrics, Perfetto trace files, and
+    bench results must be plain text a human (or a replay run) can
     consume without extra dependencies, so this is a small hand-rolled
     subset: the seven JSON value forms, compact one-line printing, and a
     recursive-descent parser.  It is not a general-purpose JSON library —

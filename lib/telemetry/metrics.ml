@@ -1,0 +1,47 @@
+module Jsonl = Pcc_stats.Jsonl
+
+let json_of_sample (s : Recorder.sample) =
+  Jsonl.Obj
+    [
+      ("kind", Jsonl.String "sample");
+      ("time", Jsonl.Int s.s_time);
+      ("in_flight_txns", Jsonl.Int s.s_in_flight_txns);
+      ("delegated_lines", Jsonl.Int s.s_delegated_lines);
+      ("rac_occupancy", Jsonl.Int s.s_rac_occupancy);
+      ("event_queue_depth", Jsonl.Int s.s_event_queue_depth);
+      ("link_in_flight", Jsonl.Int s.s_link_in_flight);
+      ("network_in_flight", Jsonl.Int s.s_network_in_flight);
+      ("retransmits", Jsonl.Int s.s_retransmits);
+    ]
+
+let json_of_links links =
+  Jsonl.Obj
+    [
+      ("kind", Jsonl.String "link_retransmits");
+      ( "links",
+        Jsonl.List
+          (List.map
+             (fun (src, dst, count) ->
+               Jsonl.Obj
+                 [
+                   ("src", Jsonl.Int src);
+                   ("dst", Jsonl.Int dst);
+                   ("count", Jsonl.Int count);
+                 ])
+             links) );
+    ]
+
+let write ~path ?(links = []) samples =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun s ->
+          output_string oc (Jsonl.to_string (json_of_sample s));
+          output_char oc '\n')
+        samples;
+      if links <> [] then begin
+        output_string oc (Jsonl.to_string (json_of_links links));
+        output_char oc '\n'
+      end)

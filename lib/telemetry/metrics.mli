@@ -1,0 +1,13 @@
+(** JSONL export of the recorder's time-series occupancy samples.
+
+    One compact JSON object per line: every {!Recorder.sample} as a
+    [{"kind":"sample", ...}] record, optionally followed by one final
+    [{"kind":"link_retransmits", ...}] record carrying the cumulative
+    per-link retransmission totals. *)
+
+val json_of_sample : Recorder.sample -> Pcc_stats.Jsonl.t
+
+val json_of_links : (int * int * int) list -> Pcc_stats.Jsonl.t
+(** [(src, dst, count)] rows, e.g. {!Recorder.retransmits_by_link}. *)
+
+val write : path:string -> ?links:(int * int * int) list -> Recorder.sample list -> unit

@@ -1,0 +1,94 @@
+module Jsonl = Pcc_stats.Jsonl
+
+let hex_line line = Printf.sprintf "0x%x" line
+
+(* Complete ("X") slice for one phase segment, on the requester node's
+   track.  ts/dur are sim cycles presented as trace microseconds. *)
+let event_of_segment (span : Span.t) (seg : Span.segment) =
+  Jsonl.Obj
+    [
+      ("name", Jsonl.String (Span.phase_name seg.phase));
+      ("cat", Jsonl.String (Span.class_label span));
+      ("ph", Jsonl.String "X");
+      ("ts", Jsonl.Int seg.seg_start);
+      ("dur", Jsonl.Int (seg.seg_end - seg.seg_start));
+      ("pid", Jsonl.Int 0);
+      ("tid", Jsonl.Int span.node);
+      ( "args",
+        Jsonl.Obj
+          [
+            ("line", Jsonl.String (hex_line span.line));
+            ("kind", Jsonl.String (Span.kind_name span.kind));
+          ] );
+    ]
+
+(* Async begin/end pair grouping the whole transaction under its line
+   address: all traffic on one line lines up on one async track. *)
+let async_events (span : Span.t) =
+  let base ph ts =
+    Jsonl.Obj
+      [
+        ( "name",
+          Jsonl.String (Printf.sprintf "%s %s" (Span.kind_name span.kind)
+                          (hex_line span.line)) );
+        ("cat", Jsonl.String "line");
+        ("id", Jsonl.String (hex_line span.line));
+        ("ph", Jsonl.String ph);
+        ("ts", Jsonl.Int ts);
+        ("pid", Jsonl.Int 0);
+        ("tid", Jsonl.Int span.node);
+        ( "args",
+          Jsonl.Obj
+            [
+              ("class", Jsonl.String (Span.class_label span));
+              ("retransmits", Jsonl.Int span.retransmits);
+            ] );
+      ]
+  in
+  [ base "b" span.start; base "e" span.finish ]
+
+let metadata_events spans =
+  let nodes = List.sort_uniq compare (List.map (fun (s : Span.t) -> s.node) spans) in
+  Jsonl.Obj
+    [
+      ("name", Jsonl.String "process_name");
+      ("ph", Jsonl.String "M");
+      ("pid", Jsonl.Int 0);
+      ("args", Jsonl.Obj [ ("name", Jsonl.String "pcc machine") ]);
+    ]
+  :: List.map
+       (fun node ->
+         Jsonl.Obj
+           [
+             ("name", Jsonl.String "thread_name");
+             ("ph", Jsonl.String "M");
+             ("pid", Jsonl.Int 0);
+             ("tid", Jsonl.Int node);
+             ( "args",
+               Jsonl.Obj [ ("name", Jsonl.String (Printf.sprintf "node %d" node)) ]
+             );
+           ])
+       nodes
+
+let json_of_spans spans =
+  let events =
+    metadata_events spans
+    @ List.concat_map
+        (fun (span : Span.t) ->
+          List.map (event_of_segment span) span.segments @ async_events span)
+        spans
+  in
+  Jsonl.Obj
+    [
+      ("traceEvents", Jsonl.List events);
+      ("displayTimeUnit", Jsonl.String "ns");
+      ("otherData", Jsonl.Obj [ ("timeUnit", Jsonl.String "sim cycles as us") ]);
+    ]
+
+let write ~path spans =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Jsonl.to_string (json_of_spans spans));
+      output_char oc '\n')

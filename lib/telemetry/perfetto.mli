@@ -1,0 +1,14 @@
+(** Chrome trace-event ("Perfetto") export of coherence spans.
+
+    Produces the JSON object format ([{"traceEvents": [...]}]) that
+    [ui.perfetto.dev] and [chrome://tracing] load directly.  Each node
+    gets one track (pid 0, tid = node id) carrying a complete ("X")
+    slice per span phase segment; each whole transaction additionally
+    emits an async begin/end ("b"/"e") pair keyed by its line address,
+    so all traffic on one cache line lines up on a single async track.
+    Timestamps are simulation cycles presented as trace microseconds. *)
+
+val json_of_spans : Span.t list -> Pcc_stats.Jsonl.t
+
+val write : path:string -> Span.t list -> unit
+(** Write the trace JSON (one line + newline) to [path]. *)

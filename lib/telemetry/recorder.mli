@@ -1,0 +1,47 @@
+(** Reconstructs per-transaction {!Span}s and periodic occupancy samples
+    from a {!Pcc_core.System}'s observer hooks.
+
+    The recorder is a pure observer: it registers composing hooks
+    (issue, send, receive, retransmit, commit, post-event) and never
+    schedules events or touches protocol state, so an instrumented run
+    executes the exact same event sequence as a bare one.  When no
+    recorder is attached the hooks are empty lists and the run pays
+    nothing. *)
+
+open Pcc_core
+
+type t
+
+(** One reading of the machine's live occupancy gauges. *)
+type sample = {
+  s_time : int;
+  s_in_flight_txns : int;  (** nodes with an outstanding transaction *)
+  s_delegated_lines : int;  (** producer-table entries machine-wide *)
+  s_rac_occupancy : int;  (** valid RAC entries machine-wide *)
+  s_event_queue_depth : int;
+  s_link_in_flight : int;  (** unacknowledged hub-link packets *)
+  s_network_in_flight : int;  (** scheduled, undelivered network packets *)
+  s_retransmits : int;  (** cumulative hub-link retransmissions *)
+}
+
+val attach : ?sample_every:int -> System.t -> t
+(** Register the recorder's hooks on a freshly created system (before
+    running; spans of transactions already in flight are not recovered).
+    [sample_every] > 0 also samples the occupancy gauges every that many
+    cycles, piggybacking on executed events — never scheduling any — so
+    the run still drains and stays bit-identical.  Default 0: no
+    sampling. *)
+
+val spans : t -> Span.t list
+(** Closed spans, oldest first. *)
+
+val span_count : t -> int
+
+val samples : t -> sample list
+(** Occupancy samples, oldest first (empty unless [sample_every] > 0). *)
+
+val open_span_count : t -> int
+(** Transactions issued but not yet committed (0 once a run drains). *)
+
+val retransmits_by_link : t -> (Types.node_id * Types.node_id * int) list
+(** Cumulative [(src, dst, count)] hub-link retransmission totals. *)

@@ -1,0 +1,89 @@
+module Histogram = Pcc_stats.Histogram
+open Pcc_core
+
+type self_profile = {
+  wall_seconds : float;
+  events_executed : int;
+  peak_queue_depth : int;
+}
+
+let pp_latency_table ppf (stats : Run_stats.t) =
+  Format.fprintf ppf "@[<v>miss latency (cycles, issue to commit):@,%-12s %8s %8s %8s %8s %8s"
+    "class" "n" "avg" "p50" "p95" "p99";
+  List.iter
+    (fun miss ->
+      let h = Run_stats.latency_hist stats miss in
+      let n = Histogram.count h in
+      if n > 0 then
+        Format.fprintf ppf "@,%-12s %8d %8.1f %8.0f %8.0f %8.0f"
+          (Types.miss_class_name miss) n (Histogram.mean h) (Histogram.p50 h)
+          (Histogram.p95 h) (Histogram.p99 h))
+    Types.miss_classes;
+  Format.fprintf ppf "@]"
+
+let pp_phase_breakdown ppf spans =
+  let total = List.fold_left (fun acc s -> acc + Span.duration s) 0 spans in
+  Format.fprintf ppf "@[<v>phase breakdown (%d spans, %d cycles total):"
+    (List.length spans) total;
+  List.iter
+    (fun phase ->
+      let cycles =
+        List.fold_left (fun acc s -> acc + Span.phase_cycles s phase) 0 spans
+      in
+      if cycles > 0 then
+        Format.fprintf ppf "@,%-12s %10d cycles %5.1f%%" (Span.phase_name phase)
+          cycles
+          (100.0 *. float_of_int cycles /. float_of_int (max 1 total)))
+    Span.phases;
+  Format.fprintf ppf "@]"
+
+let pp_hot_lines ppf hot =
+  match hot with
+  | [] -> Format.fprintf ppf "hot lines: none"
+  | hot ->
+      Format.fprintf ppf "@[<v>hot lines (misses + invals + delegation churn):";
+      List.iter
+        (fun (line, (a : Run_stats.line_activity)) ->
+          Format.fprintf ppf "@,line %d@@%d: misses=%d invals=%d churn=%d"
+            (Types.Layout.index_of_line line)
+            (Types.Layout.home_of_line line)
+            a.l_misses a.l_invals a.l_churn)
+        hot;
+      Format.fprintf ppf "@]"
+
+let pp_samples ppf samples =
+  match samples with
+  | [] -> ()
+  | samples ->
+      let peak f = List.fold_left (fun acc s -> max acc (f s)) 0 samples in
+      Format.fprintf ppf
+        "@[<v>time series: %d samples; peaks: in-flight=%d delegated=%d rac=%d \
+         queue=%d link=%d net=%d@]"
+        (List.length samples)
+        (peak (fun (s : Recorder.sample) -> s.s_in_flight_txns))
+        (peak (fun s -> s.s_delegated_lines))
+        (peak (fun s -> s.s_rac_occupancy))
+        (peak (fun s -> s.s_event_queue_depth))
+        (peak (fun s -> s.s_link_in_flight))
+        (peak (fun s -> s.s_network_in_flight))
+
+let pp_self_profile ppf p =
+  let rate =
+    if p.wall_seconds > 0.0 then float_of_int p.events_executed /. p.wall_seconds
+    else 0.0
+  in
+  Format.fprintf ppf
+    "@[<v>self-profile: %d events in %.3fs wall (%.0f events/s), peak queue depth %d@]"
+    p.events_executed p.wall_seconds rate p.peak_queue_depth
+
+let print ?self ppf ~(result : System.result) ~spans ~samples () =
+  Format.fprintf ppf "@[<v>%a@,@,%a@,@,%a@,@,%a" System.pp_result result
+    pp_latency_table result.stats pp_phase_breakdown spans pp_hot_lines
+    result.hot_lines;
+  (match samples with
+  | [] -> ()
+  | _ -> Format.fprintf ppf "@,@,%a" pp_samples samples);
+  (match self with
+  | Some p -> Format.fprintf ppf "@,@,%a" pp_self_profile p
+  | None -> ());
+  Format.fprintf ppf "@]@."

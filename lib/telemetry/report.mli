@@ -1,0 +1,30 @@
+(** Human-readable analysis report over one instrumented run.
+
+    Combines the run result (per-class latency percentiles, hot lines),
+    the recorder's spans (phase breakdown) and samples (occupancy
+    peaks), and an optional self-profile of the simulator itself. *)
+
+open Pcc_core
+
+type self_profile = {
+  wall_seconds : float;
+  events_executed : int;
+  peak_queue_depth : int;  (** {!Pcc_engine.Simulator.peak_pending} *)
+}
+
+val pp_latency_table : Format.formatter -> Run_stats.t -> unit
+(** n / avg / p50 / p95 / p99 per miss class (classes with samples). *)
+
+val pp_phase_breakdown : Format.formatter -> Span.t list -> unit
+(** Cycles (and share) spent in each protocol phase across the spans. *)
+
+val print :
+  ?self:self_profile ->
+  Format.formatter ->
+  result:System.result ->
+  spans:Span.t list ->
+  samples:Recorder.sample list ->
+  unit ->
+  unit
+(** The full report: run summary, latency table, phase breakdown, hot
+    lines, time-series peaks, self-profile. *)

@@ -1,0 +1,55 @@
+open Pcc_core
+
+type phase =
+  | Local
+  | Req_net
+  | Dir_service
+  | Intervention
+  | Reply_net
+  | Ack_collect
+  | Backoff
+
+let phase_name = function
+  | Local -> "local"
+  | Req_net -> "req-net"
+  | Dir_service -> "dir-service"
+  | Intervention -> "intervention"
+  | Reply_net -> "reply-net"
+  | Ack_collect -> "ack-collect"
+  | Backoff -> "backoff"
+
+let phases =
+  [ Local; Req_net; Dir_service; Intervention; Reply_net; Ack_collect; Backoff ]
+
+type segment = { phase : phase; seg_start : int; seg_end : int }
+
+type t = {
+  node : Types.node_id;
+  kind : Types.op_kind;
+  line : Types.line;
+  start : int;
+  finish : int;
+  l2_hit : bool;
+  miss : Types.miss_class option;
+  segments : segment list;
+  retransmits : int;
+}
+
+let duration t = t.finish - t.start
+
+let kind_name = function Types.Load -> "load" | Types.Store -> "store"
+
+let class_label t =
+  match t.miss with Some m -> Types.miss_class_name m | None -> "l2-hit"
+
+let phase_cycles t phase =
+  List.fold_left
+    (fun acc s -> if s.phase = phase then acc + (s.seg_end - s.seg_start) else acc)
+    0 t.segments
+
+let segments_contiguous t =
+  let rec check at = function
+    | [] -> at = t.finish
+    | s :: rest -> s.seg_start = at && s.seg_end >= s.seg_start && check s.seg_end rest
+  in
+  check t.start t.segments

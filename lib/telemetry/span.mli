@@ -1,0 +1,56 @@
+(** One memory transaction's lifetime, issue to commit, broken into
+    protocol phases.
+
+    Spans are reconstructed by {!Recorder} purely from observer hooks;
+    they are the unit the Perfetto exporter and the latency report
+    consume. *)
+
+open Pcc_core
+
+(** Where the transaction's time went.  A span's segments walk through a
+    subset of these in protocol order; retries revisit earlier phases. *)
+type phase =
+  | Local  (** local cache lookup / hub processing at the requester *)
+  | Req_net  (** request traveling to the (delegated) home *)
+  | Dir_service  (** directory or producer-table service at the home *)
+  | Intervention  (** a third-party owner is being consulted *)
+  | Reply_net  (** reply (data, grant, or NACK) traveling back *)
+  | Ack_collect  (** store holds data, collecting invalidation acks *)
+  | Backoff  (** NACKed; waiting out the retry delay *)
+
+val phase_name : phase -> string
+
+val phases : phase list
+(** All phases in protocol order (report row order). *)
+
+type segment = { phase : phase; seg_start : int; seg_end : int }
+
+type t = {
+  node : Types.node_id;
+  kind : Types.op_kind;
+  line : Types.line;
+  start : int;  (** cycle the processor submitted the operation *)
+  finish : int;  (** cycle it committed *)
+  l2_hit : bool;
+  miss : Types.miss_class option;  (** [None] exactly for L2 hits *)
+  segments : segment list;
+      (** oldest first; contiguous — each segment starts where the
+          previous ended, the first at [start], the last ending at
+          [finish] (zero-length segments are elided) *)
+  retransmits : int;
+      (** hub-link retransmissions this node performed while the span was
+          open (coarse: not filtered to this transaction's packets) *)
+}
+
+val duration : t -> int
+
+val kind_name : Types.op_kind -> string
+
+val class_label : t -> string
+(** The miss-class name, or ["l2-hit"]. *)
+
+val phase_cycles : t -> phase -> int
+(** Total cycles the span spent in a phase (across retries). *)
+
+val segments_contiguous : t -> bool
+(** Structural well-formedness: segments tile [start, finish] exactly. *)

@@ -66,7 +66,7 @@ let test_hub_link_exactly_once () =
   let mk id deliver =
     Hub_link.create ~sim ~network:net ~id ~nodes ~reliable:true ~rto:500 ~rto_cap:8000
       ~ack_bytes:16
-      ~on_retransmit:(fun () -> incr retransmits)
+      ~on_retransmit:(fun ~dst:_ -> incr retransmits)
       ~on_duplicate:(fun () -> incr duplicates)
       ~deliver
   in

@@ -15,6 +15,7 @@ let () =
       ("mcheck", Test_mcheck.suite);
       ("properties", Test_properties.suite);
       ("oracle", Test_oracle.suite);
+      ("telemetry", Test_telemetry.suite);
       ("chaos", Test_chaos.suite);
       ("golden", Test_golden.suite);
     ]

@@ -7,6 +7,7 @@
 
 open Pcc_core
 module Oracle = Pcc_oracle
+module Jsonl = Pcc_stats.Jsonl
 module Q = QCheck
 
 let line ~home ~index = Types.Layout.make_line ~home ~index
@@ -19,11 +20,11 @@ let json_gen =
       let leaf =
         oneof
           [
-            return Oracle.Jsonl.Null;
-            map (fun b -> Oracle.Jsonl.Bool b) bool;
-            map (fun i -> Oracle.Jsonl.Int i) small_signed_int;
-            map (fun f -> Oracle.Jsonl.Float (float_of_int f)) small_signed_int;
-            map (fun s -> Oracle.Jsonl.String s) string_printable;
+            return Jsonl.Null;
+            map (fun b -> Jsonl.Bool b) bool;
+            map (fun i -> Jsonl.Int i) small_signed_int;
+            map (fun f -> Jsonl.Float (float_of_int f)) small_signed_int;
+            map (fun s -> Jsonl.String s) string_printable;
           ]
       in
       if n <= 0 then leaf
@@ -31,10 +32,10 @@ let json_gen =
         frequency
           [
             (3, leaf);
-            (1, map (fun l -> Oracle.Jsonl.List l) (list_size (0 -- 4) (self (n / 2))));
+            (1, map (fun l -> Jsonl.List l) (list_size (0 -- 4) (self (n / 2))));
             ( 1,
               map
-                (fun kvs -> Oracle.Jsonl.Obj kvs)
+                (fun kvs -> Jsonl.Obj kvs)
                 (list_size (0 -- 4)
                    (pair (string_size ~gen:(char_range 'a' 'z') (1 -- 6)) (self (n / 2))))
             );
@@ -44,7 +45,7 @@ let prop_jsonl_roundtrip =
   Q.Test.make ~count:300 ~name:"jsonl: to_string |> of_string is the identity"
     (Q.make json_gen)
     (fun v ->
-      match Oracle.Jsonl.of_string (Oracle.Jsonl.to_string v) with
+      match Jsonl.of_string (Jsonl.to_string v) with
       | Ok v' -> v = v'
       | Error e -> Q.Test.fail_reportf "parse error: %s" e)
 

@@ -53,6 +53,41 @@ let test_histogram_mean_max () =
   Alcotest.(check int) "cleared" 0 (Histogram.count h);
   Alcotest.(check (float 1e-9)) "mean empty" 0.0 (Histogram.mean h)
 
+let test_counter_rejects_negative () =
+  let c = Counter.create () in
+  Alcotest.check_raises "negative add" (Invalid_argument "Counter.add: negative amount")
+    (fun () -> Counter.add c "x" (-1));
+  Counter.add c "x" 0;
+  Alcotest.(check int) "zero add is fine" 0 (Counter.get c "x")
+
+let test_histogram_sum () =
+  let h = Histogram.create () in
+  List.iter (Histogram.observe h) [ 1; 1; 2; 3; 5; 5; 5 ];
+  Alcotest.(check int) "sum" 22 (Histogram.sum h);
+  Alcotest.(check int) "empty sum" 0 (Histogram.sum (Histogram.create ()))
+
+let test_histogram_percentiles () =
+  let h = Histogram.create () in
+  (* 1..100, one each: nearest-rank percentiles are exact *)
+  for v = 1 to 100 do
+    Histogram.observe h v
+  done;
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Histogram.p50 h);
+  Alcotest.(check (float 1e-9)) "p95" 95.0 (Histogram.p95 h);
+  Alcotest.(check (float 1e-9)) "p99" 99.0 (Histogram.p99 h);
+  Alcotest.(check (float 1e-9)) "p0 is min" 1.0 (Histogram.percentile h 0.0);
+  Alcotest.(check (float 1e-9)) "p100 is max" 100.0 (Histogram.percentile h 100.0);
+  let skewed = Histogram.create () in
+  Histogram.observe_n skewed 10 ~count:99;
+  Histogram.observe skewed 1000;
+  Alcotest.(check (float 1e-9)) "p50 of skew" 10.0 (Histogram.p50 skewed);
+  Alcotest.(check (float 1e-9)) "p99 of skew" 10.0 (Histogram.p99 skewed);
+  Alcotest.(check (float 1e-9)) "p100 of skew" 1000.0 (Histogram.percentile skewed 100.0);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Histogram.p95 (Histogram.create ()));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Histogram.percentile: p outside [0,100]") (fun () ->
+      ignore (Histogram.percentile h 101.0))
+
 let test_histogram_alist () =
   let h = Histogram.create () in
   List.iter (Histogram.observe h) [ 3; 1; 3 ];
@@ -97,7 +132,10 @@ let suite =
     Alcotest.test_case "counter basics" `Quick test_counter_basics;
     Alcotest.test_case "counter alist sorted" `Quick test_counter_alist_sorted;
     Alcotest.test_case "counter reset/merge" `Quick test_counter_reset_and_merge;
+    Alcotest.test_case "counter rejects negative" `Quick test_counter_rejects_negative;
     Alcotest.test_case "histogram counts" `Quick test_histogram_counts;
+    Alcotest.test_case "histogram sum" `Quick test_histogram_sum;
+    Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
     Alcotest.test_case "histogram mean/max/clear" `Quick test_histogram_mean_max;
     Alcotest.test_case "histogram alist" `Quick test_histogram_alist;
     Alcotest.test_case "means" `Quick test_means;
