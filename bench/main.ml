@@ -7,7 +7,11 @@
      dune exec bench/main.exe -- fig7 fig9    # a subset
      dune exec bench/main.exe -- micro        # Bechamel micro-benchmarks
 
-   Environment: PCC_SCALE (default 0.5) stretches run lengths. *)
+   Environment: PCC_SCALE (default 0.5) stretches run lengths; PCC_JOBS
+   (or --jobs N) fans independent simulations out across that many
+   domains.  Results are bit-identical at every jobs level: each
+   simulation is self-contained, workers never print, and the --json
+   artifact is sorted by run key. *)
 
 open Pcc_core
 module Apps = Pcc_workload.Apps
@@ -15,6 +19,7 @@ module Table = Pcc_stats.Table
 module Summary = Pcc_stats.Summary
 module Jsonl = Pcc_stats.Jsonl
 module Histogram = Pcc_stats.Histogram
+module Pool = Pcc_parallel.Pool
 
 let nodes = 16
 
@@ -37,19 +42,63 @@ let programs app =
       Hashtbl.add programs_cache app.Apps.name p;
       p
 
+let run_key app config tag =
+  Printf.sprintf "%s/%s/%s" app.Apps.name (Config.describe config) tag
+
+(* Record a finished run: warnings print here, always from the main
+   domain, so a parallel prewarm emits them in the same deterministic
+   (submission) order as a sequential run. *)
+let record_run key r =
+  if r.System.violations > 0 then
+    Format.eprintf "WARNING: %s: %d coherence violations!@." key r.System.violations;
+  if r.System.invariant_errors <> [] then
+    Format.eprintf "WARNING: %s: invariant errors: %s@." key
+      (String.concat "; " r.System.invariant_errors);
+  Hashtbl.add run_cache key r
+
 let run ?(tag = "") app config =
-  let key = Printf.sprintf "%s/%s/%s" app.Apps.name (Config.describe config) tag in
+  let key = run_key app config tag in
   match Hashtbl.find_opt run_cache key with
   | Some r -> r
   | None ->
       let r = System.run ~config ~programs:(programs app) () in
-      if r.System.violations > 0 then
-        Format.eprintf "WARNING: %s: %d coherence violations!@." key r.System.violations;
-      if r.System.invariant_errors <> [] then
-        Format.eprintf "WARNING: %s: invariant errors: %s@." key
-          (String.concat "; " r.System.invariant_errors);
-      Hashtbl.add run_cache key r;
+      record_run key r;
       r
+
+(* A cell is one (tag, app, config) run an experiment will request; each
+   experiment declares its cells so the driver can fan the whole matrix
+   out across domains before any printing happens.  A cell list that
+   misses a run is not a correctness bug — the printer falls back to
+   computing it in the main domain — it only costs parallelism. *)
+type cell = string * Apps.app * Config.t
+
+let cell ?(tag = "") app config : cell = (tag, app, config)
+
+let prewarm ~jobs cells =
+  let seen = Hashtbl.create 64 in
+  let todo =
+    List.filter_map
+      (fun (tag, app, config) ->
+        let key = run_key app config tag in
+        if Hashtbl.mem run_cache key || Hashtbl.mem seen key then None
+        else begin
+          Hashtbl.add seen key ();
+          Some (key, app, config)
+        end)
+      cells
+  in
+  (* Generate workloads once, in the main domain: the cache stays
+     single-domain and workers capture the finished (immutable) program
+     lists in their closures. *)
+  let tasks =
+    List.map
+      (fun (key, app, config) ->
+        let programs = programs app in
+        (key, fun () -> System.run ~config ~programs ()))
+      todo
+  in
+  let results = Pool.run_keyed ~jobs tasks in
+  List.iter2 (fun (key, _, _) r -> record_run key r) todo results
 
 let speedup ~base r = float_of_int base.System.cycles /. float_of_int r.System.cycles
 
@@ -103,6 +152,8 @@ let paper_table3 =
     ("MG", (0.0, 0.3, 6.7, 1.4, 91.6));
     ("Appbt", (51.0, 7.5, 2.9, 1.8, 36.7));
   ]
+
+let table3_cells () = List.map (fun app -> cell app (Config.large_full ~nodes ())) Apps.all
 
 let table3 () =
   let t =
@@ -160,6 +211,13 @@ let paper_fig7_speedups =
     ("MG", (1.09, 1.22));
     ("Appbt", (1.08, 1.24));
   ]
+
+let fig7_cells () =
+  List.concat_map
+    (fun app ->
+      cell app (Config.base ~nodes ())
+      :: List.map (fun (_, config) -> cell app config) (fig7_configs ()))
+    Apps.all
 
 let fig7 () =
   let t =
@@ -221,6 +279,20 @@ let fig7 () =
 (* Figure 8: smarter vs larger caches (equal silicon)                   *)
 (* ------------------------------------------------------------------ *)
 
+let fig8_variants () =
+  let l2 bytes config = { config with Config.l2_bytes = bytes } in
+  let mib = 1024 * 1024 in
+  [
+    ("fig8-base", l2 mib (Config.base ~nodes ()));
+    ("fig8-smart", l2 mib (Config.small_full ~nodes ()));
+    ("fig8-big", l2 (mib + (40 * 1024)) (Config.base ~nodes ()));
+  ]
+
+let fig8_cells () =
+  List.concat_map
+    (fun app -> List.map (fun (tag, config) -> cell ~tag app config) (fig8_variants ()))
+    Apps.all
+
 let fig8 () =
   let t =
     Table.create
@@ -228,15 +300,12 @@ let fig8 () =
         "Figure 8: equal-silicon comparison (1MB L2 baseline vs extensions vs 1.04MB L2)"
       ~columns:[ "app"; "Base (1M L2)"; "ext (1M L2 + 32/32K)"; "equal area (1.04M L2)" ]
   in
-  let l2 bytes config = { config with Config.l2_bytes = bytes } in
-  let mib = 1024 * 1024 in
+  let variant tag = List.assoc tag (fig8_variants ()) in
   List.iter
     (fun app ->
-      let base = run app ~tag:"fig8-base" (l2 mib (Config.base ~nodes ())) in
-      let smart = run app ~tag:"fig8-smart" (l2 mib (Config.small_full ~nodes ())) in
-      let bigger =
-        run app ~tag:"fig8-big" (l2 (mib + (40 * 1024)) (Config.base ~nodes ()))
-      in
+      let base = run app ~tag:"fig8-base" (variant "fig8-base") in
+      let smart = run app ~tag:"fig8-smart" (variant "fig8-smart") in
+      let bigger = run app ~tag:"fig8-big" (variant "fig8-big") in
       Table.add_row t
         [
           Table.String app.Apps.name;
@@ -253,6 +322,18 @@ let fig8 () =
 (* ------------------------------------------------------------------ *)
 
 let fig9_delays = [ 5; 50; 500; 5_000; 50_000; 500_000; 5_000_000 ]
+
+let fig9_cells () =
+  List.concat_map
+    (fun app ->
+      List.map
+        (fun delay ->
+          cell
+            ~tag:(Printf.sprintf "delay%d" delay)
+            app
+            { (Config.small_full ~nodes ()) with Config.intervention_delay = delay })
+        fig9_delays)
+    Apps.all
 
 let fig9 () =
   let t =
@@ -295,6 +376,24 @@ let fig9 () =
 (* Figure 10: sensitivity to network hop latency (Appbt)                *)
 (* ------------------------------------------------------------------ *)
 
+let fig10_hops = [ 25; 50; 100; 200 ]
+
+let fig10_cells () =
+  List.concat_map
+    (fun ns ->
+      let cycles = 2 * ns in
+      [
+        cell
+          ~tag:(Printf.sprintf "hop%d-base" ns)
+          Apps.appbt
+          (Config.with_hop_latency (Config.base ~nodes ()) cycles);
+        cell
+          ~tag:(Printf.sprintf "hop%d-small" ns)
+          Apps.appbt
+          (Config.with_hop_latency (Config.small_full ~nodes ()) cycles);
+      ])
+    fig10_hops
+
 let fig10 () =
   let t =
     Table.create
@@ -332,25 +431,33 @@ let fig10 () =
 (* Figure 11: sensitivity to delegate cache size (MG)                   *)
 (* ------------------------------------------------------------------ *)
 
+let fig11_variants () =
+  List.map
+    (fun entries ->
+      ( Printf.sprintf "%d-entry deledc & 32K RAC" entries,
+        Config.full ~nodes ~delegate_entries:entries () ))
+    [ 32; 64; 128; 256; 512; 1024 ]
+  @ [
+      ("1K-entry deledc & 1M RAC", Config.large_full ~nodes ());
+      ("32-entry deledc & 1M RAC", Config.full ~nodes ~rac_bytes:(1024 * 1024) ());
+    ]
+
+let fig11_cells () =
+  cell Apps.mg (Config.base ~nodes ())
+  :: List.map (fun (tag, config) -> cell ~tag Apps.mg config) (fig11_variants ())
+
 let fig11 () =
   let t =
     Table.create ~title:"Figure 11: MG vs delegate-cache size (32K RAC unless noted)"
       ~columns:[ "config"; "speedup"; "network msgs (norm)" ]
   in
   let base = run Apps.mg (Config.base ~nodes ()) in
-  let entry name config =
+  let entry (name, config) =
     let r = run Apps.mg ~tag:name config in
     Table.add_row t
       [ Table.String name; Table.Float (speedup ~base r); Table.Float (msg_ratio ~base r) ]
   in
-  List.iter
-    (fun entries ->
-      entry
-        (Printf.sprintf "%d-entry deledc & 32K RAC" entries)
-        (Config.full ~nodes ~delegate_entries:entries ()))
-    [ 32; 64; 128; 256; 512; 1024 ];
-  entry "1K-entry deledc & 1M RAC" (Config.large_full ~nodes ());
-  entry "32-entry deledc & 1M RAC" (Config.full ~nodes ~rac_bytes:(1024 * 1024) ());
+  List.iter entry (fig11_variants ());
   Table.print t;
   print_endline
     "paper: MG speedup grows 1.09 -> 1.22 with delegate entries; RAC size secondary\n"
@@ -359,30 +466,46 @@ let fig11 () =
 (* Figure 12: sensitivity to RAC size (Appbt)                           *)
 (* ------------------------------------------------------------------ *)
 
+let fig12_variants () =
+  List.map
+    (fun kb ->
+      ( Printf.sprintf "32-entry deledc & %dK RAC" kb,
+        Config.full ~nodes ~rac_bytes:(kb * 1024) () ))
+    [ 32; 64; 128; 256; 512; 1024 ]
+  @ [ ("1K-entry deledc & 1M RAC", Config.large_full ~nodes ()) ]
+
+let fig12_cells () =
+  cell Apps.appbt (Config.base ~nodes ())
+  :: List.map (fun (tag, config) -> cell ~tag Apps.appbt config) (fig12_variants ())
+
 let fig12 () =
   let t =
     Table.create ~title:"Figure 12: Appbt vs RAC size (32-entry deledc unless noted)"
       ~columns:[ "config"; "speedup"; "network msgs (norm)" ]
   in
   let base = run Apps.appbt (Config.base ~nodes ()) in
-  let entry name config =
+  let entry (name, config) =
     let r = run Apps.appbt ~tag:name config in
     Table.add_row t
       [ Table.String name; Table.Float (speedup ~base r); Table.Float (msg_ratio ~base r) ]
   in
-  List.iter
-    (fun kb ->
-      entry
-        (Printf.sprintf "32-entry deledc & %dK RAC" kb)
-        (Config.full ~nodes ~rac_bytes:(kb * 1024) ()))
-    [ 32; 64; 128; 256; 512; 1024 ];
-  entry "1K-entry deledc & 1M RAC" (Config.large_full ~nodes ());
+  List.iter entry (fig12_variants ());
   Table.print t;
   print_endline "paper: Appbt speedup grows 1.08 -> ~1.24 as the RAC grows to 1MB\n"
 
 (* ------------------------------------------------------------------ *)
 (* Ablation: delegation without updates (§3.2 prose)                    *)
 (* ------------------------------------------------------------------ *)
+
+let ablation_cells () =
+  List.concat_map
+    (fun app ->
+      [
+        cell app (Config.base ~nodes ());
+        cell app (Config.delegation_only ~nodes ());
+        cell app (Config.small_full ~nodes ());
+      ])
+    Apps.all
 
 let ablation () =
   let t =
@@ -409,6 +532,11 @@ let ablation () =
 (* ------------------------------------------------------------------ *)
 (* Analytical model (§5): speedup bound vs push accuracy                *)
 (* ------------------------------------------------------------------ *)
+
+let model_cells () =
+  List.concat_map
+    (fun app -> [ cell app (Config.base ~nodes ()); cell app (Config.large_full ~nodes ()) ])
+    Apps.all
 
 let model () =
   let t =
@@ -450,6 +578,24 @@ let model () =
 (* Predictor-threshold ablation (design choice of §2.2)                 *)
 (* ------------------------------------------------------------------ *)
 
+let predictor_thresholds = [ 1; 2; 3; 5 ]
+
+let predictor_cells () =
+  List.concat_map
+    (fun app ->
+      cell app (Config.base ~nodes ())
+      :: List.map
+           (fun threshold ->
+             cell
+               ~tag:(Printf.sprintf "thr%d" threshold)
+               app
+               {
+                 (Config.small_full ~nodes ()) with
+                 Config.write_repeat_threshold = threshold;
+               })
+           predictor_thresholds)
+    Apps.all
+
 let predictor_ablation () =
   let t =
     Table.create
@@ -476,6 +622,17 @@ let predictor_ablation () =
 (* ------------------------------------------------------------------ *)
 (* Adaptive intervention delay (§5 future work)                         *)
 (* ------------------------------------------------------------------ *)
+
+let adaptive_cells () =
+  List.concat_map
+    (fun app ->
+      [
+        cell app (Config.base ~nodes ());
+        cell app (Config.small_full ~nodes ());
+        cell ~tag:"adaptive" app
+          { (Config.small_full ~nodes ()) with Config.adaptive_intervention = true };
+      ])
+    Apps.all
 
 let adaptive () =
   let t =
@@ -604,56 +761,28 @@ let micro () =
 (* ------------------------------------------------------------------ *)
 
 (* Machine-readable snapshot of every run the requested experiments
-   performed, straight from the run cache: cycles, traffic, miss mix,
-   and per-class latency percentiles. *)
-let json_of_run key (r : System.result) =
-  let stats = r.System.stats in
-  let latency =
-    List.filter_map
-      (fun miss ->
-        let h = Run_stats.latency_hist stats miss in
-        let n = Histogram.count h in
-        if n = 0 then None
-        else
-          Some
-            ( Types.miss_class_name miss,
-              Jsonl.Obj
-                [
-                  ("n", Jsonl.Int n);
-                  ("avg", Jsonl.Float (Histogram.mean h));
-                  ("p50", Jsonl.Float (Histogram.p50 h));
-                  ("p95", Jsonl.Float (Histogram.p95 h));
-                  ("p99", Jsonl.Float (Histogram.p99 h));
-                ] ))
-      Types.miss_classes
-  in
-  Jsonl.Obj
-    [
-      ("key", Jsonl.String key);
-      ("cycles", Jsonl.Int r.System.cycles);
-      ("network_messages", Jsonl.Int r.System.network_messages);
-      ("network_bytes", Jsonl.Int r.System.network_bytes);
-      ("remote_misses", Jsonl.Int (Run_stats.remote_misses stats));
-      ("remote_miss_fraction", Jsonl.Float (Run_stats.remote_miss_fraction stats));
-      ("avg_miss_latency", Jsonl.Float (Run_stats.avg_miss_latency stats));
-      ("updates_sent", Jsonl.Int stats.Run_stats.updates_sent);
-      ("delegations", Jsonl.Int stats.Run_stats.delegations);
-      ("latency", Jsonl.Obj latency);
-    ]
-
+   performed, straight from the run cache, in the canonical Run_export
+   encoding the determinism tests pin. *)
 let write_json path =
-  let runs =
-    Hashtbl.fold (fun key r acc -> (key, r) :: acc) run_cache []
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
-  in
-  let doc =
-    Jsonl.Obj
-      [
-        ("nodes", Jsonl.Int nodes);
-        ("scale", Jsonl.Float scale);
-        ("runs", Jsonl.List (List.map (fun (k, r) -> json_of_run k r) runs));
-      ]
-  in
+  let runs = Hashtbl.fold (fun key r acc -> (key, r) :: acc) run_cache [] in
+  (* An adaptive configuration whose run never delegated degenerated to
+     the base protocol: the recorded numbers say nothing about the
+     paper's mechanisms.  Seen when PCC_SCALE is so low the benchmarks
+     produce fewer same-producer write epochs than the predictor's
+     write-repeat threshold needs (detection requires threshold+1
+     writes with intervening reads). *)
+  List.iter
+    (fun (key, r) ->
+      if Run_export.delegation_expected r && r.System.stats.Run_stats.delegations = 0
+      then
+        Format.eprintf
+          "WARNING: %s: ADAPTIVE CONFIG RECORDED ZERO DELEGATIONS — the \
+           producer-consumer mechanism was never exercised and this run is \
+           bit-identical to Base; raise PCC_SCALE (current %.2f) above the \
+           predictor's detection threshold@."
+          key scale)
+    (List.sort (fun (a, _) (b, _) -> compare a b) runs);
+  let doc = Run_export.document ~nodes ~scale runs in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -666,44 +795,71 @@ let write_json path =
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
+let no_cells () = []
+
+(* (name, cells for the parallel prewarm, printer) *)
 let experiments =
   [
-    ("table1", table1);
-    ("table2", table2);
-    ("table3", table3);
-    ("fig7", fig7);
-    ("fig8", fig8);
-    ("fig9", fig9);
-    ("fig10", fig10);
-    ("fig11", fig11);
-    ("fig12", fig12);
-    ("ablation", ablation);
-    ("model", model);
-    ("predictor", predictor_ablation);
-    ("adaptive", adaptive);
-    ("hwcost", hw_cost);
-    ("micro", micro);
+    ("table1", no_cells, table1);
+    ("table2", no_cells, table2);
+    ("table3", table3_cells, table3);
+    ("fig7", fig7_cells, fig7);
+    ("fig8", fig8_cells, fig8);
+    ("fig9", fig9_cells, fig9);
+    ("fig10", fig10_cells, fig10);
+    ("fig11", fig11_cells, fig11);
+    ("fig12", fig12_cells, fig12);
+    ("ablation", ablation_cells, ablation);
+    ("model", model_cells, model);
+    ("predictor", predictor_cells, predictor_ablation);
+    ("adaptive", adaptive_cells, adaptive);
+    ("hwcost", no_cells, hw_cost);
+    ("micro", no_cells, micro);
   ]
 
 let () =
-  let rec split_json acc = function
-    | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
-    | [ "--json" ] ->
-        Format.eprintf "--json requires a path@.";
+  (* Extract "--flag value" from the argument list. *)
+  let rec split_opt flag acc = function
+    | f :: value :: rest when f = flag -> (Some value, List.rev_append acc rest)
+    | [ f ] when f = flag ->
+        Format.eprintf "%s requires a value@." flag;
         exit 2
-    | x :: rest -> split_json (x :: acc) rest
+    | x :: rest -> split_opt flag (x :: acc) rest
     | [] -> (None, List.rev acc)
   in
-  let json_path, names = split_json [] (List.tl (Array.to_list Sys.argv)) in
-  let requested = match names with [] -> List.map fst experiments | names -> names in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json_path, args = split_opt "--json" [] args in
+  let jobs_arg, names = split_opt "--jobs" [] args in
+  let jobs =
+    match jobs_arg with
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n >= 1 -> n
+        | Some _ | None ->
+            Format.eprintf "--jobs %s: expected a positive integer@." s;
+            exit 2)
+    | None -> Pool.default_jobs ()
+  in
+  let requested =
+    match names with [] -> List.map (fun (n, _, _) -> n) experiments | names -> names
+  in
+  (* The jobs count goes to stderr: stdout and the --json artifact stay
+     byte-identical across every jobs level. *)
+  Format.eprintf "running with %d job(s) (set --jobs or PCC_JOBS to change)@." jobs;
   Format.printf
     "Reproduction harness: %d nodes, scale %.2f (set PCC_SCALE to change)@.@." nodes scale;
-  List.iter
-    (fun name ->
-      match List.assoc_opt name experiments with
-      | Some f -> f ()
-      | None ->
-          Format.eprintf "unknown experiment %S; available: %s@." name
-            (String.concat ", " (List.map fst experiments)))
-    requested;
+  let selected =
+    List.filter_map
+      (fun name ->
+        match List.find_opt (fun (n, _, _) -> n = name) experiments with
+        | Some exp -> Some exp
+        | None ->
+            Format.eprintf "unknown experiment %S; available: %s@." name
+              (String.concat ", " (List.map (fun (n, _, _) -> n) experiments));
+            None)
+      requested
+  in
+  if jobs > 1 then
+    prewarm ~jobs (List.concat_map (fun (_, cells, _) -> cells ()) selected);
+  List.iter (fun (_, _, printer) -> printer ()) selected;
   match json_path with Some path -> write_json path | None -> ()

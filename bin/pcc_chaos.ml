@@ -5,6 +5,12 @@
    committed and zero oracle violations, and the recovery machinery was
    actually exercised (nonzero retransmit / duplicate-drop counters).
 
+   Seeds are independent simulations, so the sweep fans out across
+   domains (--jobs N / PCC_JOBS; 1 = sequential).  Workers never print:
+   each run returns a report and the main domain prints them in
+   submission order, so output and the --json artifact are bit-identical
+   at every jobs level.
+
      dune exec bin/pcc_chaos.exe -- --seeds 34
      dune exec bin/pcc_chaos.exe -- --profile storm --seeds 5 --verbose *)
 
@@ -12,6 +18,8 @@ open Cmdliner
 open Pcc_core
 module Oracle = Pcc_oracle
 module Fault = Pcc_interconnect.Fault
+module Jsonl = Pcc_stats.Jsonl
+module Pool = Pcc_parallel.Pool
 
 let bench_rotation = [| "barnes"; "ocean"; "em3d"; "lu"; "cg"; "mg"; "appbt" |]
 
@@ -68,8 +76,26 @@ let check_run ~total_ops ~committed (result : System.result) =
   | errs -> add "%d invariant errors (first: %s)" (List.length errs) (List.hd errs));
   List.rev !problems
 
-let run_one t ~verbose ~bench ~config_name ~nodes ~scale ~seed ~profile_name
-    ~txn_timeout ~fallback_threshold ~max_events =
+(* Everything one chaotic run reports back to the main domain. *)
+type run_report = {
+  rr_seed : int;
+  rr_profile : string;
+  rr_bench : string;
+  rr_config : string;
+  rr_total_ops : int;
+  rr_problems : string list;
+  rr_retransmits : int;
+  rr_dup_dropped : int;
+  rr_txn_timeouts : int;
+  rr_fallbacks : int;
+  rr_injected_drops : int;
+  rr_injected_dups : int;
+  rr_injected_delays : int;
+  rr_injected_outages : int;
+}
+
+let run_one ~bench ~config_name ~nodes ~scale ~seed ~profile_name ~txn_timeout
+    ~fallback_threshold ~max_events =
   let desc =
     { Oracle.Trace.bench; config_name; nodes; scale; seed; fault = false }
   in
@@ -98,42 +124,125 @@ let run_one t ~verbose ~bench ~config_name ~nodes ~scale ~seed ~profile_name
   let _audit = Oracle.Audit.attach sys in
   let committed = ref 0 in
   System.on_commit sys (fun _ -> incr committed);
-  t.runs <- t.runs + 1;
-  let problems =
-    match System.run_programs ~max_events sys programs with
-    | exception Oracle.Audit.Violation { message; time; _ } ->
-        [ Printf.sprintf "oracle violation at t=%d: %s" time message ]
-    | result ->
-        let stats = result.System.stats in
-        t.retransmits <- t.retransmits + stats.Run_stats.retransmits;
-        t.dup_dropped <- t.dup_dropped + stats.Run_stats.dup_dropped;
-        t.txn_timeouts <- t.txn_timeouts + stats.Run_stats.txn_timeouts;
-        t.fallbacks <- t.fallbacks + stats.Run_stats.fallbacks;
-        (match System.fault_stats sys with
-        | Some f ->
-            t.injected_drops <- t.injected_drops + f.Fault.dropped;
-            t.injected_dups <- t.injected_dups + f.Fault.duplicated;
-            t.injected_delays <- t.injected_delays + f.Fault.delayed;
-            t.injected_outages <- t.injected_outages + f.Fault.outages_started
-        | None -> ());
-        let stats_errors =
-          List.map (fun e -> "stats: " ^ e) (Oracle.Stats_check.check sys result)
-        in
-        check_run ~total_ops ~committed:!committed result @ stats_errors
+  let report =
+    {
+      rr_seed = seed;
+      rr_profile = profile_name;
+      rr_bench = bench;
+      rr_config = config_name;
+      rr_total_ops = total_ops;
+      rr_problems = [];
+      rr_retransmits = 0;
+      rr_dup_dropped = 0;
+      rr_txn_timeouts = 0;
+      rr_fallbacks = 0;
+      rr_injected_drops = 0;
+      rr_injected_dups = 0;
+      rr_injected_delays = 0;
+      rr_injected_outages = 0;
+    }
   in
-  match problems with
+  match System.run_programs ~max_events sys programs with
+  | exception Oracle.Audit.Violation { message; time; _ } ->
+      {
+        report with
+        rr_problems = [ Printf.sprintf "oracle violation at t=%d: %s" time message ];
+      }
+  | result ->
+      let stats = result.System.stats in
+      let drops, dups, delays, outages =
+        match System.fault_stats sys with
+        | Some f -> (f.Fault.dropped, f.Fault.duplicated, f.Fault.delayed, f.Fault.outages_started)
+        | None -> (0, 0, 0, 0)
+      in
+      let stats_errors =
+        List.map (fun e -> "stats: " ^ e) (Oracle.Stats_check.check sys result)
+      in
+      {
+        report with
+        rr_problems = check_run ~total_ops ~committed:!committed result @ stats_errors;
+        rr_retransmits = stats.Run_stats.retransmits;
+        rr_dup_dropped = stats.Run_stats.dup_dropped;
+        rr_txn_timeouts = stats.Run_stats.txn_timeouts;
+        rr_fallbacks = stats.Run_stats.fallbacks;
+        rr_injected_drops = drops;
+        rr_injected_dups = dups;
+        rr_injected_delays = delays;
+        rr_injected_outages = outages;
+      }
+
+let absorb t (r : run_report) =
+  t.runs <- t.runs + 1;
+  if r.rr_problems <> [] then t.failures <- t.failures + 1;
+  t.retransmits <- t.retransmits + r.rr_retransmits;
+  t.dup_dropped <- t.dup_dropped + r.rr_dup_dropped;
+  t.txn_timeouts <- t.txn_timeouts + r.rr_txn_timeouts;
+  t.fallbacks <- t.fallbacks + r.rr_fallbacks;
+  t.injected_drops <- t.injected_drops + r.rr_injected_drops;
+  t.injected_dups <- t.injected_dups + r.rr_injected_dups;
+  t.injected_delays <- t.injected_delays + r.rr_injected_delays;
+  t.injected_outages <- t.injected_outages + r.rr_injected_outages
+
+let print_report ~verbose (r : run_report) =
+  match r.rr_problems with
   | [] ->
       if verbose then
         Printf.printf "ok   seed=%d profile=%-7s bench=%-6s config=%s (%d ops)\n%!"
-          seed profile_name bench config_name total_ops
+          r.rr_seed r.rr_profile r.rr_bench r.rr_config r.rr_total_ops
   | problems ->
-      t.failures <- t.failures + 1;
-      Printf.printf "FAIL seed=%d profile=%s bench=%s config=%s\n" seed profile_name
-        bench config_name;
+      Printf.printf "FAIL seed=%d profile=%s bench=%s config=%s\n" r.rr_seed
+        r.rr_profile r.rr_bench r.rr_config;
       List.iter (fun p -> Printf.printf "  %s\n%!" p) problems
 
+let json_of_report (r : run_report) =
+  Jsonl.Obj
+    [
+      ("seed", Jsonl.Int r.rr_seed);
+      ("profile", Jsonl.String r.rr_profile);
+      ("bench", Jsonl.String r.rr_bench);
+      ("config", Jsonl.String r.rr_config);
+      ("total_ops", Jsonl.Int r.rr_total_ops);
+      ("problems", Jsonl.List (List.map (fun p -> Jsonl.String p) r.rr_problems));
+      ("retransmits", Jsonl.Int r.rr_retransmits);
+      ("dup_dropped", Jsonl.Int r.rr_dup_dropped);
+      ("txn_timeouts", Jsonl.Int r.rr_txn_timeouts);
+      ("fallbacks", Jsonl.Int r.rr_fallbacks);
+      ("injected_drops", Jsonl.Int r.rr_injected_drops);
+      ("injected_dups", Jsonl.Int r.rr_injected_dups);
+      ("injected_delays", Jsonl.Int r.rr_injected_delays);
+      ("injected_outages", Jsonl.Int r.rr_injected_outages);
+    ]
+
+let write_json path t reports =
+  let doc =
+    Jsonl.Obj
+      [
+        ("runs", Jsonl.List (List.map json_of_report reports));
+        ( "tally",
+          Jsonl.Obj
+            [
+              ("runs", Jsonl.Int t.runs);
+              ("failures", Jsonl.Int t.failures);
+              ("injected_drops", Jsonl.Int t.injected_drops);
+              ("injected_dups", Jsonl.Int t.injected_dups);
+              ("injected_delays", Jsonl.Int t.injected_delays);
+              ("injected_outages", Jsonl.Int t.injected_outages);
+              ("retransmits", Jsonl.Int t.retransmits);
+              ("dup_dropped", Jsonl.Int t.dup_dropped);
+              ("txn_timeouts", Jsonl.Int t.txn_timeouts);
+              ("fallbacks", Jsonl.Int t.fallbacks);
+            ] );
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Jsonl.to_string doc);
+      output_char oc '\n')
+
 let main seeds nodes scale profile_filter txn_timeout fallback_threshold max_events
-    verbose =
+    jobs json_path verbose =
   if nodes < 2 then begin
     Printf.eprintf "pcc_chaos: --nodes must be at least 2 (got %d)\n" nodes;
     2
@@ -144,26 +253,43 @@ let main seeds nodes scale profile_filter txn_timeout fallback_threshold max_eve
       | Some name -> [ name ]
       | None -> List.map fst Fault.presets
     in
+    (* Same nesting as the sequential loops ever had: seed, profile,
+       bench — the submission order is the print order. *)
+    let cells =
+      List.concat_map
+        (fun seed ->
+          let benches =
+            [ "random"; bench_rotation.((seed - 1) mod Array.length bench_rotation) ]
+          in
+          List.concat_map
+            (fun profile_name ->
+              List.map (fun bench -> (seed, profile_name, bench)) benches)
+            profiles)
+        (List.init seeds (fun i -> i + 1))
+    in
+    let tasks =
+      List.map
+        (fun (seed, profile_name, bench) ->
+          ( Printf.sprintf "seed=%d/%s/%s" seed profile_name bench,
+            fun () ->
+              run_one ~bench ~config_name:"full" ~nodes ~scale ~seed ~profile_name
+                ~txn_timeout ~fallback_threshold ~max_events ))
+        cells
+    in
+    let reports = Pool.run_keyed ~jobs tasks in
     let t = tally () in
-    for seed = 1 to seeds do
-      let benches =
-        [ "random"; bench_rotation.((seed - 1) mod Array.length bench_rotation) ]
-      in
-      List.iter
-        (fun profile_name ->
-          List.iter
-            (fun bench ->
-              run_one t ~verbose ~bench ~config_name:"full" ~nodes ~scale ~seed
-                ~profile_name ~txn_timeout ~fallback_threshold ~max_events)
-            benches)
-        profiles
-    done;
+    List.iter
+      (fun report ->
+        absorb t report;
+        print_report ~verbose report)
+      reports;
     Printf.printf
       "%d chaotic runs, %d failures\n\
        injected: %d drops, %d duplicates, %d delays, %d outages\n\
        recovered: %d retransmits, %d duplicates dropped, %d txn timeouts, %d fallbacks\n"
       t.runs t.failures t.injected_drops t.injected_dups t.injected_delays
       t.injected_outages t.retransmits t.dup_dropped t.txn_timeouts t.fallbacks;
+    (match json_path with Some path -> write_json path t reports | None -> ());
     if t.failures > 0 then 1
     else if t.retransmits = 0 || t.dup_dropped = 0 then begin
       (* a sweep that never had to recover proves nothing *)
@@ -212,6 +338,22 @@ let max_events_arg =
     & opt int 50_000_000
     & info [ "max-events" ] ~docv:"N" ~doc:"Event budget per run.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Run up to $(docv) chaotic runs concurrently (default: PCC_JOBS or \
+              available cores; 1 = sequential).  Output is bit-identical at every \
+              level.")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"PATH"
+        ~doc:"Write machine-readable per-run reports and the final tally to $(docv).")
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print each passing run.")
 
@@ -219,7 +361,7 @@ let cmd =
   let term =
     Term.(
       const main $ seeds_arg $ nodes_arg $ scale_arg $ profile_arg $ txn_timeout_arg
-      $ fallback_arg $ max_events_arg $ verbose_arg)
+      $ fallback_arg $ max_events_arg $ jobs_arg $ json_arg $ verbose_arg)
   in
   Cmd.v
     (Cmd.info "pcc_chaos"

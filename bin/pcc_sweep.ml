@@ -1,11 +1,14 @@
 (* Parameter-sweep driver: vary one knob of the machine configuration and
-   print a row per setting.
+   print a row per setting.  Settings are independent simulations, so the
+   sweep fans out across domains (--jobs N / PCC_JOBS; 1 = sequential).
 
      dune exec bin/pcc_sweep.exe -- --app MG --knob delegate --values 32,64,128,1024 *)
 
 open Pcc_core
 open Cmdliner
 module Table = Pcc_stats.Table
+module Jsonl = Pcc_stats.Jsonl
+module Pool = Pcc_parallel.Pool
 
 let apply_knob config knob value =
   match knob with
@@ -15,29 +18,81 @@ let apply_knob config knob value =
   | "hop" -> Ok (Config.with_hop_latency config value)
   | other -> Error (Printf.sprintf "unknown knob %S (delegate, rac-kb, delay, hop)" other)
 
-let run app_name knob values nodes scale =
+let write_json path ~app_name ~knob ~nodes ~scale ~(base : System.result) rows =
+  let row (value, (r : System.result)) =
+    Jsonl.Obj
+      [
+        ("value", Jsonl.Int value);
+        ("cycles", Jsonl.Int r.System.cycles);
+        ( "speedup",
+          Jsonl.Float (float_of_int base.System.cycles /. float_of_int r.System.cycles) );
+        ("network_messages", Jsonl.Int r.System.network_messages);
+        ("remote_misses", Jsonl.Int (Run_stats.remote_misses r.System.stats));
+        ("violations", Jsonl.Int r.System.violations);
+      ]
+  in
+  let doc =
+    Jsonl.Obj
+      [
+        ("app", Jsonl.String app_name);
+        ("knob", Jsonl.String knob);
+        ("nodes", Jsonl.Int nodes);
+        ("scale", Jsonl.Float scale);
+        ("base_cycles", Jsonl.Int base.System.cycles);
+        ("rows", Jsonl.List (List.map row rows));
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Jsonl.to_string doc);
+      output_char oc '\n')
+
+let run app_name knob values nodes scale jobs json_path =
   match Pcc_workload.Apps.find app_name with
   | None ->
       Printf.eprintf "unknown app %S\n" app_name;
       1
-  | Some app ->
-      let programs = Pcc_workload.Apps.programs app ~scale ~nodes () in
-      let base = System.run ~config:(Config.base ~nodes ()) ~programs () in
-      let table =
-        Table.create
-          ~title:(Printf.sprintf "%s: sweep of %s (baseline %d cycles)" app.name knob
-                    base.System.cycles)
-          ~columns:[ knob; "cycles"; "speedup"; "net msgs"; "remote misses"; "violations" ]
+  | Some app -> (
+      (* Validate every setting before spending any simulation time. *)
+      let configs =
+        List.map (fun value -> (value, apply_knob (Config.small_full ~nodes ()) knob value))
+          values
       in
-      let failed = ref false in
-      List.iter
-        (fun value ->
-          match apply_knob (Config.small_full ~nodes ()) knob value with
-          | Error message ->
-              prerr_endline message;
-              failed := true
-          | Ok config ->
-              let r = System.run ~config ~programs () in
+      match
+        List.filter_map (function _, Error m -> Some m | _, Ok _ -> None) configs
+      with
+      | message :: _ ->
+          prerr_endline message;
+          1
+      | [] ->
+          let configs =
+            List.map (function v, Ok c -> (v, c) | _, Error _ -> assert false) configs
+          in
+          let programs = Pcc_workload.Apps.programs app ~scale ~nodes () in
+          (* The baseline rides in the pool with the swept settings. *)
+          let tasks =
+            ("base", fun () -> System.run ~config:(Config.base ~nodes ()) ~programs ())
+            :: List.map
+                 (fun (value, config) ->
+                   (string_of_int value, fun () -> System.run ~config ~programs ()))
+                 configs
+          in
+          let base, results =
+            match Pool.run_keyed ~jobs tasks with
+            | base :: results -> (base, List.combine (List.map fst configs) results)
+            | [] -> assert false
+          in
+          let table =
+            Table.create
+              ~title:(Printf.sprintf "%s: sweep of %s (baseline %d cycles)" app.name knob
+                        base.System.cycles)
+              ~columns:[ knob; "cycles"; "speedup"; "net msgs"; "remote misses"; "violations" ]
+          in
+          let failed = ref false in
+          List.iter
+            (fun (value, r) ->
               if r.System.violations > 0 || r.System.invariant_errors <> [] then
                 failed := true;
               Table.add_row table
@@ -49,9 +104,13 @@ let run app_name knob values nodes scale =
                   Table.Int (Run_stats.remote_misses r.System.stats);
                   Table.Int r.System.violations;
                 ])
-        values;
-      Table.print table;
-      if !failed then 2 else 0
+            results;
+          Table.print table;
+          (match json_path with
+          | Some path ->
+              write_json path ~app_name:app.name ~knob ~nodes ~scale ~base results
+          | None -> ());
+          if !failed then 2 else 0)
 
 let app_arg = Arg.(value & opt string "MG" & info [ "a"; "app" ] ~doc:"Workload name.")
 
@@ -70,8 +129,26 @@ let nodes_arg = Arg.(value & opt int 16 & info [ "n"; "nodes" ] ~doc:"Number of 
 
 let scale_arg = Arg.(value & opt float 0.5 & info [ "s"; "scale" ] ~doc:"Run-length scale.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Run up to $(docv) settings concurrently (default: PCC_JOBS or available \
+              cores; 1 = sequential).  Results are bit-identical at every level.")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"PATH" ~doc:"Write machine-readable sweep results to $(docv).")
+
 let cmd =
-  let term = Term.(const run $ app_arg $ knob_arg $ values_arg $ nodes_arg $ scale_arg) in
+  let term =
+    Term.(
+      const run $ app_arg $ knob_arg $ values_arg $ nodes_arg $ scale_arg $ jobs_arg
+      $ json_arg)
+  in
   Cmd.v (Cmd.info "pcc_sweep" ~doc:"Sweep one machine parameter over a workload") term
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,50 @@
+module Jsonl = Pcc_stats.Jsonl
+module Histogram = Pcc_stats.Histogram
+
+let json_of_result ~key (r : System.result) =
+  let stats = r.System.stats in
+  let latency =
+    List.filter_map
+      (fun miss ->
+        let h = Run_stats.latency_hist stats miss in
+        let n = Histogram.count h in
+        if n = 0 then None
+        else
+          Some
+            ( Types.miss_class_name miss,
+              Jsonl.Obj
+                [
+                  ("n", Jsonl.Int n);
+                  ("avg", Jsonl.Float (Histogram.mean h));
+                  ("p50", Jsonl.Float (Histogram.p50 h));
+                  ("p95", Jsonl.Float (Histogram.p95 h));
+                  ("p99", Jsonl.Float (Histogram.p99 h));
+                ] ))
+      Types.miss_classes
+  in
+  Jsonl.Obj
+    [
+      ("key", Jsonl.String key);
+      ("cycles", Jsonl.Int r.System.cycles);
+      ("network_messages", Jsonl.Int r.System.network_messages);
+      ("network_bytes", Jsonl.Int r.System.network_bytes);
+      ("remote_misses", Jsonl.Int (Run_stats.remote_misses stats));
+      ("remote_miss_fraction", Jsonl.Float (Run_stats.remote_miss_fraction stats));
+      ("avg_miss_latency", Jsonl.Float (Run_stats.avg_miss_latency stats));
+      ("updates_sent", Jsonl.Int stats.Run_stats.updates_sent);
+      ("delegations", Jsonl.Int stats.Run_stats.delegations);
+      ("latency", Jsonl.Obj latency);
+    ]
+
+let to_string ~key r = Jsonl.to_string (json_of_result ~key r)
+
+let document ~nodes ~scale runs =
+  let runs = List.sort (fun (a, _) (b, _) -> compare a b) runs in
+  Jsonl.Obj
+    [
+      ("nodes", Jsonl.Int nodes);
+      ("scale", Jsonl.Float scale);
+      ("runs", Jsonl.List (List.map (fun (k, r) -> json_of_result ~key:k r) runs));
+    ]
+
+let delegation_expected (r : System.result) = r.System.config.Config.delegation_enabled

@@ -1,0 +1,24 @@
+(** Machine-readable export of simulation results.
+
+    One canonical JSON encoding of a {!System.result}, shared by the
+    bench harness's [--json] artifact and the determinism test suite:
+    bit-identity between a parallel and a sequential run is asserted on
+    exactly these bytes. *)
+
+val json_of_result : key:string -> System.result -> Pcc_stats.Jsonl.t
+(** Cycles, traffic, miss mix, delegation/update activity, and per-class
+    latency percentiles of one run, tagged with [key]. *)
+
+val to_string : key:string -> System.result -> string
+(** [Jsonl.to_string] of {!json_of_result} — the canonical byte string
+    the determinism tests compare. *)
+
+val document :
+  nodes:int -> scale:float -> (string * System.result) list -> Pcc_stats.Jsonl.t
+(** Whole-artifact document: runs are sorted by key so the byte output
+    is independent of evaluation order. *)
+
+val delegation_expected : System.result -> bool
+(** True when the run's configuration enables delegation, i.e. a
+    recorded delegation count of zero means the adaptive mechanism was
+    never exercised and the run degenerates to the base protocol. *)

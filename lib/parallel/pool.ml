@@ -1,0 +1,67 @@
+exception Job_failed of { key : string; exn : exn; backtrace : string }
+
+let () =
+  Printexc.register_printer (function
+    | Job_failed { key; exn; _ } ->
+        Some (Printf.sprintf "Job_failed(%s: %s)" key (Printexc.to_string exn))
+    | _ -> None)
+
+let available_cores () = max 1 (Domain.recommended_domain_count ())
+
+let jobs_from_env () =
+  match Sys.getenv_opt "PCC_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | Some _ | None ->
+          invalid_arg (Printf.sprintf "PCC_JOBS=%S: expected a positive integer" s))
+
+let default_jobs () =
+  match jobs_from_env () with Some n -> n | None -> available_cores ()
+
+(* Outcome of one job, stored at its submission index. *)
+type 'a outcome = Ok of 'a | Failed of { key : string; exn : exn; backtrace : string }
+
+let run_thunk key thunk =
+  match thunk () with
+  | v -> Ok v
+  | exception exn -> Failed { key; exn; backtrace = Printexc.get_backtrace () }
+
+(* Collect in submission order; the earliest failure wins. *)
+let collect outcomes =
+  Array.to_list outcomes
+  |> List.map (function
+       | Ok v -> v
+       | Failed { key; exn; backtrace } -> raise (Job_failed { key; exn; backtrace }))
+
+let run_keyed ~jobs tasks =
+  let tasks = Array.of_list tasks in
+  let n = Array.length tasks in
+  if jobs <= 1 || n <= 1 then
+    (* Sequential fallback: same loop, same order, no domains. *)
+    collect (Array.map (fun (key, thunk) -> run_thunk key thunk) tasks)
+  else begin
+    let outcomes =
+      Array.map (fun (key, _) -> Failed { key; exn = Not_found; backtrace = "" }) tasks
+    in
+    let next = Atomic.make 0 in
+    (* Each worker claims the next unclaimed submission index; distinct
+       indices mean workers never write the same outcome slot, and
+       Domain.join publishes every slot to the collector. *)
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let key, thunk = tasks.(i) in
+        outcomes.(i) <- run_thunk key thunk;
+        worker ()
+      end
+    in
+    let helpers = List.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join helpers;
+    collect outcomes
+  end
+
+let map_keyed ~jobs ~key f xs =
+  run_keyed ~jobs (List.map (fun x -> (key x, fun () -> f x)) xs)

@@ -1,0 +1,37 @@
+(* Mechanism-activation regression: every benchmark app must trigger at
+   least one delegation under the small adaptive configuration at the
+   bench harness's default scale (0.5).  A workload generator or
+   predictor regression that silently keeps the producer-consumer
+   mechanism below its detection threshold — e.g. too few same-producer
+   write epochs for the write-repeat counter to saturate — turns every
+   "adaptive" measurement into a disguised baseline run; this fails CI
+   instead (the BENCH_pr3.json zero-delegation artifact, recorded at
+   scale 0.15, is exactly that failure mode). *)
+
+module Apps = Pcc_workload.Apps
+open Pcc_core
+
+let nodes = 16
+
+let default_scale = 0.5
+
+let check_app app () =
+  let programs = Apps.programs app ~scale:default_scale ~nodes () in
+  let config = Config.small_full ~nodes () in
+  let r = System.run ~config ~programs () in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "%s: small_full at scale %.2f must delegate at least once (got %d delegations, \
+        %d updates)"
+       app.Apps.name default_scale r.System.stats.Run_stats.delegations
+       r.System.stats.Run_stats.updates_sent)
+    true
+    (r.System.stats.Run_stats.delegations > 0)
+
+let suite =
+  List.map
+    (fun app ->
+      Alcotest.test_case
+        (Printf.sprintf "%s delegates under small_full" app.Apps.name)
+        `Slow (check_app app))
+    Apps.all

@@ -1,0 +1,185 @@
+(* The determinism guarantees behind the parallel experiment engine:
+
+   - Event_queue against a sorted-list reference model (total order,
+     FIFO within a cycle, behaviour across grow/clear) — the queue's
+     total order is what makes every simulation a pure function of its
+     inputs.
+   - Parallel-vs-sequential bit-identity over the full app×config
+     matrix: fanning runs out across domains must not change a single
+     byte of any run's canonical export.
+   - Repeated-run stability: the same submission under the job runner
+     yields the same bytes, run after run. *)
+
+module Q = QCheck
+module Event_queue = Pcc_engine.Event_queue
+module Pool = Pcc_parallel.Pool
+module Apps = Pcc_workload.Apps
+open Pcc_core
+
+(* ------------------------------------------------------------------ *)
+(* Event_queue vs a sorted-list reference model                         *)
+(* ------------------------------------------------------------------ *)
+
+type model_op = Add of int | Pop | Clear
+
+let op_gen =
+  Q.Gen.(
+    frequency
+      [
+        (6, map (fun t -> Add t) (int_bound 10));
+        (4, return Pop);
+        (1, return Clear);
+      ])
+
+let ops_arbitrary =
+  let print_op = function
+    | Add t -> Printf.sprintf "Add %d" t
+    | Pop -> "Pop"
+    | Clear -> "Clear"
+  in
+  Q.make
+    ~print:(fun ops -> String.concat "; " (List.map print_op ops))
+    Q.Gen.(list_size (int_range 0 400) op_gen)
+
+(* Reference: a list of (time, id) where FIFO within a cycle means a new
+   entry goes after every entry with time <= t. *)
+let model_insert model t id =
+  let rec insert = function
+    | (t', id') :: rest when t' <= t -> (t', id') :: insert rest
+    | rest -> (t, id) :: rest
+  in
+  insert model
+
+let check_against_model ops =
+  let q = Event_queue.create () in
+  let model = ref [] in
+  let next_id = ref 0 in
+  let popped = ref (-1) in
+  let agree label =
+    if Event_queue.length q <> List.length !model then
+      Q.Test.fail_reportf "%s: length %d, model %d" label (Event_queue.length q)
+        (List.length !model);
+    let expected_min = match !model with [] -> None | (t, _) :: _ -> Some t in
+    if Event_queue.min_time q <> expected_min then
+      Q.Test.fail_reportf "%s: min_time disagrees" label;
+    if Event_queue.is_empty q <> (!model = []) then
+      Q.Test.fail_reportf "%s: is_empty disagrees" label
+  in
+  List.iter
+    (fun op ->
+      (match op with
+      | Add t ->
+          let id = !next_id in
+          incr next_id;
+          Event_queue.add q ~time:t (fun () -> popped := id);
+          model := model_insert !model t id
+      | Pop -> (
+          match (Event_queue.pop q, !model) with
+          | None, [] -> ()
+          | None, _ :: _ -> Q.Test.fail_reportf "pop: queue empty, model is not"
+          | Some _, [] -> Q.Test.fail_reportf "pop: queue has entries, model is empty"
+          | Some (time, action), (t, id) :: rest ->
+              if time <> t then
+                Q.Test.fail_reportf "pop: time %d, model expected %d" time t;
+              popped := -1;
+              action ();
+              if !popped <> id then
+                Q.Test.fail_reportf "pop: ran action %d, model expected %d (FIFO broken)"
+                  !popped id;
+              model := rest)
+      | Clear ->
+          Event_queue.clear q;
+          model := []);
+      agree "after op")
+    ops;
+  (* drain what is left: total order must hold to the end *)
+  let rec drain () =
+    match (Event_queue.pop q, !model) with
+    | None, [] -> ()
+    | Some (time, action), (t, id) :: rest ->
+        if time <> t then Q.Test.fail_reportf "drain: time %d, model %d" time t;
+        popped := -1;
+        action ();
+        if !popped <> id then Q.Test.fail_reportf "drain: order diverged";
+        model := rest;
+        drain ()
+    | _ -> Q.Test.fail_reportf "drain: length disagreement"
+  in
+  drain ();
+  true
+
+let event_queue_model =
+  Q.Test.make ~count:300 ~name:"event queue agrees with sorted-list model"
+    ops_arbitrary check_against_model
+
+let event_queue_model_growth =
+  (* long same-time runs force grow while FIFO must survive *)
+  Q.Test.make ~count:50 ~name:"event queue model across grow"
+    (Q.make Q.Gen.(list_repeat 300 (map (fun t -> Add (t mod 3)) (int_bound 2))))
+    (fun adds -> check_against_model (adds @ List.init 300 (fun _ -> Pop)))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel-vs-sequential bit-identity over the app×config matrix       *)
+(* ------------------------------------------------------------------ *)
+
+let matrix_nodes = 8
+
+let matrix_scale = 0.15
+
+let matrix_configs () =
+  let nodes = matrix_nodes in
+  [
+    Config.base ~nodes ();
+    Config.rac_only ~nodes ();
+    Config.small_full ~nodes ();
+    Config.large_full ~nodes ();
+    Config.full ~nodes ~rac_bytes:(32 * 1024) ~delegate_entries:1024 ();
+    Config.full ~nodes ~rac_bytes:(1024 * 1024) ~delegate_entries:32 ();
+  ]
+
+(* One canonical byte string per cell, via the same encoder the bench
+   --json artifact uses. *)
+let matrix_tasks () =
+  List.concat_map
+    (fun app ->
+      let programs = Apps.programs app ~scale:matrix_scale ~nodes:matrix_nodes () in
+      List.map
+        (fun config ->
+          let key = Printf.sprintf "%s/%s" app.Apps.name (Config.describe config) in
+          (key, fun () -> Run_export.to_string ~key (System.run ~config ~programs ())))
+        (matrix_configs ()))
+    Apps.all
+
+let test_matrix_bit_identity () =
+  let sequential = Pool.run_keyed ~jobs:1 (matrix_tasks ()) in
+  let parallel = Pool.run_keyed ~jobs:4 (matrix_tasks ()) in
+  List.iteri
+    (fun i (s, p) ->
+      if s <> p then
+        Alcotest.failf "cell %d diverged between sequential and parallel runs:\n%s\n%s" i
+          s p)
+    (List.combine sequential parallel);
+  Alcotest.(check int) "full matrix covered"
+    (List.length Apps.all * List.length (matrix_configs ()))
+    (List.length parallel)
+
+let test_repeated_run_stability () =
+  (* the same submission, three times, two pool widths: same bytes *)
+  let subset () =
+    List.filteri (fun i _ -> i mod 7 < 2) (matrix_tasks ())
+  in
+  let first = Pool.run_keyed ~jobs:4 (subset ()) in
+  let second = Pool.run_keyed ~jobs:4 (subset ()) in
+  let third = Pool.run_keyed ~jobs:2 (subset ()) in
+  Alcotest.(check (list string)) "stable across repeats" first second;
+  Alcotest.(check (list string)) "stable across widths" first third
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest event_queue_model;
+    QCheck_alcotest.to_alcotest event_queue_model_growth;
+    Alcotest.test_case "parallel = sequential over app×config matrix" `Slow
+      test_matrix_bit_identity;
+    Alcotest.test_case "repeated runs stable under the pool" `Slow
+      test_repeated_run_stability;
+  ]

@@ -18,4 +18,7 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("chaos", Test_chaos.suite);
       ("golden", Test_golden.suite);
+      ("parallel", Test_parallel.suite);
+      ("determinism", Test_determinism.suite);
+      ("bench-activation", Test_bench_activation.suite);
     ]
