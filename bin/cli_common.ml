@@ -1,0 +1,49 @@
+(* Shared cmdliner vocabulary for the six CLIs.
+
+   Every tool speaks the same flags with the same docstrings; defaults
+   differ per tool (a chaos sweep wants 6 nodes at scale 0.15, the
+   simulator driver wants the paper's 16 at 0.5), so each term takes its
+   default as a parameter.  Tool-specific knobs (fault profiles, model
+   bounds, output directories) stay in their own executables. *)
+
+open Cmdliner
+
+let nodes ?(default = 16) ?(doc = "Number of nodes.") () =
+  Arg.(value & opt int default & info [ "n"; "nodes" ] ~docv:"N" ~doc)
+
+let scale ?(default = 0.5) ?(doc = "Run-length scale.") () =
+  Arg.(value & opt float default & info [ "s"; "scale" ] ~docv:"S" ~doc)
+
+let seed ?(default = 1) ?(doc = "Workload seed.") () =
+  Arg.(value & opt int default & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let seeds ?(default = 50) ?(doc = "Number of seeds to sweep.") () =
+  Arg.(value & opt int default & info [ "seeds" ] ~docv:"N" ~doc)
+
+let app ?(default = "Em3D") () =
+  Arg.(value & opt string default & info [ "a"; "app" ] ~docv:"APP" ~doc:"Workload name.")
+
+(* Config/machine selection: pcc_sim calls it --machine, the trace tool
+   --config; both mean the same names. *)
+let config ?(names = [ "m"; "machine" ]) ?(default = "full")
+    ?(doc = "Machine configuration: base, rac, delegation, small/full, large.") () =
+  Arg.(value & opt string default & info names ~docv:"MACHINE" ~doc)
+
+(* [what] names the unit of concurrency in the docstring ("settings",
+   "chaotic runs", ...). *)
+let jobs ?(what = "runs") () =
+  let doc =
+    Printf.sprintf
+      "Run up to $(docv) %s concurrently (default: PCC_JOBS or available cores; 1 = \
+       sequential).  Results are bit-identical at every level."
+      what
+  in
+  Arg.(value & opt int (Pcc.Pool.default_jobs ()) & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let json ?(doc = "Write machine-readable results to $(docv).") () =
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
+
+let max_events ?(default = 50_000_000) ?(doc = "Event budget per run.") () =
+  Arg.(value & opt int default & info [ "max-events" ] ~docv:"N" ~doc)
+
+let verbose ~doc () = Arg.(value & flag & info [ "v"; "verbose" ] ~doc)

@@ -15,11 +15,7 @@
      dune exec bin/pcc_chaos.exe -- --profile storm --seeds 5 --verbose *)
 
 open Cmdliner
-open Pcc_core
-module Oracle = Pcc_oracle
-module Fault = Pcc_interconnect.Fault
-module Jsonl = Pcc_stats.Jsonl
-module Pool = Pcc_parallel.Pool
+open Pcc
 
 let bench_rotation = [| "barnes"; "ocean"; "em3d"; "lu"; "cg"; "mg"; "appbt" |]
 
@@ -299,20 +295,6 @@ let main seeds nodes scale profile_filter txn_timeout fallback_threshold max_eve
     else 0
   end
 
-let seeds_arg =
-  Arg.(
-    value & opt int 34
-    & info [ "seeds" ] ~docv:"N"
-        ~doc:"Seeds per fault profile (each seed runs 2 benchmarks).")
-
-let nodes_arg =
-  Arg.(value & opt int 6 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
-
-let scale_arg =
-  Arg.(
-    value & opt float 0.15
-    & info [ "s"; "scale" ] ~docv:"S" ~doc:"Run-length scale for app benchmarks.")
-
 let profile_arg =
   Arg.(
     value
@@ -332,36 +314,21 @@ let fallback_arg =
     & info [ "fallback-threshold" ] ~docv:"N"
         ~doc:"Timeout strikes before a line falls back to the base protocol.")
 
-let max_events_arg =
-  Arg.(
-    value
-    & opt int 50_000_000
-    & info [ "max-events" ] ~docv:"N" ~doc:"Event budget per run.")
-
-let jobs_arg =
-  Arg.(
-    value
-    & opt int (Pool.default_jobs ())
-    & info [ "j"; "jobs" ] ~docv:"N"
-        ~doc:"Run up to $(docv) chaotic runs concurrently (default: PCC_JOBS or \
-              available cores; 1 = sequential).  Output is bit-identical at every \
-              level.")
-
-let json_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "json" ] ~docv:"PATH"
-        ~doc:"Write machine-readable per-run reports and the final tally to $(docv).")
-
-let verbose_arg =
-  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print each passing run.")
-
 let cmd =
   let term =
     Term.(
-      const main $ seeds_arg $ nodes_arg $ scale_arg $ profile_arg $ txn_timeout_arg
-      $ fallback_arg $ max_events_arg $ jobs_arg $ json_arg $ verbose_arg)
+      const main
+      $ Cli_common.seeds ~default:34
+          ~doc:"Seeds per fault profile (each seed runs 2 benchmarks)." ()
+      $ Cli_common.nodes ~default:6 ()
+      $ Cli_common.scale ~default:0.15 ~doc:"Run-length scale for app benchmarks." ()
+      $ profile_arg $ txn_timeout_arg $ fallback_arg
+      $ Cli_common.max_events ()
+      $ Cli_common.jobs ~what:"chaotic runs" ()
+      $ Cli_common.json
+          ~doc:"Write machine-readable per-run reports and the final tally to $(docv)."
+          ()
+      $ Cli_common.verbose ~doc:"Print each passing run." ())
   in
   Cmd.v
     (Cmd.info "pcc_chaos"

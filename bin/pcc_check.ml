@@ -3,8 +3,8 @@
      dune exec bin/pcc_check.exe -- --nodes 3 --ops 2 *)
 
 open Cmdliner
-module Checker = Pcc_mcheck.Checker
-module Model = Pcc_mcheck.Protocol_model
+module Checker = Pcc.Checker
+module Model = Pcc.Protocol_model
 
 let bug_of_string = function
   | "" -> Ok None
@@ -34,7 +34,7 @@ let run nodes ops delegation updates bug max_states =
       Format.printf "%a@." (Checker.pp_outcome M.pp) outcome;
       (match outcome with Checker.Ok _ -> 0 | _ -> 2)
 
-let nodes_arg = Arg.(value & opt int 3 & info [ "n"; "nodes" ] ~doc:"Nodes in the model.")
+let nodes_arg = Cli_common.nodes ~default:3 ~doc:"Nodes in the model." ()
 
 let ops_arg = Arg.(value & opt int 2 & info [ "ops" ] ~doc:"Memory operations per node.")
 

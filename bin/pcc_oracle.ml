@@ -7,7 +7,7 @@
      dune exec bin/pcc_oracle.exe -- --replay fault.jsonl *)
 
 open Cmdliner
-module Oracle = Pcc_oracle
+open Pcc
 
 let bench_rotation = [| "random"; "barnes"; "ocean"; "em3d"; "lu"; "cg"; "mg"; "appbt" |]
 
@@ -121,22 +121,21 @@ let run_golden ~nodes ~scale ~seed =
   List.iter
     (fun config_name ->
       List.iter
-        (fun (app : Pcc_workload.Apps.app) ->
+        (fun (app : Workloads.app) ->
           let desc =
             { Oracle.Trace.bench = app.name; config_name; nodes; scale; seed;
               fault = false }
           in
           let config = Oracle.Trace.config_of_desc desc in
           let programs = Oracle.Trace.programs_of_desc desc in
-          let result = Pcc_core.System.run ~config ~programs () in
-          let s = result.Pcc_core.System.stats in
+          let result = System.run ~config ~programs () in
+          let s = result.System.stats in
           Printf.printf "    (%S, %S, (%d, %d, %d, %d, %d, %d));\n"
             (String.lowercase_ascii app.name)
-            config_name s.Pcc_core.Run_stats.local_mem_misses
-            s.Pcc_core.Run_stats.rac_hits s.Pcc_core.Run_stats.remote_2hop
-            s.Pcc_core.Run_stats.remote_3hop s.Pcc_core.Run_stats.delegations
-            s.Pcc_core.Run_stats.updates_sent)
-        Pcc_workload.Apps.all)
+            config_name s.Run_stats.local_mem_misses s.Run_stats.rac_hits
+            s.Run_stats.remote_2hop s.Run_stats.remote_3hop s.Run_stats.delegations
+            s.Run_stats.updates_sent)
+        Workloads.all)
     configs;
   0
 
@@ -152,17 +151,6 @@ let main seeds nodes scale max_lines trace replay inject_fault golden =
     | None ->
         if inject_fault then run_fault ~nodes ~scale ~trace
         else run_sweep ~seeds ~nodes ~scale ~max_lines ~trace
-
-let seeds_arg =
-  Arg.(value & opt int 50 & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeds to sweep.")
-
-let nodes_arg =
-  Arg.(value & opt int 6 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
-
-let scale_arg =
-  Arg.(
-    value & opt float 0.15
-    & info [ "s"; "scale" ] ~docv:"S" ~doc:"Run-length scale for app benchmarks.")
 
 let max_lines_arg =
   Arg.(
@@ -195,8 +183,10 @@ let golden_arg =
 let cmd =
   let term =
     Term.(
-      const main $ seeds_arg $ nodes_arg $ scale_arg $ max_lines_arg $ trace_arg
-      $ replay_arg $ fault_arg $ golden_arg)
+      const main $ Cli_common.seeds ()
+      $ Cli_common.nodes ~default:6 ()
+      $ Cli_common.scale ~default:0.15 ~doc:"Run-length scale for app benchmarks." ()
+      $ max_lines_arg $ trace_arg $ replay_arg $ fault_arg $ golden_arg)
   in
   Cmd.v
     (Cmd.info "pcc_oracle"

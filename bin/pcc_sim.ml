@@ -3,7 +3,7 @@
 
      dune exec bin/pcc_sim.exe -- --app em3d --machine full --scale 0.5 *)
 
-open Pcc_core
+open Pcc
 open Cmdliner
 
 let machine_of_string nodes = function
@@ -16,11 +16,10 @@ let machine_of_string nodes = function
 
 let run app_name machine nodes scale seed delegate_entries rac_kb intervention_delay
     hop_latency verbose =
-  match Pcc_workload.Apps.find app_name with
+  match Workloads.find app_name with
   | None ->
       Printf.eprintf "unknown app %S (try: %s)\n" app_name
-        (String.concat ", "
-           (List.map (fun a -> a.Pcc_workload.Apps.name) Pcc_workload.Apps.all));
+        (String.concat ", " (List.map (fun a -> a.Workloads.name) Workloads.all));
       1
   | Some app -> (
       match machine_of_string nodes machine with
@@ -46,10 +45,10 @@ let run app_name machine nodes scale seed delegate_entries rac_kb intervention_d
             | Some hop -> Config.with_hop_latency config hop
             | None -> config
           in
-          let programs = Pcc_workload.Apps.programs app ~scale ~seed ~nodes () in
+          let programs = Workloads.programs app ~scale ~seed ~nodes () in
           Format.printf "app=%s machine=%s nodes=%d scale=%.2f ops=%d@." app.name
             (Config.describe config) nodes scale
-            (Pcc_workload.Gen.total_ops programs);
+            (Workload_gen.total_ops programs);
           let result = System.run ~config ~programs () in
           Format.printf "cycles            %d@." result.System.cycles;
           Format.printf "network messages  %d (%d KB)@." result.System.network_messages
@@ -62,29 +61,10 @@ let run app_name machine nodes scale seed delegate_entries rac_kb intervention_d
           List.iter (Format.printf "INVARIANT ERROR: %s@.") result.System.invariant_errors;
           if verbose then begin
             Format.printf "@.per-class network messages:@.";
-            Format.printf "%a@." Pcc_stats.Counter.pp
-              result.System.stats.Run_stats.message_classes
+            Format.printf "%a@." Counter.pp result.System.stats.Run_stats.message_classes
           end;
           if result.System.violations = 0 && result.System.invariant_errors = [] then 0
           else 2)
-
-let app_arg =
-  Arg.(value & opt string "Em3D" & info [ "a"; "app" ] ~docv:"APP" ~doc:"Workload name.")
-
-let machine_arg =
-  Arg.(
-    value
-    & opt string "full"
-    & info [ "m"; "machine" ] ~docv:"MACHINE"
-        ~doc:"Machine configuration: base, rac, delegation, small/full, large.")
-
-let nodes_arg =
-  Arg.(value & opt int 16 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
-
-let scale_arg =
-  Arg.(value & opt float 0.5 & info [ "s"; "scale" ] ~docv:"S" ~doc:"Run-length scale.")
-
-let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
 
 let delegate_arg =
   Arg.(
@@ -107,14 +87,13 @@ let hop_arg =
     & opt (some int) None
     & info [ "hop-latency" ] ~docv:"CYCLES" ~doc:"Override network hop latency.")
 
-let verbose_arg =
-  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-class message counters.")
-
 let cmd =
   let term =
     Term.(
-      const run $ app_arg $ machine_arg $ nodes_arg $ scale_arg $ seed_arg $ delegate_arg
-      $ rac_arg $ delay_arg $ hop_arg $ verbose_arg)
+      const run $ Cli_common.app () $ Cli_common.config () $ Cli_common.nodes ()
+      $ Cli_common.scale () $ Cli_common.seed () $ delegate_arg $ rac_arg $ delay_arg
+      $ hop_arg
+      $ Cli_common.verbose ~doc:"Print per-class message counters." ())
   in
   Cmd.v
     (Cmd.info "pcc_sim" ~doc:"Simulate a workload on the adaptive coherence protocol")

@@ -4,11 +4,8 @@
 
      dune exec bin/pcc_sweep.exe -- --app MG --knob delegate --values 32,64,128,1024 *)
 
-open Pcc_core
+open Pcc
 open Cmdliner
-module Table = Pcc_stats.Table
-module Jsonl = Pcc_stats.Jsonl
-module Pool = Pcc_parallel.Pool
 
 let apply_knob config knob value =
   match knob with
@@ -50,7 +47,7 @@ let write_json path ~app_name ~knob ~nodes ~scale ~(base : System.result) rows =
       output_char oc '\n')
 
 let run app_name knob values nodes scale jobs json_path =
-  match Pcc_workload.Apps.find app_name with
+  match Workloads.find app_name with
   | None ->
       Printf.eprintf "unknown app %S\n" app_name;
       1
@@ -70,7 +67,7 @@ let run app_name knob values nodes scale jobs json_path =
           let configs =
             List.map (function v, Ok c -> (v, c) | _, Error _ -> assert false) configs
           in
-          let programs = Pcc_workload.Apps.programs app ~scale ~nodes () in
+          let programs = Workloads.programs app ~scale ~nodes () in
           (* The baseline rides in the pool with the swept settings. *)
           let tasks =
             ("base", fun () -> System.run ~config:(Config.base ~nodes ()) ~programs ())
@@ -112,8 +109,6 @@ let run app_name knob values nodes scale jobs json_path =
           | None -> ());
           if !failed then 2 else 0)
 
-let app_arg = Arg.(value & opt string "MG" & info [ "a"; "app" ] ~doc:"Workload name.")
-
 let knob_arg =
   Arg.(
     value & opt string "delegate"
@@ -125,29 +120,13 @@ let values_arg =
     & opt (list int) [ 32; 64; 128; 256; 512; 1024 ]
     & info [ "values" ] ~doc:"Comma-separated settings.")
 
-let nodes_arg = Arg.(value & opt int 16 & info [ "n"; "nodes" ] ~doc:"Number of nodes.")
-
-let scale_arg = Arg.(value & opt float 0.5 & info [ "s"; "scale" ] ~doc:"Run-length scale.")
-
-let jobs_arg =
-  Arg.(
-    value
-    & opt int (Pool.default_jobs ())
-    & info [ "j"; "jobs" ] ~docv:"N"
-        ~doc:"Run up to $(docv) settings concurrently (default: PCC_JOBS or available \
-              cores; 1 = sequential).  Results are bit-identical at every level.")
-
-let json_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "json" ] ~docv:"PATH" ~doc:"Write machine-readable sweep results to $(docv).")
-
 let cmd =
   let term =
     Term.(
-      const run $ app_arg $ knob_arg $ values_arg $ nodes_arg $ scale_arg $ jobs_arg
-      $ json_arg)
+      const run $ Cli_common.app ~default:"MG" () $ knob_arg $ values_arg
+      $ Cli_common.nodes () $ Cli_common.scale ()
+      $ Cli_common.jobs ~what:"settings" ()
+      $ Cli_common.json ~doc:"Write machine-readable sweep results to $(docv)." ())
   in
   Cmd.v (Cmd.info "pcc_sweep" ~doc:"Sweep one machine parameter over a workload") term
 

@@ -9,11 +9,9 @@
    Load trace.json at https://ui.perfetto.dev or chrome://tracing. *)
 
 open Cmdliner
-open Pcc_core
-module Sim = Pcc_engine.Simulator
-module Oracle = Pcc_oracle
-module Telemetry = Pcc_telemetry
-module Gen = Pcc_workload.Gen
+open Pcc
+module Sim = Pcc.Simulator
+module Gen = Pcc.Workload_gen
 
 (* A distilled producer-consumer microbenchmark (the paper's target
    pattern): node 0 writes a handful of lines each epoch, every other
@@ -96,22 +94,6 @@ let bench_arg =
           "Workload: prodcons (built-in producer-consumer microbenchmark), random, \
            or an app benchmark (barnes, ocean, em3d, lu, cg, mg, appbt).")
 
-let config_arg =
-  Arg.(
-    value & opt string "full"
-    & info [ "c"; "config" ] ~docv:"NAME"
-        ~doc:"Protocol configuration: base, rac, delegation, or full.")
-
-let nodes_arg =
-  Arg.(value & opt int 8 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
-
-let scale_arg =
-  Arg.(
-    value & opt float 0.15
-    & info [ "s"; "scale" ] ~docv:"S" ~doc:"Run-length scale for app benchmarks.")
-
-let seed_arg = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.")
-
 let sample_arg =
   Arg.(
     value & opt int 500
@@ -124,17 +106,17 @@ let out_dir_arg =
     & info [ "o"; "out-dir" ] ~docv:"DIR"
         ~doc:"Directory for trace.json and metrics.jsonl (created if missing).")
 
-let max_events_arg =
-  Arg.(
-    value
-    & opt int 50_000_000
-    & info [ "max-events" ] ~docv:"N" ~doc:"Event budget for the run.")
-
 let cmd =
   let term =
     Term.(
-      const main $ bench_arg $ config_arg $ nodes_arg $ scale_arg $ seed_arg
-      $ sample_arg $ out_dir_arg $ max_events_arg)
+      const main $ bench_arg
+      $ Cli_common.config ~names:[ "c"; "config" ]
+          ~doc:"Protocol configuration: base, rac, delegation, or full." ()
+      $ Cli_common.nodes ~default:8 ()
+      $ Cli_common.scale ~default:0.15 ~doc:"Run-length scale for app benchmarks." ()
+      $ Cli_common.seed ~default:7 ()
+      $ sample_arg $ out_dir_arg
+      $ Cli_common.max_events ~doc:"Event budget for the run." ())
   in
   Cmd.v
     (Cmd.info "pcc_trace"

@@ -6,8 +6,7 @@
    [scale] (default 0.6) multiplies run length; larger is slower but
    closer to the asymptotic behaviour. *)
 
-open Pcc_core
-module Table = Pcc_stats.Table
+open Pcc
 
 let () =
   let scale =
@@ -29,8 +28,8 @@ let () =
   in
   let speedups = ref [] in
   List.iter
-    (fun (app : Pcc_workload.Apps.app) ->
-      let programs = Pcc_workload.Apps.programs app ~scale ~nodes () in
+    (fun (app : Workloads.app) ->
+      let programs = Workloads.programs app ~scale ~nodes () in
       let baseline = ref None in
       List.iter
         (fun (name, config) ->
@@ -47,7 +46,7 @@ let () =
           if name = "large (1K/1M)" then speedups := speedup :: !speedups;
           Table.add_row table
             [
-              Table.String app.Pcc_workload.Apps.name;
+              Table.String app.Workloads.name;
               Table.String name;
               Table.Int r.System.cycles;
               Table.Float speedup;
@@ -57,7 +56,7 @@ let () =
             ])
         configs;
       Table.add_separator table)
-    Pcc_workload.Apps.all;
+    Workloads.all;
   Table.print table;
   Format.printf "@.Geometric-mean speedup of the large configuration: %.2fx@."
-    (Pcc_stats.Summary.geometric_mean !speedups)
+    (Summary.geometric_mean !speedups)

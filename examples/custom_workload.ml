@@ -10,8 +10,8 @@
    protocol at once.  A second line group models a "status board": one
    coordinator writes it, everyone polls it (wide sharing). *)
 
-open Pcc_core
-module Gen = Pcc_workload.Gen
+open Pcc
+module Gen = Workload_gen
 
 let nodes = 8
 
@@ -62,7 +62,7 @@ let () =
   (* Save/reload through the text trace format, proving the run is
      reproducible from the serialized trace alone. *)
   let roundtripped =
-    match Pcc_workload.Trace.of_string (Pcc_workload.Trace.to_string programs) with
+    match Workload_trace.of_string (Workload_trace.to_string programs) with
     | Ok p -> p
     | Error message -> failwith message
   in

@@ -1,0 +1,7 @@
+(* The example from the Pcc module header, built here so facade drift
+   fails the build.  Keep this file in sync with lib/pcc/pcc.ml. *)
+
+let () =
+  let programs = Pcc.Workloads.(programs em3d) ~nodes:16 () in
+  let result = Pcc.System.run ~config:(Pcc.Config.full ~nodes:16 ()) ~programs () in
+  Format.printf "%a@." Pcc.System.pp_result result

@@ -4,7 +4,7 @@
 
      dune exec examples/oracle_demo.exe *)
 
-module Oracle = Pcc_oracle
+module Oracle = Pcc.Oracle
 
 let () =
   (* a clean oracle-checked run: online invariants after every event,

@@ -4,7 +4,7 @@
 
      dune exec examples/protocol_trace.exe *)
 
-open Pcc_core
+open Pcc
 
 let shared = Types.Layout.make_line ~home:0 ~index:0
 

@@ -8,7 +8,7 @@
    misses; with delegation + speculative updates the consumers' reads
    become local RAC hits. *)
 
-open Pcc_core
+open Pcc
 
 let nodes = 4
 

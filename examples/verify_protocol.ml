@@ -9,8 +9,8 @@
    value coherence and deadlock-freedom.  Also demonstrates that the
    checker catches seeded protocol bugs. *)
 
-module Checker = Pcc_mcheck.Checker
-module Model = Pcc_mcheck.Protocol_model
+module Checker = Pcc.Checker
+module Model = Pcc.Protocol_model
 
 let verify name params max_states =
   let started = Sys.time () in

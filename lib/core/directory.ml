@@ -35,9 +35,9 @@ let create ~(config : Config.t) ~rng ~home =
 let entry t line =
   if Types.Layout.home_of_line line <> t.home then
     invalid_arg "Directory.entry: line not homed at this node";
-  match Hashtbl.find_opt t.backing line with
-  | Some e -> e
-  | None ->
+  match Hashtbl.find t.backing line with
+  | e -> e
+  | exception Not_found ->
       let e =
         {
           state = Unowned;

@@ -47,9 +47,9 @@ let backoff t attempt = min t.rto_cap (t.rto lsl min attempt 16)
 
 let rec arm_retransmit t ~dst ~seq ~attempt =
   Sim.schedule t.sim ~delay:(backoff t attempt) (fun () ->
-      match Hashtbl.find_opt t.out.(dst).unacked seq with
-      | None -> () (* acknowledged meanwhile *)
-      | Some (bytes, payload) ->
+      match Hashtbl.find t.out.(dst).unacked seq with
+      | exception Not_found -> () (* acknowledged meanwhile *)
+      | bytes, payload ->
           t.retx_by_dst.(dst) <- t.retx_by_dst.(dst) + 1;
           t.on_retransmit ~dst;
           if Sim.trace_enabled t.sim then
@@ -94,13 +94,13 @@ let receive t ~src frame =
         t.deliver ~src payload;
         (* release any buffered successors the gap was holding back *)
         let rec drain () =
-          match Hashtbl.find_opt inn.held inn.expected with
-          | Some next ->
+          match Hashtbl.find inn.held inn.expected with
+          | next ->
               Hashtbl.remove inn.held inn.expected;
               inn.expected <- inn.expected + 1;
               t.deliver ~src next;
               drain ()
-          | None -> ()
+          | exception Not_found -> ()
         in
         drain ();
         send_ack t ~dst:src ~upto:(inn.expected - 1)

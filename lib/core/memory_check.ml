@@ -3,14 +3,25 @@
    return any value committed in [s, t], or the newest value committed
    before [s].  The history window is bounded; in a blocking-processor
    system a load overlaps at most a handful of writes, so a modest window
-   never produces false positives in practice. *)
+   never produces false positives in practice.
 
-let history_window = 32
+   The window lives in a fixed circular buffer of two int arrays per
+   line, so committing a store costs no allocation (the old cons-list
+   representation rebuilt a 32-element list on every store). *)
+
+let history_window = 32 (* power of two: slot arithmetic is a mask *)
 
 let max_reports = 16
 
+type hist = {
+  times : int array;
+  values : int array;
+  mutable head : int;  (* next slot to write; newest entry is head-1 *)
+  mutable count : int;
+}
+
 type t = {
-  history : (Types.line, (int * int) list ref) Hashtbl.t;
+  history : (Types.line, hist) Hashtbl.t;
   mutable violations : int;
   mutable reports : string list;
 }
@@ -18,40 +29,56 @@ type t = {
 let create () = { history = Hashtbl.create 1024; violations = 0; reports = [] }
 
 let cell t line =
-  match Hashtbl.find_opt t.history line with
-  | Some r -> r
-  | None ->
-      let r = ref [ (-1, 0) ] (* memory is zero-initialized "before time" *) in
-      Hashtbl.add t.history line r;
-      r
-
-let truncate list n =
-  let rec take acc i = function
-    | [] -> List.rev acc
-    | _ when i = 0 -> List.rev acc
-    | x :: rest -> take (x :: acc) (i - 1) rest
-  in
-  take [] n list
+  match Hashtbl.find t.history line with
+  | h -> h
+  | exception Not_found ->
+      let h =
+        {
+          times = Array.make history_window 0;
+          values = Array.make history_window 0;
+          head = 1;
+          count = 1;
+        }
+      in
+      (* memory is zero-initialized "before time" *)
+      h.times.(0) <- -1;
+      h.values.(0) <- 0;
+      Hashtbl.add t.history line h;
+      h
 
 let store_committed t line ~value ~time =
-  let r = cell t line in
-  r := truncate ((time, value) :: !r) history_window
+  let h = cell t line in
+  h.times.(h.head) <- time;
+  h.values.(h.head) <- value;
+  h.head <- (h.head + 1) land (history_window - 1);
+  if h.count < history_window then h.count <- h.count + 1
 
-let legal history ~started ~value =
+(* kth-newest slot index, k in [0, count) *)
+let slot h k = (h.head - 1 - k) land (history_window - 1)
+
+let legal h ~started ~value =
   (* newest-first scan: values committed after [started] are all legal;
      the first one at or before [started] is the last legal one. *)
-  let rec scan = function
-    | [] -> false
-    | (commit, v) :: rest ->
-        if commit > started then v = value || scan rest
-        else (* newest write not after the load began: last candidate *)
-          v = value
+  let rec scan k =
+    if k >= h.count then false
+    else
+      let i = slot h k in
+      let commit = h.times.(i) and v = h.values.(i) in
+      if commit > started then v = value || scan (k + 1)
+      else (* newest write not after the load began: last candidate *)
+        v = value
   in
-  scan history
+  scan 0
+
+let recent_string h n =
+  List.init (min n h.count) (fun k ->
+      let i = slot h k in
+      Printf.sprintf "%d@%d" h.values.(i) h.times.(i))
+  |> String.concat ", "
 
 let load_committed t line ~value ~started ~time =
-  let r = cell t line in
-  if legal !r ~started ~value then true
+  let h = cell t line in
+  if legal h ~started ~value then true
   else begin
     t.violations <- t.violations + 1;
     if List.length t.reports < max_reports then
@@ -60,9 +87,7 @@ let load_committed t line ~value ~started ~time =
           "line %d@%d: load started@%d committed@%d read %d; legal history: %s"
           (Types.Layout.index_of_line line)
           (Types.Layout.home_of_line line)
-          started time value
-          (String.concat ", "
-             (List.map (fun (c, v) -> Printf.sprintf "%d@%d" v c) (truncate !r 6)))
+          started time value (recent_string h 6)
         :: t.reports;
     false
   end

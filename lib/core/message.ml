@@ -77,6 +77,32 @@ let wire_bytes ~line_bytes = function
   | Undelegate { value; _ } ->
       header_bytes + dir_state_bytes + (match value with Some _ -> line_bytes | None -> 0)
 
+let class_count = 22
+
+let class_index = function
+  | Get_shared _ -> 0
+  | Get_exclusive _ -> 1
+  | Writeback _ -> 2
+  | Writeback_ack _ -> 3
+  | Inval _ -> 4
+  | Intervention _ -> 5
+  | Transfer _ -> 6
+  | Transfer_ack _ -> 7
+  | Data_shared _ -> 8
+  | Data_exclusive _ -> 9
+  | Inv_ack _ -> 10
+  | Shared_writeback _ -> 11
+  | Nack _ -> 12
+  | Delegate _ -> 13
+  | New_home _ -> 14
+  | Fwd_get_shared _ -> 15
+  | Recall _ -> 16
+  | Recall_nack _ -> 17
+  | Undelegate _ -> 18
+  | Update _ -> 19
+  | Update_flush _ -> 20
+  | Update_flush_ack _ -> 21
+
 let class_name = function
   | Get_shared _ -> "get-shared"
   | Get_exclusive _ -> "get-exclusive"

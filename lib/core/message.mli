@@ -100,4 +100,11 @@ val wire_bytes : line_bytes:int -> t -> int
 val class_name : t -> string
 (** Stable short name for per-class message counting. *)
 
+val class_count : int
+(** Number of distinct message classes. *)
+
+val class_index : t -> int
+(** Dense index in [0, class_count): the allocation-free companion of
+    {!class_name}, for per-class tables on the hot path. *)
+
 val pp : Format.formatter -> t -> unit

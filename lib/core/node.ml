@@ -90,6 +90,10 @@ type t = {
       (* completion-timeout strikes per line (hardened mode) *)
   fallback_lines : (Types.line, unit) Hashtbl.t;
       (* lines demoted to the base protocol: no delegation, no updates *)
+  class_cells : int ref option array;
+      (* cached [stats.message_classes] cells, indexed by
+         [Message.class_index]; filled lazily so untouched classes never
+         appear in reports, then bumped without hashing the class name *)
   mutable next_tid : int;
   mutable pending : pending option;
   mutable trace : (time:int -> dst:Types.node_id -> Message.t -> unit) list;
@@ -185,8 +189,20 @@ let send t ~dst msg =
   (match t.trace with
   | [] -> ()
   | fs -> List.iter (fun f -> f ~time:(Sim.now t.sim) ~dst msg) fs);
-  if dst <> t.id then
-    Pcc_stats.Counter.incr t.stats.message_classes (Message.class_name msg);
+  if dst <> t.id then begin
+    let idx = Message.class_index msg in
+    let cell =
+      match Array.unsafe_get t.class_cells idx with
+      | Some cell -> cell
+      | None ->
+          let cell =
+            Pcc_stats.Counter.cell t.stats.message_classes (Message.class_name msg)
+          in
+          t.class_cells.(idx) <- Some cell;
+          cell
+    in
+    cell := !cell + 1
+  end;
   Hub_link.send t.hub ~dst
     ~bytes:(Message.wire_bytes ~line_bytes:t.config.line_bytes msg)
     msg
@@ -1307,6 +1323,7 @@ let create ~config ~sim ~network ~id ~stats ~memcheck ~next_version ~rng =
       wb_pending = Hashtbl.create 16;
       strikes = Hashtbl.create 16;
       fallback_lines = Hashtbl.create 16;
+      class_cells = Array.make Message.class_count None;
       next_tid = 0;
       pending = None;
       trace = [];

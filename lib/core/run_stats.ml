@@ -69,9 +69,10 @@ let create () =
   }
 
 let activity t line =
-  match Hashtbl.find_opt t.line_activity line with
-  | Some a -> a
-  | None ->
+  (* exception-based find: no [Some] allocation per recorded miss *)
+  match Hashtbl.find t.line_activity line with
+  | a -> a
+  | exception Not_found ->
       let a = { l_misses = 0; l_invals = 0; l_churn = 0 } in
       Hashtbl.add t.line_activity line a;
       a

@@ -242,19 +242,24 @@ let run_programs ?max_events (t : t) programs =
   Array.iteri
     (fun node_id program ->
       let ops = Array.of_list program in
+      let count = Array.length ops in
       let node = t.nodes.(node_id) in
-      let rec step idx () =
-        if idx >= Array.length ops then finish node_id ()
-        else
-          match ops.(idx) with
-          | Types.Compute cycles ->
-              Sim.schedule t.sim ~delay:(max 0 cycles) (step (idx + 1))
-          | Types.Access (kind, line) ->
-              Node.submit node ~kind ~line ~on_commit:(fun () ->
-                  Sim.schedule t.sim ~delay:1 (step (idx + 1)))
-          | Types.Barrier id -> barrier_arrive t id (step (idx + 1))
-      in
-      Sim.schedule t.sim ~delay:0 (step 0))
+      (* one stepper closure per node, advancing a mutable index: each
+         processor has at most one continuation outstanding, so the index
+         is read exactly once per op and no per-op closure is built *)
+      let idx = ref 0 in
+      let rec step () =
+        if !idx >= count then finish node_id ()
+        else begin
+          let op = ops.(!idx) in
+          incr idx;
+          match op with
+          | Types.Compute cycles -> Sim.schedule t.sim ~delay:(max 0 cycles) step
+          | Types.Access (kind, line) -> Node.submit node ~kind ~line ~on_commit:resume
+          | Types.Barrier id -> barrier_arrive t id step
+        end
+      and resume () = Sim.schedule t.sim ~delay:1 step in
+      Sim.schedule t.sim ~delay:0 step)
     programs;
   let outcome = Sim.run ?max_events t.sim in
   let invariant_errors =

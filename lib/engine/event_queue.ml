@@ -1,35 +1,69 @@
-type entry = { time : int; seq : int; action : unit -> unit }
-
 (* Binary min-heap over (time, seq); seq provides FIFO order within a
-   cycle and makes the ordering total, hence deterministic. *)
+   cycle and makes the ordering total, hence deterministic.
+
+   The heap is kept in parallel arrays (times/seqs unboxed, actions
+   separate) rather than an array of entry records: [add] then costs no
+   allocation at all, and [next_time]/[pop_exn] let the simulator drain
+   the queue without materialising the [option]/tuple results of the
+   boxed API.  The boxed [min_time]/[pop] accessors remain for callers
+   (and the qcheck model test) that prefer them; both views are the same
+   heap, so ordering is identical. *)
 type t = {
-  mutable data : entry array;
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable actions : (unit -> unit) array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let dummy = { time = 0; seq = 0; action = ignore }
+let initial_capacity = 64
 
-let create () = { data = Array.make 64 dummy; size = 0; next_seq = 0 }
+let create () =
+  {
+    times = Array.make initial_capacity 0;
+    seqs = Array.make initial_capacity 0;
+    actions = Array.make initial_capacity ignore;
+    size = 0;
+    next_seq = 0;
+  }
 
 let is_empty t = t.size = 0
 
 let length t = t.size
 
-let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+(* [i] precedes [j] in heap order: earlier time, then earlier seq. *)
+let precedes t i j =
+  let ti = Array.unsafe_get t.times i and tj = Array.unsafe_get t.times j in
+  ti < tj || (ti = tj && Array.unsafe_get t.seqs i < Array.unsafe_get t.seqs j)
+
+let swap t i j =
+  let tmp = t.times.(i) in
+  t.times.(i) <- t.times.(j);
+  t.times.(j) <- tmp;
+  let tmp = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- tmp;
+  let tmp = t.actions.(i) in
+  t.actions.(i) <- t.actions.(j);
+  t.actions.(j) <- tmp
 
 let grow t =
-  let bigger = Array.make (2 * Array.length t.data) dummy in
-  Array.blit t.data 0 bigger 0 t.size;
-  t.data <- bigger
+  let capacity = 2 * Array.length t.times in
+  let times = Array.make capacity 0 in
+  Array.blit t.times 0 times 0 t.size;
+  t.times <- times;
+  let seqs = Array.make capacity 0 in
+  Array.blit t.seqs 0 seqs 0 t.size;
+  t.seqs <- seqs;
+  let actions = Array.make capacity ignore in
+  Array.blit t.actions 0 actions 0 t.size;
+  t.actions <- actions
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if precedes t.data.(i) t.data.(parent) then begin
-      let tmp = t.data.(i) in
-      t.data.(i) <- t.data.(parent);
-      t.data.(parent) <- tmp;
+    if precedes t i parent then begin
+      swap t i parent;
       sift_up t parent
     end
   end
@@ -37,35 +71,47 @@ let rec sift_up t i =
 let rec sift_down t i =
   let left = (2 * i) + 1 and right = (2 * i) + 2 in
   let smallest = ref i in
-  if left < t.size && precedes t.data.(left) t.data.(!smallest) then smallest := left;
-  if right < t.size && precedes t.data.(right) t.data.(!smallest) then smallest := right;
+  if left < t.size && precedes t left !smallest then smallest := left;
+  if right < t.size && precedes t right !smallest then smallest := right;
   if !smallest <> i then begin
-    let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(!smallest);
-    t.data.(!smallest) <- tmp;
+    swap t i !smallest;
     sift_down t !smallest
   end
 
 let add t ~time action =
-  if t.size = Array.length t.data then grow t;
-  t.data.(t.size) <- { time; seq = t.next_seq; action };
+  if t.size = Array.length t.times then grow t;
+  let i = t.size in
+  t.times.(i) <- time;
+  t.seqs.(i) <- t.next_seq;
+  t.actions.(i) <- action;
   t.next_seq <- t.next_seq + 1;
-  t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  t.size <- i + 1;
+  sift_up t i
 
-let min_time t = if t.size = 0 then None else Some t.data.(0).time
+let next_time t = if t.size = 0 then max_int else t.times.(0)
+
+let pop_exn t =
+  if t.size = 0 then invalid_arg "Event_queue.pop_exn: queue is empty";
+  let action = t.actions.(0) in
+  let last = t.size - 1 in
+  t.size <- last;
+  t.times.(0) <- t.times.(last);
+  t.seqs.(0) <- t.seqs.(last);
+  t.actions.(0) <- t.actions.(last);
+  t.actions.(last) <- ignore;
+  if last > 0 then sift_down t 0;
+  action
+
+let min_time t = if t.size = 0 then None else Some t.times.(0)
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.data.(0) in
-    t.size <- t.size - 1;
-    t.data.(0) <- t.data.(t.size);
-    t.data.(t.size) <- dummy;
-    if t.size > 0 then sift_down t 0;
-    Some (top.time, top.action)
+    let time = t.times.(0) in
+    let action = pop_exn t in
+    Some (time, action)
   end
 
 let clear t =
-  Array.fill t.data 0 t.size dummy;
+  Array.fill t.actions 0 t.size ignore;
   t.size <- 0

@@ -18,7 +18,16 @@ val add : t -> time:int -> (unit -> unit) -> unit
 val min_time : t -> int option
 (** Timestamp of the next event, if any. *)
 
+val next_time : t -> int
+(** Unboxed {!min_time}: timestamp of the next event, or [max_int] when
+    the queue is empty.  Allocation-free. *)
+
 val pop : t -> (int * (unit -> unit)) option
 (** Remove and return the earliest event as [(time, action)]. *)
+
+val pop_exn : t -> unit -> unit
+(** Remove and return the earliest event's action without boxing the
+    result.  Raises [Invalid_argument] on an empty queue; pair with
+    {!is_empty}/{!next_time}.  Allocation-free. *)
 
 val clear : t -> unit

@@ -133,30 +133,33 @@ let watchdog_tripped t =
 
 let run ?until ?max_events t =
   t.stop_requested <- false;
+  (* Unboxed limits: a queue holding an event at [max_int] is impossible
+     (times are nonnegative and finite), so [max_int] safely encodes
+     "no limit" and the loop below allocates nothing per event beyond
+     what the actions themselves do. *)
+  let event_limit = match max_events with Some limit -> limit | None -> max_int in
+  let time_limit = match until with Some limit -> limit | None -> max_int in
   let rec loop () =
     if t.stop_requested then Stopped
-    else
-      match max_events with
-      | Some limit when t.executed >= limit -> Event_limit_reached
-      | Some _ | None -> (
-          match Event_queue.min_time t.queue with
-          | None -> Drained
-          | Some next_time -> (
-              match until with
-              | Some limit when next_time > limit ->
-                  t.now <- limit;
-                  Time_limit_reached
-              | Some _ | None -> (
-                  match Event_queue.pop t.queue with
-                  | None -> Drained
-                  | Some (time, action) ->
-                      t.now <- time;
-                      t.executed <- t.executed + 1;
-                      action ();
-                      (match t.observers with
-                      | [] -> ()
-                      | observers -> List.iter (fun f -> f ()) observers);
-                      if watchdog_tripped t then Stalled else loop ())))
+    else if t.executed >= event_limit then Event_limit_reached
+    else if Event_queue.is_empty t.queue then Drained
+    else begin
+      let next_time = Event_queue.next_time t.queue in
+      if next_time > time_limit then begin
+        t.now <- time_limit;
+        Time_limit_reached
+      end
+      else begin
+        let action = Event_queue.pop_exn t.queue in
+        t.now <- next_time;
+        t.executed <- t.executed + 1;
+        action ();
+        (match t.observers with
+        | [] -> ()
+        | observers -> List.iter (fun f -> f ()) observers);
+        if watchdog_tripped t then Stalled else loop ()
+      end
+    end
   in
   loop ()
 

@@ -2,9 +2,12 @@
 
     {[
       let programs = Pcc.Workloads.(programs em3d) ~nodes:16 () in
-      let result = Pcc.System.run ~config:(Pcc.Config.full ()) ~programs () in
+      let result = Pcc.System.run ~config:(Pcc.Config.full ~nodes:16 ()) ~programs () in
       Format.printf "%a@." Pcc.System.pp_result result
-    ]} *)
+    ]}
+
+    (The example above is pinned as [examples/facade_example.ml], so
+    facade drift fails the build.) *)
 
 (** Machine configurations (Table 1 + the evaluated variants). *)
 module Config = Pcc_core.Config
@@ -17,6 +20,10 @@ module Types = Pcc_core.Types
 
 (** Per-run statistics. *)
 module Run_stats = Pcc_core.Run_stats
+
+(** Canonical machine-readable encoding of run results; the encoding the
+    determinism tests and CI byte-diff jobs pin. *)
+module Run_export = Pcc_core.Run_export
 
 (** Individual node inspection (tests, tools). *)
 module Node = Pcc_core.Node
@@ -33,14 +40,61 @@ module Predictor = Pcc_core.Predictor
 (** SRAM overhead model (§3.3.1). *)
 module Hw_cost = Pcc_core.Hw_cost
 
+(** Reliable per-link sequencing/retransmission layer between node and
+    interconnect (hardened mode). *)
+module Hub_link = Pcc_core.Hub_link
+
+(** Analytical speedup model (§5). *)
+module Analytic = Pcc_core.Analytic
+
+(** Named monotone counters (protocol event accounting). *)
+module Counter = Pcc_stats.Counter
+
+(** Exact integer-valued histograms (latency distributions). *)
+module Histogram = Pcc_stats.Histogram
+
+(** Fixed-width text tables for CLI reports. *)
+module Table = Pcc_stats.Table
+
+(** Minimal JSON encoding used by every machine-readable artifact. *)
+module Jsonl = Pcc_stats.Jsonl
+
+(** Scalar summaries (geometric mean and friends). *)
+module Summary = Pcc_stats.Summary
+
+(** Discrete-event simulation core. *)
+module Simulator = Pcc_engine.Simulator
+
+(** Deterministic SplitMix64 random streams. *)
+module Rng = Pcc_engine.Rng
+
+(** Seeded fault injection for the interconnect (drops, duplicates,
+    delays, reorders, outages). *)
+module Fault = Pcc_interconnect.Fault
+
 (** The seven evaluation workloads (Table 2) and their generators. *)
 module Workloads = Pcc_workload.Apps
 
 (** Build-your-own workload machinery. *)
 module Workload_gen = Pcc_workload.Gen
 
+(** Program-trace serialization: save and replay generated workloads. *)
+module Workload_trace = Pcc_workload.Trace
+
 (** Explicit-state model checker (§2.5). *)
 module Checker = Pcc_mcheck.Checker
 
 (** Abstract protocol model for verification. *)
 module Protocol_model = Pcc_mcheck.Protocol_model
+
+(** Online coherence oracle: per-event invariant auditing, per-address
+    order checking, differential replay through the model checker. *)
+module Oracle = Pcc_oracle
+
+(** Transaction-level telemetry: coherence spans, Perfetto export,
+    occupancy sampling, latency/phase reports. *)
+module Telemetry = Pcc_telemetry
+
+(** Fixed-size domain pool running independent jobs with
+    submission-order (bit-identical) results. *)
+module Pool = Pcc_parallel.Pool

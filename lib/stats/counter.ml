@@ -3,9 +3,10 @@ type t = (string, int ref) Hashtbl.t
 let create () : t = Hashtbl.create 32
 
 let cell t name =
-  match Hashtbl.find_opt t name with
-  | Some r -> r
-  | None ->
+  (* exception-based find: no [Some] allocation on the hit path *)
+  match Hashtbl.find t name with
+  | r -> r
+  | exception Not_found ->
       let r = ref 0 in
       Hashtbl.add t name r;
       r

@@ -11,6 +11,12 @@ val create : unit -> t
 val incr : t -> string -> unit
 (** Add one to the named counter. *)
 
+val cell : t -> string -> int ref
+(** The named counter's underlying cell, created (at zero) on first use.
+    Hot paths may hold the cell and bump it directly, skipping the name
+    hash on every increment; the cell stays live through {!reset} (which
+    zeroes it in place) and is the same ref {!get} reads. *)
+
 val add : t -> string -> int -> unit
 (** Add an arbitrary nonnegative amount.  Raises [Invalid_argument] on a
     negative amount (counters are monotone). *)

@@ -4,9 +4,11 @@ let create () = { buckets = Hashtbl.create 16; total = 0 }
 
 let observe_n t value ~count =
   assert (count >= 0);
-  (match Hashtbl.find_opt t.buckets value with
-  | Some r -> r := !r + count
-  | None -> Hashtbl.add t.buckets value (ref count));
+  (* exception-based find: recording into an existing bucket is
+     allocation-free *)
+  (match Hashtbl.find t.buckets value with
+  | r -> r := !r + count
+  | exception Not_found -> Hashtbl.add t.buckets value (ref count));
   t.total <- t.total + count
 
 let observe t value = observe_n t value ~count:1
@@ -14,7 +16,7 @@ let observe t value = observe_n t value ~count:1
 let count t = t.total
 
 let count_value t value =
-  match Hashtbl.find_opt t.buckets value with Some r -> !r | None -> 0
+  match Hashtbl.find t.buckets value with r -> !r | exception Not_found -> 0
 
 let count_ge t threshold =
   Hashtbl.fold (fun v r acc -> if v >= threshold then acc + !r else acc) t.buckets 0

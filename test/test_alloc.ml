@@ -1,0 +1,47 @@
+(* Allocation-regression gate for the simulator hot path.
+
+   The hot-path work (bench/micro.ml) holds minor-heap allocation to a
+   few hundred words per committed processor operation; an accidental
+   closure, boxed option, or list append in the event loop shows up here
+   as an order-of-magnitude jump.  Budgets are deliberately loose (~2x
+   the measured value) so they only trip on real regressions, never on
+   GC accounting noise. *)
+
+open Pcc_core
+
+let nodes = 8
+
+let programs () = Pcc_workload.Apps.(programs em3d) ~scale:0.1 ~nodes ()
+
+let words_per_commit config =
+  let sys = System.create ~config () in
+  let commits = ref 0 in
+  System.on_commit sys (fun _ -> incr commits);
+  Gc.full_major ();
+  let before = Gc.minor_words () in
+  let (_ : System.result) = System.run_programs sys (programs ()) in
+  let words = Gc.minor_words () -. before in
+  (words /. float_of_int (max 1 !commits), !commits)
+
+let check name budget config () =
+  let per_commit, commits = words_per_commit config in
+  if commits < 100 then
+    Alcotest.failf "%s: only %d commits — workload too small to measure" name commits;
+  if per_commit > budget then
+    Alcotest.failf
+      "%s: %.1f minor words per committed op exceeds the %.0f-word budget — a hot-path \
+       change added allocation"
+      name per_commit budget
+
+let suite =
+  [
+    Alcotest.test_case "base protocol under budget" `Quick
+      (check "base" 500.0 (Config.base ~nodes ()));
+    Alcotest.test_case "full adaptive machine under budget" `Quick
+      (check "full" 500.0 (Config.small_full ~nodes ()));
+    Alcotest.test_case "hardened machine under budget" `Quick
+      (check "hardened" 1400.0
+         (Config.with_faults
+            (Config.small_full ~nodes ())
+            (Pcc_interconnect.Fault.drops ~seed:7)));
+  ]

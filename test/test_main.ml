@@ -21,4 +21,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("determinism", Test_determinism.suite);
       ("bench-activation", Test_bench_activation.suite);
+      ("alloc", Test_alloc.suite);
     ]
