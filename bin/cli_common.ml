@@ -46,4 +46,8 @@ let json ?(doc = "Write machine-readable results to $(docv).") () =
 let max_events ?(default = 50_000_000) ?(doc = "Event budget per run.") () =
   Arg.(value & opt int default & info [ "max-events" ] ~docv:"N" ~doc)
 
+let max_states ?(default = 3_000_000) ?(doc = "Model-checker exploration bound (states).")
+    () =
+  Arg.(value & opt int default & info [ "max-states" ] ~docv:"N" ~doc)
+
 let verbose ~doc () = Arg.(value & flag & info [ "v"; "verbose" ] ~doc)

@@ -1,10 +1,15 @@
-(* Command-line model-checking driver (the paper's §2.5 verification).
+(* Command-line verification driver (the paper's §2.5, scaled up).
 
-     dune exec bin/pcc_check.exe -- --nodes 3 --ops 2 *)
+   Two modes:
+   - exhaustive model checking of the abstract protocol model
+       dune exec bin/pcc_check.exe -- --nodes 4 --lines 2 --ops 1 --jobs 4
+   - the litmus corpus against the real simulator
+       dune exec bin/pcc_check.exe -- --litmus --jobs 4 *)
 
 open Cmdliner
 module Checker = Pcc.Checker
 module Model = Pcc.Protocol_model
+module Litmus = Pcc.Litmus
 
 let bug_of_string = function
   | "" -> Ok None
@@ -13,30 +18,93 @@ let bug_of_string = function
   | "no-resharing" -> Ok (Some Model.Updates_without_resharing)
   | other -> Error (Printf.sprintf "unknown bug %S" other)
 
-let run nodes ops delegation updates bug max_states =
-  match bug_of_string bug with
-  | Error message ->
+let workload_of_string = function
+  | "symmetric" -> Ok Model.Symmetric
+  | "pc" | "producer-consumer" -> Ok Model.Producer_consumer
+  | other -> Error (Printf.sprintf "unknown workload %S" other)
+
+let run_model_check nodes lines ops workload delegation updates bug max_states jobs spill
+    por =
+  match (bug_of_string bug, workload_of_string workload) with
+  | Error message, _ | _, Error message ->
       prerr_endline message;
       1
-  | Ok bug ->
+  | Ok bug, Ok workload ->
       let params =
         {
           Model.default_params with
           Model.nodes;
+          lines;
+          workload;
           max_ops_per_node = ops;
           enable_delegation = delegation;
           enable_updates = updates;
           bug;
         }
       in
-      let (module M) = Model.make params in
-      let outcome = Checker.run (module M) ~max_states () in
+      let (module M) = Model.make ~por params in
+      let outcome = Checker.run (module M) ~max_states ~jobs ?spill () in
       Format.printf "%a@." (Checker.pp_outcome M.pp) outcome;
       (match outcome with Checker.Ok _ -> 0 | _ -> 2)
 
+let run_litmus jobs mutate =
+  let results =
+    if mutate then
+      (* detection sanity check: the corpus must fail against the broken
+         machine *)
+      Litmus.run_matrix ~jobs
+        ~configs:[ ("mutated-updates", Litmus.mutation_config) ]
+        ~profiles:[ ("reliable", fun ~seed:_ -> None) ]
+        ~seeds:[ 1 ] Litmus.corpus
+    else Litmus.run_matrix ~jobs Litmus.corpus
+  in
+  List.iter (fun r -> Format.printf "%a@." Litmus.pp_result r) results;
+  let failed = Litmus.failures results in
+  if mutate then
+    if failed = [] then begin
+      Format.printf "mutation NOT detected: %d runs all passed@." (List.length results);
+      2
+    end
+    else begin
+      Format.printf "mutation detected in %d/%d runs@." (List.length failed)
+        (List.length results);
+      0
+    end
+  else begin
+    Format.printf "%d runs, %d failures@." (List.length results) (List.length failed);
+    if failed = [] then 0 else 2
+  end
+
+let run litmus mutate nodes lines ops workload delegation updates bug max_states jobs
+    spill por =
+  if litmus || mutate then run_litmus jobs mutate
+  else
+    run_model_check nodes lines ops workload delegation updates bug max_states jobs spill
+      por
+
 let nodes_arg = Cli_common.nodes ~default:3 ~doc:"Nodes in the model." ()
 
-let ops_arg = Arg.(value & opt int 2 & info [ "ops" ] ~doc:"Memory operations per node.")
+let lines_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "lines" ] ~docv:"N"
+        ~doc:
+          "Independent cache lines in the model.  Lines multiply the state space; \
+           partial-order reduction keeps it tractable.")
+
+let ops_arg =
+  Arg.(value & opt int 2 & info [ "ops" ] ~doc:"Memory operations per node (per line).")
+
+let workload_arg =
+  Arg.(
+    value
+    & opt string "symmetric"
+    & info [ "workload" ] ~docv:"KIND"
+        ~doc:
+          "Access pattern: $(b,symmetric) (every node loads and stores) or $(b,pc) \
+           (producer-consumer: one designated writer per line, everyone else reads — \
+           the paper's pattern; much smaller per-line spaces).")
 
 let delegation_arg =
   Arg.(value & opt bool true & info [ "delegation" ] ~doc:"Enable directory delegation.")
@@ -48,20 +116,54 @@ let bug_arg =
   Arg.(
     value
     & opt string ""
-    & info [ "bug" ]
-        ~doc:"Inject a protocol bug: skip-invals, no-poison, no-resharing.")
+    & info [ "bug" ] ~doc:"Inject a protocol bug: skip-invals, no-poison, no-resharing.")
 
-let max_states_arg =
-  Arg.(value & opt int 3_000_000 & info [ "max-states" ] ~doc:"Exploration bound.")
+let max_states_arg = Cli_common.max_states ()
+
+let jobs_arg = Cli_common.jobs ~what:"frontier chunks (or litmus runs)" ()
+
+let spill_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "spill" ] ~docv:"DIR"
+        ~doc:
+          "Spill the visited set and counterexample edges to $(docv) so memory stays \
+           bounded by the frontier.")
+
+let por_arg =
+  Arg.(
+    value
+    & opt bool true
+    & info [ "por" ]
+        ~doc:"Partial-order reduction over independent lines (only matters with --lines > 1).")
+
+let litmus_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "litmus" ]
+        ~doc:
+          "Run the litmus corpus through the real simulator (configs × chaos profiles × \
+           seeds) instead of model checking.")
+
+let mutate_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "litmus-mutated" ]
+        ~doc:
+          "Run the litmus corpus against a deliberately broken machine and require a \
+           failure (harness detection sanity check).")
 
 let cmd =
   let term =
     Term.(
-      const run $ nodes_arg $ ops_arg $ delegation_arg $ updates_arg $ bug_arg
-      $ max_states_arg)
+      const run $ litmus_arg $ mutate_arg $ nodes_arg $ lines_arg $ ops_arg
+      $ workload_arg $ delegation_arg $ updates_arg $ bug_arg $ max_states_arg
+      $ jobs_arg $ spill_arg $ por_arg)
   in
   Cmd.v
-    (Cmd.info "pcc_check" ~doc:"Model-check the adaptive coherence protocol")
-    term
+    (Cmd.info "pcc_check" ~doc:"Verify the adaptive coherence protocol") term
 
 let () = exit (Cmd.eval' cmd)

@@ -1,22 +1,41 @@
 type bug = Skip_invals_on_delegate | No_poison_on_inval | Updates_without_resharing
 
+type workload = Symmetric | Producer_consumer
+
 type params = {
   nodes : int;
+  lines : int;
+      (* independent cache lines, each homed at node 0 with its own
+         directory, channels, and per-node op budget.  Lines never share
+         protocol state, which is exactly what makes per-line transition
+         groups independent for partial-order reduction. *)
+  workload : workload;
+      (* Symmetric: every node nondeterministically loads or stores.
+         Producer_consumer: line l has one designated producer
+         (node 1 + l mod (nodes-1)) that only stores; every other node
+         only loads.  This is the paper's sharing pattern, it still
+         drives delegation and speculative updates, and it shrinks the
+         per-line space enough that multi-line explorations at 4-5 nodes
+         stay exhaustive.  Designated producers are distinguishable, so
+         canonicalization only permutes the consumer nodes (and only
+         lines with the same producer). *)
   max_ops_per_node : int;
   enable_delegation : bool;
   enable_updates : bool;
   channel_capacity : int;
-      (* max in-flight messages per (src,dst) channel.  Without a bound
-         the space is infinite: a NACK/retry/forward cycle can deposit one
-         extra hint message per round while deliveries lag.  Bounding
-         channels (as Murphi DASH models do) makes exploration finite;
-         transitions that would overfill a channel are disabled. *)
+      (* max in-flight messages per (src,dst) channel (per line).  Without
+         a bound the space is infinite: a NACK/retry/forward cycle can
+         deposit one extra hint message per round while deliveries lag.
+         Bounding channels (as Murphi DASH models do) makes exploration
+         finite; transitions that would overfill a channel are disabled. *)
   bug : bug option;
 }
 
 let default_params =
   {
     nodes = 3;
+    lines = 1;
+    workload = Symmetric;
     max_ops_per_node = 2;
     enable_delegation = true;
     enable_updates = true;
@@ -234,6 +253,18 @@ let rename_state perm st =
                   unflushed = rename_mask perm p.unflushed;
                 })
               node.prod;
+          pend =
+            Option.map
+              (fun p ->
+                {
+                  p with
+                  target = rename_node perm p.target;
+                  deferred =
+                    List.map
+                      (fun (t, r, tid) -> (t, rename_node perm r, tid))
+                      p.deferred;
+                })
+              node.pend;
           hint = Option.map (rename_node perm) node.hint;
         })
     st.ns;
@@ -257,8 +288,11 @@ let rename_state perm st =
     req = rename_node perm st.req;
   }
 
-(* All permutations of 1..n-1 (node 0, the home, is fixed). *)
-let node_permutations n =
+(* All permutations of fixed+1..n-1; nodes 0..fixed map to themselves.
+   [fixed = 0] fixes only the home — the full symmetric group over the
+   remote nodes.  The producer-consumer workload additionally fixes the
+   designated producers (they are distinguishable by behaviour). *)
+let permutations_fixing ~fixed n =
   let rec perms = function
     | [] -> [ [] ]
     | items ->
@@ -268,8 +302,22 @@ let node_permutations n =
           items
   in
   List.map
-    (fun order -> Array.of_list (0 :: order))
-    (perms (List.init (n - 1) (fun i -> i + 1)))
+    (fun order -> Array.of_list (List.init (fixed + 1) Fun.id @ order))
+    (perms (List.init (n - 1 - fixed) (fun i -> i + fixed + 1)))
+
+(* All permutations of 1..n-1 (node 0, the home, is fixed). *)
+let node_permutations n = permutations_fixing ~fixed:0 n
+
+(* The designated writer of line [l] under the producer-consumer
+   workload: remote nodes take turns line by line. *)
+let producer_of_line params l = 1 + (l mod (params.nodes - 1))
+
+let model_permutations params =
+  match params.workload with
+  | Symmetric -> node_permutations params.nodes
+  | Producer_consumer ->
+      let fixed = min (params.nodes - 1) params.lines in
+      permutations_fixing ~fixed params.nodes
 
 (* ------------------------------------------------------------------ *)
 (* Commit helpers                                                      *)
@@ -755,8 +803,15 @@ let cache_handle params st ~src n msg =
 (* Transition enumeration                                              *)
 (* ------------------------------------------------------------------ *)
 
-let issue_transitions params st n =
+let issue_transitions params ~line st n =
   let node = st.ns.(n) in
+  let may_load, may_store =
+    match params.workload with
+    | Symmetric -> (true, true)
+    | Producer_consumer ->
+        let p = producer_of_line params line in
+        (n <> p, n = p)
+  in
   if node.pend <> None || node.done_ >= params.max_ops_per_node then []
   else begin
     let label kind = Printf.sprintf "n%d:issue-%s" n kind in
@@ -817,7 +872,7 @@ let issue_transitions params st n =
           in
           (label "store-miss", resend_request st n)
     in
-    [ load; store ]
+    (if may_load then [ load ] else []) @ (if may_store then [ store ] else [])
   end
 
 let spontaneous_transitions params st n =
@@ -1033,9 +1088,9 @@ let channels_ok params st =
       c <= params.channel_capacity)
     st.net
 
-let all_successors params st =
+let all_successors ?(line = 0) params st =
   let issues =
-    List.concat (List.init params.nodes (fun n -> issue_transitions params st n))
+    List.concat (List.init params.nodes (fun n -> issue_transitions params ~line st n))
   in
   let spontaneous =
     List.concat (List.init params.nodes (fun n -> spontaneous_transitions params st n))
@@ -1087,37 +1142,342 @@ let pp_state ppf st =
     st.ns;
   Format.fprintf ppf "net: %d msgs@]" (List.length st.net)
 
-let make params =
+(* ------------------------------------------------------------------ *)
+(* Fast structural encoding                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The seed encoded states with [Marshal], which dominated exploration
+   time once symmetry reduction multiplied encodes by (n-1)!.  This hand
+   encoder writes one byte per small field into a reused buffer.  Every
+   integer in a reachable state is tiny (masks < 2^nodes, versions and
+   tids bounded by the op budget, ack counts by in-flight messages), so a
+   single byte biased by 64 covers the range; the encoding of each list
+   is length-prefixed, making the whole encoding self-delimiting and the
+   concatenation of several line encodings injective. *)
+
+let byte buf n = Buffer.add_char buf (Char.unsafe_chr ((n + 64) land 0xff))
+
+let enc_bool buf x = byte buf (if x then 1 else 0)
+
+let enc_opt enc buf = function
+  | None -> byte buf 0
+  | Some x ->
+      byte buf 1;
+      enc buf x
+
+let enc_cache buf = function
+  | CI -> byte buf 0
+  | CS v ->
+      byte buf 1;
+      byte buf v
+  | CE v ->
+      byte buf 2;
+      byte buf v
+
+let enc_prod buf p =
+  byte buf (match p.pst with PB -> 0 | PEx -> 1 | PSh -> 2);
+  byte buf p.psharers;
+  byte buf p.upds;
+  enc_bool buf p.recalled;
+  byte buf p.unflushed;
+  byte buf p.fl_acks
+
+let enc_pend buf p =
+  byte buf (match p.pkind with PL -> 0 | PW -> 1);
+  enc_bool buf p.have_data;
+  byte buf p.acks;
+  enc_bool buf p.poisoned;
+  byte buf p.target;
+  byte buf p.tid;
+  byte buf (List.length p.deferred);
+  List.iter
+    (fun (t, r, tid) ->
+      enc_bool buf t;
+      byte buf r;
+      byte buf tid)
+    p.deferred
+
+let enc_msg buf = function
+  | MGetS tid ->
+      byte buf 0;
+      byte buf tid
+  | MGetX tid ->
+      byte buf 1;
+      byte buf tid
+  | MFwdS (r, tid) ->
+      byte buf 2;
+      byte buf r;
+      byte buf tid
+  | MInval r ->
+      byte buf 3;
+      byte buf r
+  | MIntv (r, tid) ->
+      byte buf 4;
+      byte buf r;
+      byte buf tid
+  | MTransfer (r, tid) ->
+      byte buf 5;
+      byte buf r;
+      byte buf tid
+  | MDataS (v, tid) ->
+      byte buf 6;
+      byte buf v;
+      byte buf tid
+  | MDataE (v, a, tid) ->
+      byte buf 7;
+      byte buf v;
+      byte buf a;
+      byte buf tid
+  | MAck -> byte buf 8
+  | MSwb (v, ns) ->
+      byte buf 9;
+      byte buf v;
+      byte buf ns
+  | MTack o ->
+      byte buf 10;
+      byte buf o
+  | MNack (r, tid) ->
+      byte buf 11;
+      byte buf (match r with NBusy -> 0 | NNotHome -> 1 | NPending -> 2);
+      byte buf tid
+  | MDelegate (s, v, a, tid) ->
+      byte buf 12;
+      byte buf s;
+      byte buf v;
+      byte buf a;
+      byte buf tid
+  | MNewHome h ->
+      byte buf 13;
+      byte buf h
+  | MRecall -> byte buf 14
+  | MUndele (s, v, p) ->
+      byte buf 15;
+      byte buf s;
+      enc_opt byte buf v;
+      enc_opt
+        (fun buf (r, tid) ->
+          byte buf r;
+          byte buf tid)
+        buf p
+  | MUpdate v ->
+      byte buf 16;
+      byte buf v
+  | MFlush -> byte buf 17
+  | MFlushAck -> byte buf 18
+  | MWb v ->
+      byte buf 19;
+      byte buf v
+  | MWbAck -> byte buf 20
+
+(* [st] must already be normalized ([norm]). *)
+let enc_line buf st =
+  Array.iter
+    (fun n ->
+      enc_cache buf n.cache;
+      enc_opt byte buf n.rac;
+      enc_opt enc_prod buf n.prod;
+      enc_opt enc_pend buf n.pend;
+      enc_opt byte buf n.hint;
+      byte buf n.done_;
+      byte buf n.last_seen;
+      enc_bool buf n.wbp)
+    st.ns;
+  byte buf (match st.dir with DU -> 0 | DS -> 1 | DE -> 2 | DBs -> 3 | DBe -> 4 | DD -> 5);
+  byte buf st.shr;
+  byte buf st.own;
+  byte buf st.req;
+  byte buf st.req_tid;
+  byte buf st.mem;
+  byte buf st.nextv;
+  byte buf (List.length st.net);
+  List.iter
+    (fun p ->
+      byte buf p.src;
+      byte buf p.dst;
+      byte buf p.seq;
+      enc_msg buf p.msg)
+    st.net;
+  match st.error with
+  | None -> byte buf 0
+  | Some e ->
+      byte buf 1;
+      byte buf (String.length e);
+      Buffer.add_string buf e
+
+(* ------------------------------------------------------------------ *)
+(* Multi-line composition                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* [lines] independent single-line protocol instances over the same node
+   set.  Because the instances share nothing, (a) every transition
+   belongs to exactly one line, so per-line transition groups are
+   independence classes for partial-order reduction, and (b) the
+   symmetry group grows: a global node permutation (applied to every
+   line at once) composed with any permutation of the lines maps
+   reachable states to reachable states and preserves all invariants. *)
+
+type mstate = { ls : state array }
+
+let initial_mstate params = { ls = Array.init params.lines (fun _ -> initial_state params) }
+
+let line_label params l label =
+  if params.lines > 1 then Printf.sprintf "L%d:%s" l label else label
+
+let line_successors params mst l =
+  List.map
+    (fun (label, st') ->
+      ( line_label params l label,
+        { ls = Array.mapi (fun i s -> if i = l then st' else s) mst.ls } ))
+    (all_successors ~line:l params mst.ls.(l))
+
+let mstate_successors params mst =
+  List.concat (List.init (Array.length mst.ls) (line_successors params mst))
+
+(* Transition groups for POR, in fixed line order.  The checker expands
+   the first group offering an unexplored successor; the soundness
+   argument (DESIGN.md, "Verification") depends on this order being a
+   fixed function of the line index, not of the state. *)
+let mstate_groups params mst =
+  List.init (Array.length mst.ls) (line_successors params mst)
+
+let mstate_invariants params =
+  List.concat
+    (List.init params.lines (fun l ->
+         List.map
+           (fun (name, pred) ->
+             (line_label params l name, fun mst -> pred mst.ls.(l)))
+           invariants_list))
+
+let line_quiescent params st =
+  st.net = []
+  && Array.for_all
+       (fun node -> node.pend = None && node.done_ >= params.max_ops_per_node)
+       st.ns
+
+let mstate_quiescent params mst = Array.for_all (line_quiescent params) mst.ls
+
+let pp_mstate ppf mst =
+  if Array.length mst.ls = 1 then pp_state ppf mst.ls.(0)
+  else begin
+    Format.fprintf ppf "@[<v>";
+    Array.iteri (fun l st -> Format.fprintf ppf "line %d: %a@," l pp_state st) mst.ls;
+    Format.fprintf ppf "@]"
+  end
+
+(* Canonical representative over the node × line symmetry group: for each
+   admissible node permutation, encode every line (renamed,
+   renormalized), sort the interchangeable line encodings (all lines
+   under the symmetric workload; only same-producer lines under the
+   producer-consumer workload, since distinct producers make lines
+   distinguishable), and keep the lexicographically least concatenation
+   over all permutations.  Self-delimiting parts and params-determined
+   group sizes keep the concatenation injective. *)
+let encode_mstate params =
+  let permutations = model_permutations params in
+  let sort_parts parts =
+    match params.workload with
+    | Symmetric -> List.sort String.compare parts
+    | Producer_consumer ->
+        let k = params.nodes - 1 in
+        let classes = Array.make k [] in
+        List.iteri (fun l part -> classes.(l mod k) <- part :: classes.(l mod k)) parts;
+        Array.to_list classes |> List.concat_map (List.sort String.compare)
+  in
+  fun mst ->
+    let buf = Buffer.create 256 in
+    let encode_with perm st =
+      Buffer.clear buf;
+      enc_line buf (norm (rename_state perm st));
+      Buffer.contents buf
+    in
+    let many = Array.length mst.ls > 1 in
+    let best = ref None in
+    List.iter
+      (fun perm ->
+        let parts = Array.to_list (Array.map (encode_with perm) mst.ls) in
+        let parts = if many then sort_parts parts else parts in
+        let candidate = String.concat "" parts in
+        match !best with
+        | Some b when String.compare b candidate <= 0 -> ()
+        | _ -> best := Some candidate)
+      permutations;
+    Option.get !best
+
+let validate params =
+  if params.nodes < 2 || params.nodes > 7 then
+    invalid_arg "Protocol_model: nodes must be in 2..7 (canonicalization \
+                 enumerates (nodes-1)! permutations)";
+  if params.lines < 1 then invalid_arg "Protocol_model: lines must be >= 1"
+
+let make ?(por = true) params =
+  validate params;
   (module struct
-    type nonrec state = state
+    type state = mstate
 
-    let initial = [ initial_state params ]
+    let initial = [ initial_mstate params ]
 
-    let successors st = all_successors params st
+    let successors = mstate_successors params
 
-    let invariants = invariants_list
+    let por =
+      if por && params.lines > 1 then Some (mstate_groups params) else None
 
-    let is_quiescent st =
-      st.net = []
-      && Array.for_all
-           (fun node -> node.pend = None && node.done_ >= params.max_ops_per_node)
-           st.ns
+    let invariants = mstate_invariants params
 
-    let permutations = node_permutations params.nodes
+    let is_quiescent = mstate_quiescent params
 
-    (* canonical representative over the node symmetry group *)
-    let encode st =
-      List.fold_left
-        (fun best perm ->
-          let candidate = Marshal.to_string (norm (rename_state perm st)) [] in
-          match best with
-          | Some b when String.compare b candidate <= 0 -> best
-          | _ -> Some candidate)
-        None permutations
-      |> Option.get
+    let encode = encode_mstate params
 
-    let pp = pp_state
+    let pp = pp_mstate
   end : Checker.MODEL)
+
+(* ------------------------------------------------------------------ *)
+(* Test hooks (symmetry properties)                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Sym = struct
+  type nonrec mstate = mstate
+
+  let initial = initial_mstate
+
+  let successors = mstate_successors
+
+  let encode = encode_mstate
+
+  let node_permutations = node_permutations
+
+  let rename_nodes perm mst = { ls = Array.map (fun st -> norm (rename_state perm st)) mst.ls }
+
+  let permute_lines perm mst = { ls = Array.init (Array.length mst.ls) (fun i -> mst.ls.(perm.(i))) }
+
+  (* A symmetry-invariant projection of the observable facts: any two
+     states related by a node/line permutation agree on it, so
+     [encode a = encode b] must imply [semantic_sig a = semantic_sig b]. *)
+  let semantic_sig mst =
+    let line_sig st =
+      let dir =
+        match st.dir with DU -> "U" | DS -> "S" | DE -> "E" | DBs -> "Bs" | DBe -> "Be" | DD -> "D"
+      in
+      let popcount mask = List.length (bits_list mask) in
+      let per_node =
+        Array.to_list
+          (Array.map
+             (fun n ->
+               Printf.sprintf "%s/%d/%d"
+                 (match n.cache with
+                 | CI -> "I"
+                 | CS v -> Printf.sprintf "S%d" v
+                 | CE v -> Printf.sprintf "E%d" v)
+                 n.done_ n.last_seen)
+             st.ns)
+        |> List.sort String.compare
+      in
+      Printf.sprintf "%s|%d|%d|%d|%d|%s" dir st.mem st.nextv (popcount st.shr)
+        (List.length st.net)
+        (String.concat "," per_node)
+    in
+    Array.to_list (Array.map line_sig mst.ls)
+    |> List.sort String.compare |> String.concat ";"
+end
 
 (* ------------------------------------------------------------------ *)
 (* Observable stepping (differential testing)                          *)
@@ -1133,7 +1493,7 @@ module Step = struct
 
   let initial = initial_state
 
-  let successors = all_successors
+  let successors params st = all_successors params st
 
   let invariants = invariants_list
 

@@ -2,14 +2,15 @@
 
     Mirrors the simulator's protocol (base write-invalidate directory
     protocol plus delegation and speculative updates) for a small
-    configuration: one cache line homed at node 0, [nodes] processors each
-    performing up to [max_ops_per_node] nondeterministically chosen
-    loads/stores, an unordered network, and nondeterministic cache
-    evictions, delayed interventions, capacity undelegations, and hint
-    evictions.  This corresponds to the paper's extension of the DASH
-    Murphi model (§2.5).
+    configuration: [lines] independent cache lines homed at node 0,
+    [nodes] processors each performing up to [max_ops_per_node]
+    nondeterministically chosen loads/stores per line, an unordered
+    network, and nondeterministic cache evictions, delayed interventions,
+    capacity undelegations, and hint evictions.  This corresponds to the
+    paper's extension of the DASH Murphi model (§2.5).
 
-    Checked invariants:
+    Checked invariants (instantiated per line, prefixed ["L<l>:"] when
+    [lines > 1]):
     - {e value coherence}: every load returns a write each node observes in
       a monotone order, with writes globally serialized (the model's
       analogue of sequential consistency per location);
@@ -18,6 +19,12 @@
     - {e consistency within the directory}: every cached copy is covered
       by the responsible sharing vector or by an in-flight invalidation
       or update.
+
+    The packed model canonicalizes states over the full symmetry group —
+    all permutations of the non-home nodes applied globally, composed
+    with all permutations of the (identical) lines — and, when
+    [lines > 1], exposes per-line transition groups to the checker for
+    partial-order reduction.
 
     [bug] injects a deliberate protocol error so tests can confirm the
     checker actually detects violations. *)
@@ -32,28 +39,53 @@ type bug =
       (** pushed consumers are not re-added to the sharing vector, so the
           next write misses their RAC copies *)
 
+(** Which memory operations each node may issue.
+
+    [Symmetric] is the classic Murphi setup: every node
+    nondeterministically loads or stores, and canonicalization quotients
+    over all permutations of the non-home nodes and of the lines.
+
+    [Producer_consumer] is the paper's sharing pattern: line [l] has one
+    designated producer — node [1 + l mod (nodes-1)] — that only
+    stores, and every other node (the home included) only loads.  It
+    still drives delegation and speculative updates, but the per-line
+    space shrinks enough that multi-line explorations at 4-5 nodes stay
+    exhaustive.  Producers are distinguishable by behaviour, so
+    canonicalization then only permutes the consumer nodes and only
+    interchanges lines with the same producer. *)
+type workload = Symmetric | Producer_consumer
+
 type params = {
-  nodes : int;  (** 2..4 is practical *)
-  max_ops_per_node : int;
+  nodes : int;  (** 2..5 is practical; 7 is the hard cap *)
+  lines : int;  (** independent lines; the state space is the product *)
+  workload : workload;
+  max_ops_per_node : int;  (** per line *)
   enable_delegation : bool;
   enable_updates : bool;
   channel_capacity : int;
-      (** max in-flight messages per (src, dst) channel.  Unbounded
-          channels make the space infinite (retries can deposit hint
-          messages faster than they drain); bounding them — as Murphi
-          DASH models do — keeps exploration finite while preserving all
-          behaviours up to that concurrency. *)
+      (** max in-flight messages per (src, dst) channel, per line.
+          Unbounded channels make the space infinite (retries can deposit
+          hint messages faster than they drain); bounding them — as
+          Murphi DASH models do — keeps exploration finite while
+          preserving all behaviours up to that concurrency. *)
   bug : bug option;
 }
 
 val default_params : params
-(** 3 nodes, 2 ops each, delegation and updates on, no bug. *)
+(** 3 nodes, 1 line, symmetric workload, 2 ops each, delegation and
+    updates on, no bug. *)
 
-val make : params -> (module Checker.MODEL)
+val make : ?por:bool -> params -> (module Checker.MODEL)
+(** [por] (default true) controls whether the model offers per-line
+    transition groups for partial-order reduction; it only has an effect
+    when [params.lines > 1].  [por:false] forces full expansion — useful
+    for cross-checking that reduction preserves verdicts.
 
-(** The same transition system with an inspectable state, for drivers
-    that steer the model along one specific execution instead of
-    exploring exhaustively — chiefly the differential oracle, which
+    @raise Invalid_argument when [nodes] is outside 2..7 or [lines < 1]. *)
+
+(** The same transition system with an inspectable (single-line) state,
+    for drivers that steer the model along one specific execution instead
+    of exploring exhaustively — chiefly the differential oracle, which
     replays a simulator run's serialized operations through the model and
     compares observables after each step.
 
@@ -61,7 +93,8 @@ val make : params -> (module Checker.MODEL)
     ["n<i>:issue-load-…"], ["n<i>:issue-store-…"], spontaneous
     ["n<i>:downgrade"]/["n<i>:evict-…"]/["n<i>:undelegate"]/
     ["n<i>:drop-hint"], and deliveries ["deliver[s->d]:kind"] (with a
-    ["#k"] suffix for nondeterministic alternatives). *)
+    ["#k"] suffix for nondeterministic alternatives).  Multi-line models
+    prefix each label with ["L<l>:"]. *)
 module Step : sig
   type state
 
@@ -99,4 +132,32 @@ module Step : sig
   (** The recorded coherence violation, if the run hit one. *)
 
   val pp : Format.formatter -> state -> unit
+end
+
+(** Test hooks for the canonicalization properties: permuting node ids
+    (globally) or line ids must not change [encode]; states with equal
+    encodings must agree on every symmetry-invariant observable. *)
+module Sym : sig
+  type mstate
+
+  val initial : params -> mstate
+
+  val successors : params -> mstate -> (string * mstate) list
+
+  val encode : params -> mstate -> string
+  (** The packed model's canonical encoding. *)
+
+  val node_permutations : int -> int array list
+  (** All permutations of nodes [1..n-1] (home fixed), as arrays mapping
+      old id to new id. *)
+
+  val rename_nodes : int array -> mstate -> mstate
+  (** Apply one node permutation globally (to every line). *)
+
+  val permute_lines : int array -> mstate -> mstate
+
+  val semantic_sig : mstate -> string
+  (** A symmetry-invariant projection of the observable facts (directory
+      states, memory/version counters, per-node commit counts...).
+      [encode a = encode b] must imply [semantic_sig a = semantic_sig b]. *)
 end

@@ -67,6 +67,8 @@ let replay_line ~rng ~chaos ~step_budget ~(config : Config.t) ~sys ~order ~line
   let params =
     {
       Model.nodes = max 2 (1 + List.length others);
+      lines = 1;
+      workload = Model.Symmetric;
       max_ops_per_node = List.length ops + 1;
       enable_delegation = config.delegation_enabled;
       enable_updates = config.speculative_updates;

@@ -87,6 +87,10 @@ module Checker = Pcc_mcheck.Checker
 (** Abstract protocol model for verification. *)
 module Protocol_model = Pcc_mcheck.Protocol_model
 
+(** Litmus tests: per-location SC axioms checked against real simulator
+    runs across configs, chaos profiles, and seeds. *)
+module Litmus = Pcc_litmus.Litmus
+
 (** Online coherence oracle: per-event invariant auditing, per-address
     order checking, differential replay through the model checker. *)
 module Oracle = Pcc_oracle

@@ -33,10 +33,39 @@ let check name budget config () =
        change added allocation"
       name per_commit budget
 
+(* The model checker's per-state cost: canonical encoding (a symmetry
+   orbit walk) plus successor generation plus dedup bookkeeping.  Holding
+   this to a budget keeps the 10x-scale explorations (multi-line, 4-5
+   nodes) feasible. *)
+let checker_words_per_state () =
+  let params =
+    { Pcc_mcheck.Protocol_model.default_params with nodes = 3; max_ops_per_node = 1 }
+  in
+  let (module M) = Pcc_mcheck.Protocol_model.make params in
+  Gc.full_major ();
+  let before = Gc.minor_words () in
+  match Pcc_mcheck.Checker.run (module M) () with
+  | Pcc_mcheck.Checker.Ok stats ->
+      let words = Gc.minor_words () -. before in
+      ( words /. float_of_int (max 1 stats.Pcc_mcheck.Checker.states_explored),
+        stats.Pcc_mcheck.Checker.states_explored )
+  | _ -> Alcotest.fail "checker baseline must verify clean"
+
+let check_checker budget () =
+  let per_state, states = checker_words_per_state () in
+  if states < 1000 then
+    Alcotest.failf "checker: only %d states — model too small to measure" states;
+  if per_state > budget then
+    Alcotest.failf
+      "checker: %.0f minor words per explored state exceeds the %.0f-word budget — \
+       canonicalization or expansion added allocation"
+      per_state budget
+
 let suite =
   [
     Alcotest.test_case "base protocol under budget" `Quick
       (check "base" 500.0 (Config.base ~nodes ()));
+    Alcotest.test_case "model checker under budget" `Quick (check_checker 5_000.0);
     Alcotest.test_case "full adaptive machine under budget" `Quick
       (check "full" 500.0 (Config.small_full ~nodes ()));
     Alcotest.test_case "hardened machine under budget" `Quick

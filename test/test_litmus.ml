@@ -1,0 +1,88 @@
+(* Litmus-harness regression tests.
+
+   Three obligations: the committed corpus passes on every supported
+   machine (configs × chaos profiles × seeds), the explicitly forbidden
+   outcomes stay unreachable on extra seeds, and the harness provably
+   still detects a broken machine (the mutation sanity check — without
+   it a silently weakened axiom checker would keep "passing"). *)
+
+module Litmus = Pcc_litmus.Litmus
+
+let describe_failures results =
+  String.concat "; "
+    (List.map (fun r -> Format.asprintf "%a" Litmus.pp_result r) results)
+
+let check_all_pass name results =
+  match Litmus.failures results with
+  | [] -> ()
+  | fs -> Alcotest.failf "%s: %s" name (describe_failures fs)
+
+(* the full committed matrix: 5 tests x 4 configs x 3 profiles x 3 seeds *)
+let test_corpus_passes () =
+  let results = Litmus.run_matrix ~jobs:2 Litmus.corpus in
+  Alcotest.(check int) "matrix size"
+    (List.length Litmus.corpus * 4 * 3 * 3)
+    (List.length results);
+  check_all_pass "corpus" results
+
+(* forbidden final observations must stay unreachable beyond the default
+   seeds too *)
+let test_forbidden_unreachable () =
+  let forbidden = List.filter (fun t -> t.Litmus.forbidden <> None) Litmus.corpus in
+  Alcotest.(check bool) "corpus commits forbidden-outcome tests" true
+    (List.length forbidden >= 2);
+  check_all_pass "forbidden outcomes"
+    (Litmus.run_matrix ~jobs:2 ~seeds:[ 4; 5; 6 ] forbidden)
+
+(* the forbidden-outcome machinery itself: a predicate that accepts any
+   observation must fail the run *)
+let test_forbidden_predicate_fires () =
+  let config =
+    match Litmus.standard_configs with
+    | (_, mk) :: _ -> mk ~nodes:3 ~seed:1
+    | [] -> Alcotest.fail "no standard configs"
+  in
+  let test =
+    {
+      (List.hd Litmus.corpus) with
+      Litmus.name = "always-forbidden";
+      forbidden = Some ("any execution at all", fun _ -> true);
+    }
+  in
+  match Litmus.run_test ~config test with
+  | Litmus.Fail _ -> ()
+  | Litmus.Pass -> Alcotest.fail "forbidden predicate did not fire"
+
+(* detection sanity: the corpus must fail against a machine whose
+   speculative updates skip re-sharing *)
+let test_mutation_detected () =
+  let results =
+    Litmus.run_matrix
+      ~configs:[ ("mutated-updates", Litmus.mutation_config) ]
+      ~profiles:[ ("reliable", fun ~seed:_ -> None) ]
+      ~seeds:[ 1 ] Litmus.corpus
+  in
+  match Litmus.failures results with
+  | [] -> Alcotest.fail "mutated machine passed the whole corpus"
+  | _ :: _ -> ()
+
+(* run_matrix is deterministic at every jobs setting *)
+let test_matrix_deterministic () =
+  let show results =
+    String.concat "\n"
+      (List.map (fun r -> Format.asprintf "%a" Litmus.pp_result r) results)
+  in
+  let sequential = show (Litmus.run_matrix ~jobs:1 ~seeds:[ 1 ] Litmus.corpus) in
+  let parallel = show (Litmus.run_matrix ~jobs:4 ~seeds:[ 1 ] Litmus.corpus) in
+  Alcotest.(check string) "jobs=1 vs jobs=4" sequential parallel
+
+let suite =
+  [
+    Alcotest.test_case "corpus passes the full matrix" `Quick test_corpus_passes;
+    Alcotest.test_case "forbidden outcomes unreachable (extra seeds)" `Quick
+      test_forbidden_unreachable;
+    Alcotest.test_case "forbidden predicate fires" `Quick test_forbidden_predicate_fires;
+    Alcotest.test_case "mutated machine detected" `Quick test_mutation_detected;
+    Alcotest.test_case "matrix deterministic across jobs" `Quick
+      test_matrix_deterministic;
+  ]

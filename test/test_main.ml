@@ -13,6 +13,7 @@ let () =
       ("updates", Test_updates.suite);
       ("workload", Test_workload.suite);
       ("mcheck", Test_mcheck.suite);
+      ("litmus", Test_litmus.suite);
       ("properties", Test_properties.suite);
       ("oracle", Test_oracle.suite);
       ("telemetry", Test_telemetry.suite);

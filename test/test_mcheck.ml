@@ -11,6 +11,8 @@ module Counter_model = struct
 
   let successors n = if n >= 5 then [] else [ (Printf.sprintf "inc-%d" n, n + 1) ]
 
+  let por = None
+
   let invariants = [ ("below 10", fun n -> n < 10) ]
 
   let is_quiescent n = n = 5
@@ -161,6 +163,200 @@ let test_bug_no_resharing_detected () =
          bug = Some Protocol_model.Updates_without_resharing;
        })
 
+(* ---------------- canonical hashing properties (qcheck) ---------------- *)
+
+module Sym = Protocol_model.Sym
+module Q = QCheck
+
+(* a small multi-line configuration: walks stay cheap, yet every
+   canonicalization dimension (node renaming, line permutation) is live *)
+let sym_params =
+  { Protocol_model.default_params with nodes = 3; lines = 2; max_ops_per_node = 1 }
+
+(* a reachable state, chosen by a deterministic pseudo-random walk: each
+   pick indexes into the successor list *)
+let reachable_state picks =
+  let rec go state = function
+    | [] -> state
+    | pick :: rest -> (
+        match Sym.successors sym_params state with
+        | [] -> state
+        | succs ->
+            let _, next = List.nth succs (abs pick mod List.length succs) in
+            go next rest)
+  in
+  go (Sym.initial sym_params) picks
+
+let walk_gen = Q.list_of_size (Q.Gen.int_range 0 24) (Q.int_bound 9999)
+
+let encodings_of_successors state =
+  List.sort_uniq String.compare
+    (List.map (fun (_, s) -> Sym.encode sym_params s) (Sym.successors sym_params state))
+
+let prop_rename_hash_equal =
+  Q.Test.make ~count:60 ~name:"node renaming preserves the canonical hash"
+    (Q.pair walk_gen Q.small_int)
+    (fun (picks, k) ->
+      let s = reachable_state picks in
+      let perms = Sym.node_permutations sym_params.Protocol_model.nodes in
+      let perm = List.nth perms (k mod List.length perms) in
+      let s' = Sym.rename_nodes perm s in
+      if not (String.equal (Sym.encode sym_params s) (Sym.encode sym_params s')) then
+        Q.Test.fail_report "renamed state hashed differently";
+      true)
+
+let prop_line_permutation_hash_equal =
+  Q.Test.make ~count:60 ~name:"line permutation preserves the canonical hash"
+    walk_gen
+    (fun picks ->
+      let s = reachable_state picks in
+      let s' = Sym.permute_lines [| 1; 0 |] s in
+      String.equal (Sym.encode sym_params s) (Sym.encode sym_params s'))
+
+(* verdict-equivalence of symmetric states: a renamed state must offer
+   the same behaviour one step out — the canonical hashes of its
+   successor set coincide with the original's *)
+let prop_rename_verdict_equivalent =
+  Q.Test.make ~count:40 ~name:"renamed states are verdict-equivalent"
+    (Q.pair walk_gen Q.small_int)
+    (fun (picks, k) ->
+      let s = reachable_state picks in
+      let perms = Sym.node_permutations sym_params.Protocol_model.nodes in
+      let perm = List.nth perms (k mod List.length perms) in
+      let s' = Sym.rename_nodes perm s in
+      if encodings_of_successors s <> encodings_of_successors s' then
+        Q.Test.fail_report "renamed state has a different canonical successor set";
+      true)
+
+(* soundness of deduplication: semantically distinct states (different
+   symmetry-invariant observables) must never collide *)
+let prop_distinct_states_hash_distinct =
+  Q.Test.make ~count:100 ~name:"semantically distinct states hash distinct"
+    (Q.pair walk_gen walk_gen)
+    (fun (picks_a, picks_b) ->
+      let a = reachable_state picks_a and b = reachable_state picks_b in
+      if
+        (not (String.equal (Sym.semantic_sig a) (Sym.semantic_sig b)))
+        && String.equal (Sym.encode sym_params a) (Sym.encode sym_params b)
+      then Q.Test.fail_report "distinct observables, same canonical hash";
+      true)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_rename_hash_equal;
+      prop_line_permutation_hash_equal;
+      prop_rename_verdict_equivalent;
+      prop_distinct_states_hash_distinct;
+    ]
+
+(* ---------------- determinism and golden counterexample ---------------- *)
+
+let violating_params =
+  {
+    Protocol_model.default_params with
+    max_ops_per_node = 1;
+    bug = Some Protocol_model.Skip_invals_on_delegate;
+  }
+
+let render ?jobs ?spill params =
+  let (module M) = Protocol_model.make params in
+  Format.asprintf "%a" (Checker.pp_outcome M.pp) (Checker.run (module M) ?jobs ?spill ())
+
+let fresh_spill_dir () =
+  let path = Filename.temp_file "pcc-spill" "" in
+  Sys.remove path;
+  Sys.mkdir path 0o755;
+  path
+
+let remove_spill_dir dir =
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+(* the minimal counterexample in canonical form: the trace must not move
+   when exploration order, parallelism, or storage change *)
+let golden_trace =
+  [
+    "n0:issue-load-miss";
+    "deliver[0->0]:gets";
+    "n1:issue-store-miss";
+    "deliver[1->0]:getx#1";
+    "deliver[0->1]:delegate";
+    "deliver[0->0]:datas";
+  ]
+
+let test_golden_counterexample () =
+  let (module M) = Protocol_model.make violating_params in
+  match Checker.run (module M) () with
+  | Checker.Invariant_violation { invariant; trace; _ } ->
+      Alcotest.(check string)
+        "which invariant" "consistency within the directory" invariant;
+      Alcotest.(check (list string)) "canonical minimal trace" golden_trace trace
+  | _ -> Alcotest.fail "expected a violation"
+
+let test_verdict_byte_stable_across_jobs () =
+  let sequential = render ~jobs:1 violating_params in
+  Alcotest.(check string) "jobs=4 output" sequential (render ~jobs:4 violating_params)
+
+let test_verdict_byte_stable_with_spill () =
+  let dir = fresh_spill_dir () in
+  Fun.protect ~finally:(fun () -> remove_spill_dir dir) @@ fun () ->
+  let in_memory = render ~jobs:2 violating_params in
+  Alcotest.(check string) "spilled output" in_memory (render ~jobs:2 ~spill:dir violating_params)
+
+(* jobs/spill must also agree on passing runs (states, transitions, depth) *)
+let test_stats_byte_stable () =
+  let params = { Protocol_model.default_params with max_ops_per_node = 1 } in
+  let dir = fresh_spill_dir () in
+  Fun.protect ~finally:(fun () -> remove_spill_dir dir) @@ fun () ->
+  let sequential = render ~jobs:1 params in
+  Alcotest.(check string) "jobs=4" sequential (render ~jobs:4 params);
+  Alcotest.(check string) "jobs=2+spill" sequential (render ~jobs:2 ~spill:dir params)
+
+(* ---------------- partial-order reduction ---------------- *)
+
+let explored params ~por =
+  let (module M) = Protocol_model.make ~por params in
+  match Checker.run (module M) ~max_states:3_000_000 () with
+  | Checker.Ok stats ->
+      Alcotest.(check bool) "exhaustive" true stats.Checker.complete;
+      stats.Checker.states_explored
+  | Checker.Invariant_violation { invariant; _ } ->
+      Alcotest.failf "unexpected violation of '%s'" invariant
+  | Checker.Deadlock _ -> Alcotest.fail "unexpected deadlock"
+
+let test_por_preserves_verdict () =
+  let params =
+    { Protocol_model.default_params with nodes = 2; lines = 2; max_ops_per_node = 1 }
+  in
+  let reduced = explored params ~por:true in
+  let full = explored params ~por:false in
+  if reduced >= full then
+    Alcotest.failf "no reduction: %d (por) vs %d (full)" reduced full
+
+let test_por_detects_multiline_bug () =
+  let params =
+    {
+      Protocol_model.default_params with
+      lines = 2;
+      max_ops_per_node = 1;
+      bug = Some Protocol_model.Skip_invals_on_delegate;
+    }
+  in
+  let (module M) = Protocol_model.make params in
+  match Checker.run (module M) ~max_states:2_000_000 ~jobs:2 () with
+  | Checker.Invariant_violation { invariant; trace; _ } ->
+      Alcotest.(check bool) "line-prefixed invariant" true
+        (String.length invariant > 3 && invariant.[0] = 'L');
+      List.iter
+        (fun label ->
+          Alcotest.(check bool)
+            (Printf.sprintf "line-prefixed label %s" label)
+            true
+            (String.length label > 3 && label.[0] = 'L'))
+        trace
+  | _ -> Alcotest.fail "seeded bug not detected with lines=2"
+
 let suite =
   [
     Alcotest.test_case "engine: ok" `Quick test_checker_ok;
@@ -177,4 +373,16 @@ let suite =
     Alcotest.test_case "seeded bug: skip invals" `Quick test_bug_skip_invals_detected;
     Alcotest.test_case "seeded bug: no poison" `Slow test_bug_no_poison_detected;
     Alcotest.test_case "seeded bug: no resharing" `Slow test_bug_no_resharing_detected;
+    Alcotest.test_case "golden: minimal canonical counterexample" `Quick
+      test_golden_counterexample;
+    Alcotest.test_case "verdict byte-stable across jobs" `Quick
+      test_verdict_byte_stable_across_jobs;
+    Alcotest.test_case "verdict byte-stable with spill" `Quick
+      test_verdict_byte_stable_with_spill;
+    Alcotest.test_case "stats byte-stable (jobs, spill)" `Quick test_stats_byte_stable;
+    Alcotest.test_case "por: preserves verdict, reduces states" `Quick
+      test_por_preserves_verdict;
+    Alcotest.test_case "por: multi-line seeded bug detected" `Slow
+      test_por_detects_multiline_bug;
   ]
+  @ qcheck_cases
