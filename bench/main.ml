@@ -783,10 +783,7 @@ let write_json path =
           key scale)
     (List.sort (fun (a, _) (b, _) -> compare a b) runs);
   let doc = Run_export.document ~nodes ~scale runs in
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  Pcc_stats.Atomic_file.write ~path (fun oc ->
       output_string oc (Jsonl.to_string doc);
       output_char oc '\n');
   Format.printf "wrote %s (%d runs)@." path (List.length runs)

@@ -148,10 +148,7 @@ let () =
   | Some path ->
       let runs = List.map (fun m -> (m.key, m.result)) measurements in
       let doc = Run_export.document ~nodes ~scale runs in
-      let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () ->
+      Atomic_file.write ~path (fun oc ->
           output_string oc (Jsonl.to_string doc);
           output_char oc '\n');
       Printf.printf "wrote %s (%d runs)\n" path (List.length runs)

@@ -11,8 +11,16 @@
    submission order, so output and the --json artifact are bit-identical
    at every jobs level.
 
+   Crash-sweep mode layers scheduled fail-stop node crashes (--crash,
+   --restart-after, --crash-nodes) on top of the packet chaos: each run
+   additionally kills nodes mid-flight and must recover through the
+   epoch/revocation machinery, restart them cold, and still commit every
+   operation.
+
      dune exec bin/pcc_chaos.exe -- --seeds 34
-     dune exec bin/pcc_chaos.exe -- --profile storm --seeds 5 --verbose *)
+     dune exec bin/pcc_chaos.exe -- --profile storm --seeds 5 --verbose
+     dune exec bin/pcc_chaos.exe -- --crash 1 --seeds 12
+     dune exec bin/pcc_chaos.exe -- --crash-nodes 1,3 --restart-after 8000 *)
 
 open Cmdliner
 open Pcc
@@ -39,6 +47,9 @@ type tally = {
   mutable injected_dups : int;
   mutable injected_delays : int;
   mutable injected_outages : int;
+  mutable crashes : int;
+  mutable restarts : int;
+  mutable crash_revoked : int;
 }
 
 let tally () =
@@ -53,6 +64,9 @@ let tally () =
     injected_dups = 0;
     injected_delays = 0;
     injected_outages = 0;
+    crashes = 0;
+    restarts = 0;
+    crash_revoked = 0;
   }
 
 (* Failure reasons for one chaotic run; empty list = the run survived. *)
@@ -88,10 +102,33 @@ type run_report = {
   rr_injected_dups : int;
   rr_injected_delays : int;
   rr_injected_outages : int;
+  rr_crashes : int;
+  rr_restarts : int;
+  rr_crash_revoked : int;
 }
 
+(* Fail-stop schedule for one run, derived purely from the run's own
+   identity so crash sweeps stay bit-identical across pool widths.
+   [crash_nodes], when non-empty, pins the victims (the seeded schedule
+   still picks the crash times); otherwise [crash_victims] seeded nodes
+   die.  The window sits inside a default-scale run so crashes land
+   mid-traffic, and every victim restarts — a sweep must quiesce. *)
+let crash_schedule_for ~chaos_seed ~nodes ~crash_victims ~crash_nodes ~restart_after =
+  if crash_victims = 0 && crash_nodes = [] then []
+  else
+    let victims =
+      if crash_nodes = [] then crash_victims else List.length crash_nodes
+    in
+    let sched =
+      Fault.crash_schedule ~seed:chaos_seed ~nodes ~victims ~window:(3_000, 12_000)
+        ~restart_after ()
+    in
+    match crash_nodes with
+    | [] -> sched
+    | explicit -> List.map2 (fun (c : Fault.crash) victim -> { c with victim }) sched explicit
+
 let run_one ~bench ~config_name ~nodes ~scale ~seed ~profile_name ~txn_timeout
-    ~fallback_threshold ~max_events =
+    ~fallback_threshold ~max_events ~crash_victims ~crash_nodes ~restart_after =
   let desc =
     { Oracle.Trace.bench; config_name; nodes; scale; seed; fault = false }
   in
@@ -105,6 +142,14 @@ let run_one ~bench ~config_name ~nodes ~scale ~seed ~profile_name ~txn_timeout
     | None ->
         raise
           (Invalid_argument (Printf.sprintf "unknown fault profile %S" profile_name))
+  in
+  let profile =
+    {
+      profile with
+      Fault.crashes =
+        crash_schedule_for ~chaos_seed ~nodes ~crash_victims ~crash_nodes
+          ~restart_after;
+    }
   in
   let config =
     {
@@ -136,6 +181,9 @@ let run_one ~bench ~config_name ~nodes ~scale ~seed ~profile_name ~txn_timeout
       rr_injected_dups = 0;
       rr_injected_delays = 0;
       rr_injected_outages = 0;
+      rr_crashes = 0;
+      rr_restarts = 0;
+      rr_crash_revoked = 0;
     }
   in
   match System.run_programs ~max_events sys programs with
@@ -165,6 +213,9 @@ let run_one ~bench ~config_name ~nodes ~scale ~seed ~profile_name ~txn_timeout
         rr_injected_dups = dups;
         rr_injected_delays = delays;
         rr_injected_outages = outages;
+        rr_crashes = stats.Run_stats.crashes;
+        rr_restarts = stats.Run_stats.restarts;
+        rr_crash_revoked = stats.Run_stats.crash_revoked;
       }
 
 let absorb t (r : run_report) =
@@ -177,7 +228,10 @@ let absorb t (r : run_report) =
   t.injected_drops <- t.injected_drops + r.rr_injected_drops;
   t.injected_dups <- t.injected_dups + r.rr_injected_dups;
   t.injected_delays <- t.injected_delays + r.rr_injected_delays;
-  t.injected_outages <- t.injected_outages + r.rr_injected_outages
+  t.injected_outages <- t.injected_outages + r.rr_injected_outages;
+  t.crashes <- t.crashes + r.rr_crashes;
+  t.restarts <- t.restarts + r.rr_restarts;
+  t.crash_revoked <- t.crash_revoked + r.rr_crash_revoked
 
 let print_report ~verbose (r : run_report) =
   match r.rr_problems with
@@ -207,6 +261,9 @@ let json_of_report (r : run_report) =
       ("injected_dups", Jsonl.Int r.rr_injected_dups);
       ("injected_delays", Jsonl.Int r.rr_injected_delays);
       ("injected_outages", Jsonl.Int r.rr_injected_outages);
+      ("crashes", Jsonl.Int r.rr_crashes);
+      ("restarts", Jsonl.Int r.rr_restarts);
+      ("crash_revoked", Jsonl.Int r.rr_crash_revoked);
     ]
 
 let write_json path t reports =
@@ -227,20 +284,44 @@ let write_json path t reports =
               ("dup_dropped", Jsonl.Int t.dup_dropped);
               ("txn_timeouts", Jsonl.Int t.txn_timeouts);
               ("fallbacks", Jsonl.Int t.fallbacks);
+              ("crashes", Jsonl.Int t.crashes);
+              ("restarts", Jsonl.Int t.restarts);
+              ("crash_revoked", Jsonl.Int t.crash_revoked);
             ] );
       ]
   in
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  Atomic_file.write ~path (fun oc ->
       output_string oc (Jsonl.to_string doc);
       output_char oc '\n')
 
 let main seeds nodes scale profile_filter txn_timeout fallback_threshold max_events
-    jobs json_path verbose =
+    jobs json_path verbose crash_victims crash_nodes restart_after =
   if nodes < 2 then begin
     Printf.eprintf "pcc_chaos: --nodes must be at least 2 (got %d)\n" nodes;
+    2
+  end
+  else if crash_victims < 0 || crash_victims > nodes - 1 then begin
+    Printf.eprintf "pcc_chaos: --crash must be in [0, nodes-1] (got %d)\n"
+      crash_victims;
+    2
+  end
+  else if restart_after <= 0 then begin
+    (* a sweep's pass criterion is full quiescence with every operation
+       committed; a victim that never returns cannot satisfy it, so
+       permanent death stays in the test suite, not the sweep *)
+    Printf.eprintf "pcc_chaos: --restart-after must be positive (got %d)\n"
+      restart_after;
+    2
+  end
+  else if
+    List.exists (fun v -> v < 0 || v >= nodes) crash_nodes
+    || List.length (List.sort_uniq compare crash_nodes) <> List.length crash_nodes
+    || List.length crash_nodes > nodes - 1
+  then begin
+    Printf.eprintf
+      "pcc_chaos: --crash-nodes must list distinct nodes in [0, %d], leaving at \
+       least one survivor\n"
+      (nodes - 1);
     2
   end
   else begin
@@ -269,7 +350,8 @@ let main seeds nodes scale profile_filter txn_timeout fallback_threshold max_eve
           ( Printf.sprintf "seed=%d/%s/%s" seed profile_name bench,
             fun () ->
               run_one ~bench ~config_name:"full" ~nodes ~scale ~seed ~profile_name
-                ~txn_timeout ~fallback_threshold ~max_events ))
+                ~txn_timeout ~fallback_threshold ~max_events ~crash_victims
+                ~crash_nodes ~restart_after ))
         cells
     in
     let reports = Pool.run_keyed ~jobs tasks in
@@ -279,17 +361,25 @@ let main seeds nodes scale profile_filter txn_timeout fallback_threshold max_eve
         absorb t report;
         print_report ~verbose report)
       reports;
+    let crash_mode = crash_victims > 0 || crash_nodes <> [] in
     Printf.printf
       "%d chaotic runs, %d failures\n\
        injected: %d drops, %d duplicates, %d delays, %d outages\n\
        recovered: %d retransmits, %d duplicates dropped, %d txn timeouts, %d fallbacks\n"
       t.runs t.failures t.injected_drops t.injected_dups t.injected_delays
       t.injected_outages t.retransmits t.dup_dropped t.txn_timeouts t.fallbacks;
+    if crash_mode then
+      Printf.printf "crashed: %d fail-stops, %d restarts, %d delegations revoked\n"
+        t.crashes t.restarts t.crash_revoked;
     (match json_path with Some path -> write_json path t reports | None -> ());
     if t.failures > 0 then 1
     else if t.retransmits = 0 || t.dup_dropped = 0 then begin
       (* a sweep that never had to recover proves nothing *)
       Printf.printf "SWEEP TOO QUIET: recovery machinery never exercised\n";
+      1
+    end
+    else if crash_mode && t.crashes = 0 then begin
+      Printf.printf "SWEEP TOO QUIET: crash mode on but no node ever fail-stopped\n";
       1
     end
     else 0
@@ -314,6 +404,44 @@ let fallback_arg =
     & info [ "fallback-threshold" ] ~docv:"N"
         ~doc:"Timeout strikes before a line falls back to the base protocol.")
 
+let crash_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "crash" ] ~docv:"N"
+        ~doc:
+          "Fail-stop $(docv) seeded victim nodes per run (0 disables; at least \
+           one node always survives).  Victims lose all volatile state, are \
+           detected and recovered from by the directory, and restart cold.")
+
+let crash_nodes_arg =
+  let parse s =
+    try
+      Ok
+        (String.split_on_char ',' s
+        |> List.filter (fun x -> String.trim x <> "")
+        |> List.map (fun x -> int_of_string (String.trim x)))
+    with Failure _ -> Error (`Msg (Printf.sprintf "%S: expected node ids like 1,3" s))
+  in
+  let print ppf vs =
+    Format.pp_print_string ppf (String.concat "," (List.map string_of_int vs))
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) []
+    & info [ "crash-nodes" ] ~docv:"IDS"
+        ~doc:
+          "Comma-separated victim nodes (e.g. 1,3) to crash instead of seeded \
+           picks; crash times stay seeded.  Overrides $(b,--crash).")
+
+let restart_after_arg =
+  Arg.(
+    value & opt int 5_000
+    & info [ "restart-after" ] ~docv:"CYCLES"
+        ~doc:
+          "Cycles between a victim's fail-stop and its cold restart.  Must be \
+           positive: a sweep's pass criterion needs every victim back to \
+           commit its remaining operations.")
+
 let cmd =
   let term =
     Term.(
@@ -328,13 +456,14 @@ let cmd =
       $ Cli_common.json
           ~doc:"Write machine-readable per-run reports and the final tally to $(docv)."
           ()
-      $ Cli_common.verbose ~doc:"Print each passing run." ())
+      $ Cli_common.verbose ~doc:"Print each passing run." ()
+      $ crash_arg $ crash_nodes_arg $ restart_after_arg)
   in
   Cmd.v
     (Cmd.info "pcc_chaos"
        ~doc:
-         "Seeded chaos sweeps: coherence under an unreliable interconnect with the \
-          online oracle attached")
+         "Seeded chaos sweeps: coherence under an unreliable interconnect — and \
+          under scheduled fail-stop node crashes — with the online oracle attached")
     term
 
 let () = exit (Cmd.eval' cmd)

@@ -39,10 +39,7 @@ let write_json path ~app_name ~knob ~nodes ~scale ~(base : System.result) rows =
         ("rows", Jsonl.List (List.map row rows));
       ]
   in
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  Atomic_file.write ~path (fun oc ->
       output_string oc (Jsonl.to_string doc);
       output_char oc '\n')
 

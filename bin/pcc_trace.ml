@@ -62,13 +62,14 @@ let main bench config_name nodes scale seed sample_every out_dir max_events =
   | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   let spans = Telemetry.Recorder.spans recorder in
   let samples = Telemetry.Recorder.samples recorder in
+  let recoveries = Telemetry.Recorder.recoveries recorder in
   let trace_path = Filename.concat out_dir "trace.json" in
   let metrics_path = Filename.concat out_dir "metrics.jsonl" in
-  Telemetry.Perfetto.write ~path:trace_path spans;
+  Telemetry.Perfetto.write ~recoveries ~path:trace_path spans;
   Telemetry.Metrics.write ~path:metrics_path
     ~links:(Telemetry.Recorder.retransmits_by_link recorder)
     samples;
-  Telemetry.Report.print Format.std_formatter ~result ~spans ~samples
+  Telemetry.Report.print Format.std_formatter ~result ~spans ~samples ~recoveries
     ~self:
       {
         Telemetry.Report.wall_seconds = wall;

@@ -34,6 +34,7 @@ type t = {
   txn_timeout : int;
   txn_timeout_cap : int;
   fallback_threshold : int;
+  crash_detect_delay : int;
   watchdog_interval : int;
   watchdog_checks : int;
   seed : int;
@@ -79,6 +80,7 @@ let base ?(nodes = 16) () =
     txn_timeout = 5_000;
     txn_timeout_cap = 80_000;
     fallback_threshold = 3;
+    crash_detect_delay = 1_500;
     watchdog_interval = 100_000;
     watchdog_checks = 10;
     seed = 42;
@@ -117,6 +119,11 @@ let with_hop_latency t hop_latency = { t with network = { t.network with hop_lat
 let with_faults t profile = { t with net_faults = Some profile }
 
 let hardened t = t.net_faults <> None
+
+let crash_capable t =
+  match t.net_faults with
+  | Some p -> p.Pcc_interconnect.Fault.crashes <> []
+  | None -> false
 
 let l2_lines t = t.l2_bytes / t.line_bytes
 

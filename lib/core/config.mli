@@ -76,6 +76,13 @@ type t = {
           optimized path for it: the line is undelegated, speculative
           updates are disabled, and future delegation requests are
           refused — falling back to the verified base 3-hop protocol *)
+  crash_detect_delay : int;
+      (** cycles between a fail-stop crash and machine-wide detection:
+          the window during which the victim's in-flight traffic still
+          lands.  At detection the directories run recovery (revocation,
+          sharer pruning, transaction abort/retry) and the victim's
+          epoch is bumped so its remaining pre-crash traffic is
+          discarded.  Only meaningful when {!crash_capable}. *)
   watchdog_interval : int;
       (** executed events between progress-watchdog samples *)
   watchdog_checks : int;
@@ -116,6 +123,13 @@ val hardened : t -> bool
 (** True when a fault profile is configured: the hub link layer runs in
     reliable (seq/ack/retransmit) mode, transaction timeouts are armed,
     and {!Pcc_core.System.create} installs the progress watchdog. *)
+
+val crash_capable : t -> bool
+(** True when the fault profile schedules fail-stop node crashes.  Implies
+    {!hardened}; additionally arms epoch-stamped packet filtering, the
+    crash-recovery value escapes (transfer acks carry data, producers
+    write their pushed value home on downgrade), and the directory
+    recovery sweep. *)
 
 val l2_lines : t -> int
 

@@ -34,6 +34,8 @@ module Producer = struct
   let capacity t = Cache.capacity t
 
   let iter f t = Cache.iter f t
+
+  let clear t = Cache.clear t
 end
 
 module Consumer = struct
@@ -51,6 +53,15 @@ module Consumer = struct
   let remove t line = ignore (Cache.remove t line)
 
   let size t = Cache.size t
+
+  let clear t = Cache.clear t
+
+  (* Purge every hint that routes to [node] (it crashed: requests sent
+     there would be lost until its restart, and meaningless after). *)
+  let drop_target t node =
+    let doomed = ref [] in
+    Cache.iter (fun line target -> if target = node then doomed := line :: !doomed) t;
+    List.iter (fun line -> ignore (Cache.remove t line)) !doomed
 end
 
 let entry_bytes_producer = 10

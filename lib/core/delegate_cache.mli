@@ -44,6 +44,9 @@ module Producer : sig
   val capacity : 'a t -> int
 
   val iter : (Types.line -> 'a -> unit) -> 'a t -> unit
+
+  val clear : 'a t -> unit
+  (** Drop every entry, locked or not (fail-stop crash). *)
 end
 
 module Consumer : sig
@@ -61,6 +64,13 @@ module Consumer : sig
   (** Drop a hint discovered to be stale. *)
 
   val size : t -> int
+
+  val clear : t -> unit
+  (** Drop every hint (fail-stop crash). *)
+
+  val drop_target : t -> Types.node_id -> unit
+  (** Drop every hint routing to a given node (it crashed; requests sent
+      there would be lost). *)
 end
 
 val entry_bytes_producer : int

@@ -9,6 +9,7 @@ type entry = {
   mutable requester : Types.node_id;
   mutable requester_op : Types.op_kind;
   mutable requester_tid : int;
+  mutable requester_epoch : int;
   mutable mem_value : int;
 }
 
@@ -46,6 +47,7 @@ let entry t line =
           requester = -1;
           requester_op = Types.Load;
           requester_tid = 0;
+          requester_epoch = 0;
           mem_value = 0;
         }
       in

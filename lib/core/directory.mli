@@ -23,6 +23,12 @@ type entry = {
   mutable requester : Types.node_id;  (** pending requester in Busy states *)
   mutable requester_op : Types.op_kind;
   mutable requester_tid : int;  (** the pending requester's transaction id *)
+  mutable requester_epoch : int;
+      (** the requester's incarnation epoch when the Busy state was set
+          (crash-capable machines only, 0 otherwise).  A Busy resolution
+          whose requester has since crashed — even if restarted — must not
+          be granted: the grant would name an owner that no longer holds
+          (or expects) the line. *)
   mutable mem_value : int;  (** line contents in home memory *)
 }
 

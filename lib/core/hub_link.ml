@@ -33,6 +33,11 @@ type 'a t = {
 
 let in_flight t = Array.fold_left (fun acc o -> acc + Hashtbl.length o.unacked) 0 t.out
 
+let exists_unacked t ~peer ~f =
+  Hashtbl.fold
+    (fun _ (_, payload) acc -> acc || f payload)
+    t.out.(peer).unacked false
+
 let retransmits_by_link t =
   let acc = ref [] in
   for dst = Array.length t.retx_by_dst - 1 downto 0 do
@@ -119,6 +124,56 @@ let receive t ~src frame =
         t.on_duplicate ();
         send_ack t ~dst:src ~upto:(inn.expected - 1)
       end
+
+(* Fail-stop link surgery (crash-capable machines; see Pcc_core.System).
+   A node crash destroys its hub's sequence state, so both ends of every
+   affected link must realign or the seq/ack machinery wedges. *)
+
+(* The crashing node loses all link state: sequence counters, unacked
+   frames (their retransmission timers die on finding the frame gone),
+   reassembly buffers. *)
+let reset_all t =
+  Array.iter
+    (fun o ->
+      o.next_seq <- 0;
+      Hashtbl.reset o.unacked)
+    t.out;
+  Array.iter
+    (fun i ->
+      i.expected <- 0;
+      Hashtbl.reset i.held)
+    t.inn
+
+(* The peer died for good: abandon everything queued for it (otherwise
+   the retransmission chains never die and the run cannot drain). *)
+let drop_peer t ~peer =
+  Hashtbl.reset t.out.(peer).unacked;
+  Hashtbl.reset t.inn.(peer).held
+
+(* The peer crashed but will restart with a fresh (zeroed) hub: realign
+   both link directions to sequence 0 and re-send everything unacked, in
+   order, through the normal reliable path — the re-sent frames carry
+   current epoch stamps, so they survive until the restarted peer can
+   receive them.  Old retransmission timers reference frames no longer in
+   [unacked]; a timer whose old seq collides with a re-issued one merely
+   retransmits that frame early, which the receiver dedups. *)
+let requeue_peer t ~peer =
+  let out = t.out.(peer) in
+  let frames =
+    Hashtbl.fold (fun seq (bytes, payload) acc -> (seq, bytes, payload) :: acc)
+      out.unacked []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare (a : int) b)
+  in
+  Hashtbl.reset out.unacked;
+  out.next_seq <- 0;
+  let inn = t.inn.(peer) in
+  inn.expected <- 0;
+  Hashtbl.reset inn.held;
+  List.iter (fun (_, bytes, payload) -> send t ~dst:peer ~bytes payload) frames
+
+let peer_epoch t ~peer = Network.node_epoch t.network ~node:peer
+
+let peer_down t ~peer = Network.node_down t.network ~node:peer
 
 let create ~sim ~network ~id ~nodes ~reliable ~rto ~rto_cap ~ack_bytes ~on_retransmit
     ~on_duplicate ~deliver =

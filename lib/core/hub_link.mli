@@ -54,6 +54,37 @@ val in_flight : 'a t -> int
 (** Unacknowledged outgoing packets across all links (0 in pass-through
     mode). *)
 
+val exists_unacked : 'a t -> peer:int -> f:('a -> bool) -> bool
+(** Is any frame to [peer] still awaiting acknowledgement whose payload
+    satisfies [f]?  Always false in pass-through mode.  The recovery
+    sweep uses this to tell whether a survivor still carries a
+    directory-resolving reply for a line whose home crashed. *)
+
 val retransmits_by_link : 'a t -> (int * int) list
 (** [(dst, count)] for every outgoing link that has retransmitted at
     least once, in destination order (empty in pass-through mode). *)
+
+(** {2 Fail-stop crash surgery}
+
+    Used by the crash/recovery layer ({!Pcc_core.System}); no-ops worth
+    avoiding in pass-through mode since crash profiles imply reliable
+    links. *)
+
+val reset_all : 'a t -> unit
+(** Crash of the owning node: drop all sequence counters, unacked frames
+    (killing their retransmission chains) and reassembly buffers. *)
+
+val drop_peer : 'a t -> peer:int -> unit
+(** The peer died permanently: abandon frames queued for it so their
+    retransmission chains die and the simulation can drain. *)
+
+val requeue_peer : 'a t -> peer:int -> unit
+(** The peer crashed but will restart with a zeroed hub: realign both
+    directions of the link to sequence 0 and re-send every unacked frame
+    in order through the normal reliable path (fresh epoch stamps, so
+    the frames survive until the restarted peer receives them). *)
+
+val peer_epoch : 'a t -> peer:int -> int
+(** The peer's current incarnation epoch ({!Pcc_interconnect.Network.node_epoch}). *)
+
+val peer_down : 'a t -> peer:int -> bool

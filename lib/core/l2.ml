@@ -31,6 +31,8 @@ let set t line entry =
 
 let invalidate t line = Cache.remove t line
 
+let clear t = Cache.clear t
+
 let size t = Cache.size t
 
 let capacity t = Cache.capacity t

@@ -29,6 +29,10 @@ val set : t -> Types.line -> entry -> unit
 
 val invalidate : t -> Types.line -> entry option
 
+val clear : t -> unit
+(** Drop every resident line (fail-stop crash: the cache dies with its
+    node). *)
+
 val size : t -> int
 
 val capacity : t -> int

@@ -16,6 +16,7 @@ let max_reports = 16
 type hist = {
   times : int array;
   values : int array;
+  writers : int array;  (* committing node per slot; -1 = "initial value" *)
   mutable head : int;  (* next slot to write; newest entry is head-1 *)
   mutable count : int;
 }
@@ -36,6 +37,7 @@ let cell t line =
         {
           times = Array.make history_window 0;
           values = Array.make history_window 0;
+          writers = Array.make history_window (-1);
           head = 1;
           count = 1;
         }
@@ -46,10 +48,11 @@ let cell t line =
       Hashtbl.add t.history line h;
       h
 
-let store_committed t line ~value ~time =
+let store_committed t ?(node = -1) line ~value ~time =
   let h = cell t line in
   h.times.(h.head) <- time;
   h.values.(h.head) <- value;
+  h.writers.(h.head) <- node;
   h.head <- (h.head + 1) land (history_window - 1);
   if h.count < history_window then h.count <- h.count + 1
 
@@ -91,6 +94,29 @@ let load_committed t line ~value ~started ~time =
         :: t.reports;
     false
   end
+
+(* Fail-stop crash: the victim's newest committed stores may exist only in
+   its (now lost) cache.  Recovery rebuilds each line from the freshest
+   value still materialized in home memory or a live cache, so any history
+   entry that is (a) written by the victim and (b) newer than that
+   surviving value can never be observed again — survivors reading the
+   rebuilt value must not be flagged against a vanished version.  Only the
+   newest run of such entries is dropped: anything below a survivor's
+   write (or a materialized victim write) was globally visible. *)
+let crash_forget t ~dead ~surviving =
+  Hashtbl.iter
+    (fun line h ->
+      let surv = lazy (surviving line) in
+      let forgetting = ref true in
+      while !forgetting && h.count > 0 do
+        let i = slot h 0 in
+        if h.writers.(i) = dead && h.values.(i) > Lazy.force surv then begin
+          h.head <- (h.head - 1) land (history_window - 1);
+          h.count <- h.count - 1
+        end
+        else forgetting := false
+      done)
+    t.history
 
 let violations t = t.violations
 

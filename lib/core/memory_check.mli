@@ -13,10 +13,20 @@ type t
 
 val create : unit -> t
 
-val store_committed : t -> Types.line -> value:int -> time:int -> unit
+val store_committed :
+  t -> ?node:Types.node_id -> Types.line -> value:int -> time:int -> unit
+(** [node] is the committing processor (defaults to [-1], an anonymous
+    writer); it matters only to {!crash_forget}. *)
 
 val load_committed : t -> Types.line -> value:int -> started:int -> time:int -> bool
 (** True when the value is legal; false records a violation. *)
+
+val crash_forget : t -> dead:Types.node_id -> surviving:(Types.line -> int) -> unit
+(** Fail-stop recovery hook: drop the newest run of history entries
+    written by [dead] whose values exceed [surviving line] — the freshest
+    value still materialized anywhere after the crash.  Those versions
+    lived only in the victim's lost cache; survivors legally read the
+    older rebuilt value. *)
 
 val violations : t -> int
 

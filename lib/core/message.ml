@@ -8,9 +8,15 @@ type t =
   | Inval of { line : Types.line; requester : Types.node_id }
   | Intervention of { line : Types.line; requester : Types.node_id; tid : int }
   | Transfer of { line : Types.line; requester : Types.node_id; tid : int }
-  | Transfer_ack of { line : Types.line; new_owner : Types.node_id }
+  | Transfer_ack of { line : Types.line; new_owner : Types.node_id; value : int option }
   | Data_shared of { line : Types.line; value : int; source_is_home : bool; tid : int }
-  | Data_exclusive of { line : Types.line; value : int; acks_expected : int; tid : int }
+  | Data_exclusive of {
+      line : Types.line;
+      value : int;
+      acks_expected : int;
+      sharers : Nodeset.t;
+      tid : int;
+    }
   | Inv_ack of { line : Types.line }
   | Shared_writeback of { line : Types.line; value : int; new_sharer : Types.node_id }
   | Nack of { line : Types.line; reason : nack_reason; tid : int }
@@ -68,9 +74,11 @@ let dir_state_bytes = 8
 
 let wire_bytes ~line_bytes = function
   | Get_shared _ | Get_exclusive _ | Inval _ | Intervention _ | Transfer _
-  | Transfer_ack _ | Inv_ack _ | Nack _ | New_home _ | Fwd_get_shared _ | Recall _
+  | Inv_ack _ | Nack _ | New_home _ | Fwd_get_shared _ | Recall _
   | Writeback_ack _ | Update_flush _ | Update_flush_ack _ | Recall_nack _ ->
       header_bytes
+  | Transfer_ack { value; _ } ->
+      header_bytes + (match value with Some _ -> line_bytes | None -> 0)
   | Writeback _ | Data_shared _ | Data_exclusive _ | Shared_writeback _ | Update _ ->
       header_bytes + line_bytes
   | Delegate _ -> header_bytes + line_bytes + dir_state_bytes

@@ -33,10 +33,28 @@ type t =
   | Transfer of { line : Types.line; requester : Types.node_id; tid : int }
       (** invalidate and pass exclusive ownership to the requester;
           confirm to the home *)
-  | Transfer_ack of { line : Types.line; new_owner : Types.node_id }
+  | Transfer_ack of {
+      line : Types.line;
+      new_owner : Types.node_id;
+      value : int option;
+          (** line contents at transfer time; carried only on
+              crash-capable machines ([Config.crash_capable]) so the home
+              memory can catch up before a later crash loses the only
+              cached copy.  [None] otherwise, keeping the wire cost of the
+              verified base protocol unchanged. *)
+    }
   (* Replies *)
   | Data_shared of { line : Types.line; value : int; source_is_home : bool; tid : int }
-  | Data_exclusive of { line : Types.line; value : int; acks_expected : int; tid : int }
+  | Data_exclusive of {
+      line : Types.line;
+      value : int;
+      acks_expected : int;
+      sharers : Nodeset.t;
+          (** the nodes being invalidated on the requester's behalf (the
+              ack debtors); rides in the header's directory-info bits.
+              Crash recovery uses it to credit a dead debtor's ack. *)
+      tid : int;
+    }
       (** speculative exclusive reply; completion needs [acks_expected]
           invalidation acks *)
   | Inv_ack of { line : Types.line }

@@ -24,6 +24,15 @@ type pending = {
   mutable target : Types.node_id;
   mutable reply_src : Types.node_id;
   mutable acks_needed : int;
+  mutable ack_waiters : Nodeset.t;
+      (* crash-capable machines: the exact invalidation debtors behind
+         [acks_needed], so recovery can credit a dead debtor's ack and a
+         stale ack cannot over-credit *)
+  mutable early_acks : Nodeset.t;
+      (* crash-capable machines: invalidation acks that beat the grant
+         that names their senders as debtors (the home invalidates
+         sharers in parallel with granting); counting relies on going
+         negative, sets must remember the senders instead *)
   mutable have_data : bool;
   mutable poisoned : bool;
       (* an invalidation overtook this load: commit without caching *)
@@ -52,6 +61,9 @@ type prod_entry = {
   mutable unflushed : Nodeset.t;  (* targets pushed since the last flush *)
   mutable last_push : int;  (* cycle of the most recent push *)
   mutable flush_acks : int;  (* flush round trips outstanding *)
+  mutable flush_waiters : Nodeset.t;
+      (* the targets of the outstanding flush round: [flush_acks] alone
+         cannot identify a dead flush target during crash recovery *)
 }
 
 (* A committed processor operation, as seen by external observers (the
@@ -77,6 +89,10 @@ type t = {
   memcheck : Memory_check.t;
   next_version : unit -> int;
   rng : Pcc_engine.Rng.t;
+  crashable : bool;  (* the fault profile schedules fail-stop crashes *)
+  alive_view : bool array;
+      (* machine-wide aliveness, shared by every node (all true without
+         crashes); flips at crash/restart time, not detection time *)
   l2 : L2.t;
   rac : Rac.t option;
   dir : Directory.t;
@@ -96,6 +112,8 @@ type t = {
          appear in reports, then bumped without hashing the class name *)
   mutable next_tid : int;
   mutable pending : pending option;
+  mutable alive : bool;
+  mutable node_epoch : int;  (* incarnation count, mirrors the network's *)
   mutable trace : (time:int -> dst:Types.node_id -> Message.t -> unit) list;
   mutable commit_hooks : (commit_event -> unit) list;
   mutable issue_hooks :
@@ -207,20 +225,23 @@ let send t ~dst msg =
     ~bytes:(Message.wire_bytes ~line_bytes:t.config.line_bytes msg)
     msg
 
-let send_after t ~delay ~dst msg =
-  if delay <= 0 then send t ~dst msg
-  else Sim.schedule t.sim ~delay (fun () -> send t ~dst msg)
-(* Begin (or continue) the flush round: a marker chases the pushed
-   updates down their FIFO channels; acks mean they all landed. *)
-let start_flush t line entry =
-  if entry.flush_acks = 0 && not (Nodeset.is_empty entry.unflushed) then begin
-    entry.flush_acks <- Nodeset.cardinal entry.unflushed;
-    Nodeset.iter (fun c -> send t ~dst:c (Update_flush { line })) entry.unflushed;
-    entry.unflushed <- Nodeset.empty;
-    refresh_entry_lock t line entry
+let peer_alive t node = Array.get t.alive_view node
+
+(* Every protocol timer and delayed send goes through [sched]: on a
+   crash-capable machine a closure armed by a previous incarnation of
+   this node (or while it was up, for a node now down) must not fire —
+   it would resurrect pre-crash transactions or commit zombie operations.
+   Without crashes this is exactly [Sim.schedule]. *)
+let sched t ~delay f =
+  if not t.crashable then Sim.schedule t.sim ~delay f
+  else begin
+    let epoch = t.node_epoch in
+    Sim.schedule t.sim ~delay (fun () -> if t.alive && t.node_epoch = epoch then f ())
   end
 
-
+let send_after t ~delay ~dst msg =
+  if delay <= 0 then send t ~dst msg
+  else sched t ~delay (fun () -> send t ~dst msg)
 let dir_access t line =
   let access = Directory.access t.dir line in
   if access.dir_cache_hit then t.stats.dir_cache_hits <- t.stats.dir_cache_hits + 1
@@ -276,6 +297,19 @@ let downgrade_and_push t line entry ~exclude =
       | None -> assert false)
   | Some L2.{ state = Shared; _ } | None -> () (* data already in the RAC *));
   entry.pstate <- P_shared;
+  (* Crash-capable machines: the delegated value escapes to home memory
+     at every downgrade, so a later producer crash cannot lose a value
+     survivors already observed (the home's Dele entry applies it
+     monotonically). *)
+  (if t.crashable then
+     match t.rac with
+     | Some rac -> (
+         match Rac.peek rac line with
+         | Some value ->
+             send t ~dst:(home_of line)
+               (Shared_writeback { line; value; new_sharer = t.id })
+         | None -> ())
+     | None -> ());
   if t.config.speculative_updates && not (Hashtbl.mem t.fallback_lines line) then begin
     let value =
       match t.rac with
@@ -314,7 +348,7 @@ let rec schedule_intervention t line entry =
     && t.config.intervention_delay < max_int / 2
   then begin
     entry.intervention_scheduled <- true;
-    Sim.schedule t.sim
+    sched t
       ~delay:(effective_intervention_delay t entry)
       (fun () -> intervention_fires t line)
   end
@@ -330,7 +364,7 @@ and intervention_fires t line =
         if idle < delay then begin
           (* the write burst is still running; wait for it to go quiet *)
           entry.intervention_scheduled <- true;
-          Sim.schedule t.sim ~delay:(delay - idle) (fun () -> intervention_fires t line)
+          sched t ~delay:(delay - idle) (fun () -> intervention_fires t line)
         end
         else downgrade_and_push t line entry ~exclude:None
       end
@@ -381,6 +415,49 @@ let do_undelegate t line entry ~pending =
 (* Victim already evicted from the producer table by an insert. *)
 let undelegate_victim t line entry = undelegate_common t line entry ~pending:None
 
+(* Begin (or continue) the flush round: a marker chases the pushed
+   updates down their FIFO channels; acks mean they all landed.  On a
+   crash-capable machine only live targets are waited for (a flush
+   toward a node already known dead would never be acknowledged), and
+   the debtor set is recorded so recovery can credit a target that dies
+   mid-round. *)
+let rec start_flush t line entry =
+  if entry.flush_acks = 0 && not (Nodeset.is_empty entry.unflushed) then begin
+    let targets =
+      if t.crashable then Nodeset.filter (fun c -> peer_alive t c) entry.unflushed
+      else entry.unflushed
+    in
+    entry.unflushed <- Nodeset.empty;
+    entry.flush_acks <- Nodeset.cardinal targets;
+    entry.flush_waiters <- targets;
+    Nodeset.iter (fun c -> send t ~dst:c (Update_flush { line })) targets;
+    refresh_entry_lock t line entry;
+    (* every target may already be dead: the round completes on the spot *)
+    if entry.flush_acks = 0 then flush_round_done t line entry
+  end
+
+and flush_round_done t line entry =
+  if entry.pstate <> P_busy then
+    if fence_needed t entry then
+      (* more updates were pushed while flushing: chase them too *)
+      start_flush t line entry
+    else
+      match entry.after_busy with
+      | No_recall -> ()
+      | Undelegate_plain ->
+          entry.after_busy <- No_recall;
+          do_undelegate t line entry ~pending:None
+      | Undelegate_with request ->
+          entry.after_busy <- No_recall;
+          do_undelegate t line entry ~pending:(Some request)
+
+and flush_ack_credit t line entry =
+  if entry.flush_acks > 0 then begin
+    entry.flush_acks <- entry.flush_acks - 1;
+    refresh_entry_lock t line entry;
+    if entry.flush_acks = 0 then flush_round_done t line entry
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Graceful degradation (hardened mode)                                *)
 (* ------------------------------------------------------------------ *)
@@ -391,15 +468,8 @@ let undelegate_victim t line entry = undelegate_common t line entry ~pending:Non
    refused, speculative updates stop, and — if this node is the line's
    delegated home — the line is given back, falling back to the
    verified base 3-hop protocol. *)
-let note_strike t line =
-  let strikes =
-    (match Hashtbl.find_opt t.strikes line with Some n -> n | None -> 0) + 1
-  in
-  Hashtbl.replace t.strikes line strikes;
-  if
-    strikes >= t.config.fallback_threshold
-    && not (Hashtbl.mem t.fallback_lines line)
-  then begin
+let force_fallback t line =
+  if not (Hashtbl.mem t.fallback_lines line) then begin
     Hashtbl.replace t.fallback_lines line ();
     t.stats.fallbacks <- t.stats.fallbacks + 1;
     (match t.consumer_table with
@@ -421,6 +491,13 @@ let note_strike t line =
         end
         else do_undelegate t line entry ~pending:None
   end
+
+let note_strike t line =
+  let strikes =
+    (match Hashtbl.find_opt t.strikes line with Some n -> n | None -> 0) + 1
+  in
+  Hashtbl.replace t.strikes line strikes;
+  if strikes >= t.config.fallback_threshold then force_fallback t line
 
 (* ------------------------------------------------------------------ *)
 (* Miss classification                                                 *)
@@ -473,19 +550,7 @@ let note_producer_write t line =
       schedule_intervention t line entry;
       (* a postponed undelegation runs only once the update flush has
          completed (see Update_flush) *)
-      if entry.after_busy <> No_recall then begin
-        if fence_needed t entry then start_flush t line entry
-        else begin
-          match entry.after_busy with
-          | No_recall -> ()
-          | Undelegate_plain ->
-              entry.after_busy <- No_recall;
-              do_undelegate t line entry ~pending:None
-          | Undelegate_with request ->
-              entry.after_busy <- No_recall;
-              do_undelegate t line entry ~pending:(Some request)
-        end
-      end)
+      if entry.after_busy <> No_recall then flush_round_done t line entry)
 
 let rec commit_store t p =
   let now = Sim.now t.sim in
@@ -496,7 +561,7 @@ let rec commit_store t p =
   | Some rac, None -> Rac.invalidate rac p.line
   | Some _, Some _ | None, _ -> ());
   fill_l2 t p.line L2.{ state = Exclusive; value = version; dirty = true };
-  Memory_check.store_committed t.memcheck p.line ~value:version ~time:now;
+  Memory_check.store_committed t.memcheck p.line ~node:t.id ~value:version ~time:now;
   let miss =
     match p.miss_override with
     | Some m -> m
@@ -540,13 +605,38 @@ and handle_transfer_now t line ~requester ~tid =
   match L2.invalidate t.l2 line with
   | Some L2.{ value; _ } ->
       (match t.rac with Some rac -> Rac.invalidate rac line | None -> ());
-      send t ~dst:requester (Data_exclusive { line; value; acks_expected = 0; tid });
-      send t ~dst:(home_of line) (Transfer_ack { line; new_owner = requester })
+      send t ~dst:requester
+        (Data_exclusive
+           { line; value; acks_expected = 0; sharers = Nodeset.empty; tid });
+      (* crash-capable machines: the value rides the ack so home memory
+         can catch up — the new owner may die before writing back *)
+      send t ~dst:(home_of line)
+        (Transfer_ack
+           {
+             line;
+             new_owner = requester;
+             value = (if t.crashable then Some value else None);
+           })
   | None -> () (* writeback race; the home resolves it *)
 
 (* ------------------------------------------------------------------ *)
 (* Requester side: attempts and retries                                *)
 (* ------------------------------------------------------------------ *)
+
+(* Register invalidation debt for a store grant.  Crash-capable machines
+   track the precise debtor set: sharers already known dead are not
+   waited for, and an acknowledgement later counts only if its sender is
+   still owed — a dead consumer's in-flight ack must not complete the
+   store while a live consumer still holds a stale copy. *)
+let add_ack_debt t p ~sharers ~acks_expected =
+  if not t.crashable then p.acks_needed <- p.acks_needed + acks_expected
+  else begin
+    let live = Nodeset.filter (fun node -> peer_alive t node) sharers in
+    let owed = Nodeset.diff live p.early_acks in
+    p.early_acks <- Nodeset.empty;
+    p.ack_waiters <- Nodeset.union p.ack_waiters owed;
+    p.acks_needed <- p.acks_needed + Nodeset.cardinal owed
+  end
 
 let rec start_attempt t p =
   let line = p.line in
@@ -557,7 +647,7 @@ let rec start_attempt t p =
       in
       match rac_value with
       | Some value ->
-          Sim.schedule t.sim ~delay:t.config.rac_hit_latency (fun () ->
+          sched t ~delay:t.config.rac_hit_latency (fun () ->
               match t.pending with
               | Some q when q == p -> commit_load t q ~value ~miss:Types.Rac_hit
               | _ -> ())
@@ -595,7 +685,7 @@ and start_local_upgrade t p entry =
       p.have_data <- true;
       p.acks_needed <- 0;
       p.miss_override <- Some Types.Rac_hit;
-      Sim.schedule t.sim ~delay:t.config.rac_hit_latency (fun () ->
+      sched t ~delay:t.config.rac_hit_latency (fun () ->
           match t.pending with Some q when q == p -> try_complete_store t q | _ -> ())
   | P_shared ->
       let consumers = Nodeset.remove entry.psharers t.id in
@@ -608,10 +698,12 @@ and start_local_upgrade t p entry =
       | Some table -> Producer.lock table line
       | None -> assert false);
       p.have_data <- true;
-      p.acks_needed <- n;
+      add_ack_debt t p ~sharers:consumers ~acks_expected:n;
       p.miss_override <- Some (if n = 0 then Types.Rac_hit else Types.Remote_2hop);
-      if n = 0 then
-        Sim.schedule t.sim ~delay:t.config.hub_latency (fun () ->
+      if p.acks_needed = 0 then
+        (* every consumer may already be dead (crash mode): complete
+           after the local-upgrade latency, with no acks to collect *)
+        sched t ~delay:t.config.hub_latency (fun () ->
             match t.pending with
             | Some q when q == p -> try_complete_store t q
             | _ -> ())
@@ -627,7 +719,7 @@ and start_local_upgrade t p entry =
 and schedule_retry t p =
   t.stats.retries <- t.stats.retries + 1;
   let jitter = Pcc_engine.Rng.int t.rng ~bound:16 in
-  Sim.schedule t.sim ~delay:(t.config.nack_retry_delay + jitter) (fun () ->
+  sched t ~delay:(t.config.nack_retry_delay + jitter) (fun () ->
       match t.pending with
       | Some q when q == p && not q.have_data -> start_attempt t q
       | _ -> () (* committed, superseded, or granted while the retry waited *))
@@ -635,6 +727,20 @@ and schedule_retry t p =
 (* ------------------------------------------------------------------ *)
 (* Home-side request handling                                          *)
 (* ------------------------------------------------------------------ *)
+
+(* Is the requester recorded in a Busy entry still the incarnation that
+   issued the request?  A requester that crashed — even if it restarted
+   since, with a bumped epoch — must not be granted: the grant would
+   name an owner that no longer holds (or expects) the line. *)
+let requester_current t (entry : Directory.entry) =
+  (not t.crashable)
+  || ((not (Hub_link.peer_down t.hub ~peer:entry.requester))
+     && Hub_link.peer_epoch t.hub ~peer:entry.requester = entry.requester_epoch)
+
+(* Stamp the requester's incarnation into a freshly set Busy state. *)
+let stamp_requester t (entry : Directory.entry) =
+  if t.crashable then
+    entry.requester_epoch <- Hub_link.peer_epoch t.hub ~peer:entry.requester
 
 let rec home_get_shared t ~src ~tid line =
   let access = dir_access t line in
@@ -660,6 +766,7 @@ let rec home_get_shared t ~src ~tid line =
         entry.requester <- src;
         entry.requester_op <- Types.Load;
         entry.requester_tid <- tid;
+        stamp_requester t entry;
         t.stats.interventions_sent <- t.stats.interventions_sent + 1;
         send_after t ~delay:access.latency ~dst:entry.owner
           (Intervention { line; requester = src; tid })
@@ -691,7 +798,14 @@ and home_get_exclusive t ~src ~tid line =
       send_after t
         ~delay:(access.latency + dram_delay t)
         ~dst:src
-        (Data_exclusive { line; value = entry.mem_value; acks_expected = 0; tid })
+        (Data_exclusive
+           {
+             line;
+             value = entry.mem_value;
+             acks_expected = 0;
+             sharers = Nodeset.empty;
+             tid;
+           })
   | Directory.Shared_s ->
       Predictor.record_write t.params access.predictor ~writer:src;
       let is_pc = Predictor.is_producer_consumer t.params access.predictor in
@@ -712,6 +826,8 @@ and home_get_exclusive t ~src ~tid line =
       let delegate =
         t.config.delegation_enabled && is_pc
         && Predictor.producer access.predictor = Some src
+        (* a crash-revoked line stays on the base protocol *)
+        && not (Hashtbl.mem t.fallback_lines line)
       in
       entry.owner <- src;
       entry.sharers <- Nodeset.empty;
@@ -730,7 +846,14 @@ and home_get_exclusive t ~src ~tid line =
         send_after t
           ~delay:(access.latency + dram_delay t)
           ~dst:src
-          (Data_exclusive { line; value = entry.mem_value; acks_expected = n; tid })
+          (Data_exclusive
+             {
+               line;
+               value = entry.mem_value;
+               acks_expected = n;
+               sharers = consumers;
+               tid;
+             })
       end
   | Directory.Excl ->
       if entry.owner = src then
@@ -742,6 +865,7 @@ and home_get_exclusive t ~src ~tid line =
         entry.requester <- src;
         entry.requester_op <- Types.Store;
         entry.requester_tid <- tid;
+        stamp_requester t entry;
         send_after t ~delay:access.latency ~dst:entry.owner
           (Transfer { line; requester = src; tid })
       end
@@ -759,14 +883,19 @@ and home_get_exclusive t ~src ~tid line =
         entry.requester <- src;
         entry.requester_op <- Types.Store;
         entry.requester_tid <- tid;
+        stamp_requester t entry;
         send_after t ~delay:access.latency ~dst:entry.owner
           (Recall { line; requester = src; kind = Types.Store })
       end
 
 and home_service_request t (node, kind, tid) line =
-  match (kind : Types.op_kind) with
-  | Types.Load -> home_get_shared t ~src:node ~tid line
-  | Types.Store -> home_get_exclusive t ~src:node ~tid line
+  (* a request stored on behalf of a node that has died is dropped: its
+     transaction died with it *)
+  if t.crashable && not (peer_alive t node) then ()
+  else
+    match (kind : Types.op_kind) with
+    | Types.Load -> home_get_shared t ~src:node ~tid line
+    | Types.Store -> home_get_exclusive t ~src:node ~tid line
 
 (* ------------------------------------------------------------------ *)
 (* Home-side replies and races                                         *)
@@ -783,20 +912,30 @@ let on_writeback t ~src line ~value =
       entry.owner <- -1
   | Directory.Busy_shared when entry.owner = src ->
       (* the intervention crossed the writeback: serve the waiting reader
-         from home memory *)
+         from home memory (unless that reader has died meanwhile) *)
       entry.mem_value <- value;
-      entry.state <- Directory.Shared_s;
-      entry.sharers <- Nodeset.singleton entry.requester;
-      send_after t
-        ~delay:(access.latency + dram_delay t)
-        ~dst:entry.requester
-        (Data_shared { line; value; source_is_home = true; tid = entry.requester_tid })
+      if requester_current t entry then begin
+        entry.state <- Directory.Shared_s;
+        entry.sharers <- Nodeset.singleton entry.requester;
+        send_after t
+          ~delay:(access.latency + dram_delay t)
+          ~dst:entry.requester
+          (Data_shared { line; value; source_is_home = true; tid = entry.requester_tid })
+      end
+      else begin
+        entry.state <- Directory.Unowned;
+        entry.owner <- -1;
+        entry.sharers <- Nodeset.empty
+      end
   | Directory.Busy_excl when entry.owner = src ->
       (* the transfer crossed the writeback: grant the waiting writer *)
       entry.mem_value <- value;
       entry.state <- Directory.Unowned;
       entry.owner <- -1;
-      home_service_request t (entry.requester, entry.requester_op, entry.requester_tid) line
+      if requester_current t entry then
+        home_service_request t
+          (entry.requester, entry.requester_op, entry.requester_tid)
+          line
   | Directory.Busy_excl when entry.requester = src ->
       (* the new owner wrote back before its Transfer_ack arrived: the
          transfer evidently completed, so the transaction ends here *)
@@ -813,17 +952,41 @@ let on_shared_writeback t ~src line ~value ~new_sharer =
   | Directory.Busy_shared when entry.owner = src ->
       entry.mem_value <- value;
       entry.state <- Directory.Shared_s;
-      entry.sharers <- Nodeset.add (Nodeset.singleton src) new_sharer;
+      (* the served reader joins the sharing vector only if it is still
+         the incarnation that asked (its cache died with it otherwise) *)
+      entry.sharers <-
+        (if requester_current t entry then
+           Nodeset.add (Nodeset.singleton src) new_sharer
+         else Nodeset.singleton src);
       entry.owner <- -1
+  | Directory.Dele when entry.owner = src ->
+      (* crash-capable machines: the delegated producer checkpoints its
+         freshest value at every downgrade so a later crash cannot lose
+         a value survivors already observed; versions are monotone *)
+      if value > entry.mem_value then entry.mem_value <- value
   | _ -> ()
 
-let on_transfer_ack t ~src line ~new_owner =
+let on_transfer_ack t ~src line ~new_owner ~value =
   let entry = Directory.entry t.dir line in
   match entry.state with
   | Directory.Busy_excl when entry.owner = src ->
-      entry.state <- Directory.Excl;
-      entry.owner <- new_owner;
-      entry.sharers <- Nodeset.empty
+      (* crash mode: the old owner's final value rides the ack so home
+         memory catches up (the new owner may die before writing back) *)
+      (match value with
+      | Some v -> if v > entry.mem_value then entry.mem_value <- v
+      | None -> ());
+      if requester_current t entry then begin
+        entry.state <- Directory.Excl;
+        entry.owner <- new_owner;
+        entry.sharers <- Nodeset.empty
+      end
+      else begin
+        (* the new owner died (or restarted cold) before taking the
+           grant: ownership reverts to home memory *)
+        entry.state <- Directory.Unowned;
+        entry.owner <- -1;
+        entry.sharers <- Nodeset.empty
+      end
   | _ -> ()
 
 let on_undelegate t ~src line ~sharers ~owner ~value ~pending =
@@ -831,7 +994,7 @@ let on_undelegate t ~src line ~sharers ~owner ~value ~pending =
   match entry.state with
   | (Directory.Dele | Directory.Busy_excl) when entry.owner = src ->
       let stored_pending =
-        if entry.state = Directory.Busy_excl then
+        if entry.state = Directory.Busy_excl && requester_current t entry then
           Some (entry.requester, entry.requester_op, entry.requester_tid)
         else None
       in
@@ -874,6 +1037,8 @@ let on_recall_nack t ~src line =
 (* ------------------------------------------------------------------ *)
 
 let prod_get_shared t line ~requester ~tid =
+  if t.crashable && not (peer_alive t requester) then ()
+  else
   match find_producer t line with
   | None -> send t ~dst:requester (Nack { line; reason = Message.Not_home; tid })
   | Some entry -> (
@@ -929,7 +1094,7 @@ let on_delegate t ~src line ~sharers ~value ~acks_expected ~tid =
       let accept_grant () =
         p.have_data <- true;
         p.reply_src <- src;
-        p.acks_needed <- p.acks_needed + acks_expected;
+        add_ack_debt t p ~sharers ~acks_expected;
         ack_collection_class t p ~acks_expected;
         try_complete_store t p
       in
@@ -966,6 +1131,7 @@ let on_delegate t ~src line ~sharers ~value ~acks_expected ~tid =
                 unflushed = Nodeset.empty;
                 last_push = 0;
                 flush_acks = 0;
+                flush_waiters = Nodeset.empty;
               }
             in
             match Producer.insert table line entry with
@@ -997,22 +1163,35 @@ let on_data_shared t ~src line ~value ~tid =
       commit_load t p ~value ~miss:(classify_legs t ~target:p.target ~reply_src:src)
   | _ -> () (* stale reply for a transaction satisfied another way: drop *)
 
-let on_data_exclusive t ~src line ~value ~acks_expected ~tid =
+let on_data_exclusive t ~src line ~value ~acks_expected ~sharers ~tid =
   ignore value;
   match t.pending with
   | Some p when p.line = line && p.kind = Types.Store && p.tid = tid ->
       p.have_data <- true;
       p.reply_src <- src;
-      p.acks_needed <- p.acks_needed + acks_expected;
+      add_ack_debt t p ~sharers ~acks_expected;
       ack_collection_class t p ~acks_expected;
       try_complete_store t p
   | _ -> ()
 
-let on_inv_ack t line =
+let on_inv_ack t ~src line =
   match t.pending with
   | Some p when p.line = line && p.kind = Types.Store ->
-      p.acks_needed <- p.acks_needed - 1;
-      try_complete_store t p
+      if not t.crashable then begin
+        p.acks_needed <- p.acks_needed - 1;
+        try_complete_store t p
+      end
+      else if Nodeset.mem p.ack_waiters src then begin
+        (* only known debtors are credited: recovery may already have
+           credited a dead consumer whose ack was still in flight, and
+           timeout-driven re-invalidations can elicit duplicate acks *)
+        p.ack_waiters <- Nodeset.remove p.ack_waiters src;
+        p.acks_needed <- p.acks_needed - 1;
+        try_complete_store t p
+      end
+      else if not p.have_data then
+        (* the ack beat the grant that will name its sender as a debtor *)
+        p.early_acks <- Nodeset.add p.early_acks src
   | _ -> ()
 
 let on_nack t line ~reason ~tid =
@@ -1093,26 +1272,16 @@ let on_update t ~src line ~value =
       | Some rac -> ignore (Rac.fill rac line ~value ~origin:Rac.Pushed_update)
       | None -> ())
 
-let on_update_flush_ack t line =
+let on_update_flush_ack t ~src line =
   match find_producer t line with
   | None -> () (* stale ack; the line was already undelegated *)
   | Some entry ->
-      if entry.flush_acks > 0 then begin
-        entry.flush_acks <- entry.flush_acks - 1;
-        refresh_entry_lock t line entry;
-        if entry.flush_acks = 0 && entry.pstate <> P_busy then
-          if fence_needed t entry then
-            (* more updates were pushed while flushing: chase them too *)
-            start_flush t line entry
-          else
-            match entry.after_busy with
-            | No_recall -> ()
-            | Undelegate_plain ->
-                entry.after_busy <- No_recall;
-                do_undelegate t line entry ~pending:None
-            | Undelegate_with request ->
-                entry.after_busy <- No_recall;
-                do_undelegate t line entry ~pending:(Some request)
+      if not t.crashable then flush_ack_credit t line entry
+      else if Nodeset.mem entry.flush_waiters src then begin
+        (* only known debtors are credited: recovery may already have
+           credited a dead flush target whose ack was still in flight *)
+        entry.flush_waiters <- Nodeset.remove entry.flush_waiters src;
+        flush_ack_credit t line entry
       end
 
 (* ------------------------------------------------------------------ *)
@@ -1136,12 +1305,13 @@ let handle_message t ~src (msg : Message.t) =
   | Inval { line; requester } -> on_inval t line ~requester
   | Intervention { line; requester; tid } -> on_intervention t line ~requester ~tid
   | Transfer { line; requester; tid } -> on_transfer t line ~requester ~tid
-  | Transfer_ack { line; new_owner } -> on_transfer_ack t ~src line ~new_owner
+  | Transfer_ack { line; new_owner; value } ->
+      on_transfer_ack t ~src line ~new_owner ~value
   | Data_shared { line; value; source_is_home = _; tid } ->
       on_data_shared t ~src line ~value ~tid
-  | Data_exclusive { line; value; acks_expected; tid } ->
-      on_data_exclusive t ~src line ~value ~acks_expected ~tid
-  | Inv_ack { line } -> on_inv_ack t line
+  | Data_exclusive { line; value; acks_expected; sharers; tid } ->
+      on_data_exclusive t ~src line ~value ~acks_expected ~sharers ~tid
+  | Inv_ack { line } -> on_inv_ack t ~src line
   | Shared_writeback { line; value; new_sharer } ->
       on_shared_writeback t ~src line ~value ~new_sharer
   | Nack { line; reason; tid } -> on_nack t line ~reason ~tid
@@ -1154,7 +1324,7 @@ let handle_message t ~src (msg : Message.t) =
       on_undelegate t ~src line ~sharers ~owner ~value ~pending
   | Update { line; value } -> on_update t ~src line ~value
   | Update_flush { line } -> send t ~dst:src (Update_flush_ack { line })
-  | Update_flush_ack { line } -> on_update_flush_ack t line
+  | Update_flush_ack { line } -> on_update_flush_ack t ~src line
 
 (* ------------------------------------------------------------------ *)
 (* Processor interface                                                 *)
@@ -1167,7 +1337,7 @@ let handle_message t ~src (msg : Message.t) =
    to the base protocol.  The timer re-arms with exponential backoff so a
    genuinely slow transaction is not hammered. *)
 let rec arm_txn_timeout t p ~delay =
-  Sim.schedule t.sim ~delay (fun () ->
+  sched t ~delay (fun () ->
       match t.pending with
       | Some q when q == p ->
           t.stats.txn_timeouts <- t.stats.txn_timeouts + 1;
@@ -1180,7 +1350,17 @@ let rec arm_txn_timeout t p ~delay =
                  (Types.Layout.home_of_line p.line)
                  p.timeouts);
           note_strike t p.line;
-          if not p.have_data then start_attempt t p;
+          (if not p.have_data then start_attempt t p
+           else if t.crashable && p.kind = Types.Store && p.acks_needed > 0 then
+             (* a consumer that crashed and restarted lost the original
+                invalidation with its cache: re-invalidate the remaining
+                live debtors (idempotent — the debtor-set accounting
+                ignores acks from nodes no longer owed) *)
+             Nodeset.iter
+               (fun dst ->
+                 if peer_alive t dst then
+                   send t ~dst (Inval { line = p.line; requester = t.id }))
+               p.ack_waiters);
           arm_txn_timeout t p
             ~delay:
               (min t.config.txn_timeout_cap
@@ -1200,6 +1380,8 @@ let start_miss t ~kind ~line ~on_commit =
       target = t.id;
       reply_src = t.id;
       acks_needed = 0;
+      ack_waiters = Nodeset.empty;
+      early_acks = Nodeset.empty;
       have_data = false;
       poisoned = false;
       miss_override = None;
@@ -1221,7 +1403,7 @@ let submit t ~kind ~line ~on_commit =
   match (L2.lookup t.l2 line, kind) with
   | Some entry, Types.Load ->
       t.stats.l2_hits <- t.stats.l2_hits + 1;
-      Sim.schedule t.sim ~delay:t.config.l2_hit_latency (fun () ->
+      sched t ~delay:t.config.l2_hit_latency (fun () ->
           ignore
             (Memory_check.load_committed t.memcheck line ~value:entry.value ~started
                ~time:(Sim.now t.sim));
@@ -1230,12 +1412,12 @@ let submit t ~kind ~line ~on_commit =
           on_commit ())
   | Some L2.{ state = Exclusive; _ }, Types.Store ->
       t.stats.l2_hits <- t.stats.l2_hits + 1;
-      Sim.schedule t.sim ~delay:t.config.l2_hit_latency (fun () ->
+      sched t ~delay:t.config.l2_hit_latency (fun () ->
           match L2.peek t.l2 line with
           | Some L2.{ state = Exclusive; _ } ->
               let version = t.next_version () in
               L2.set t.l2 line L2.{ state = Exclusive; value = version; dirty = true };
-              Memory_check.store_committed t.memcheck line ~value:version
+              Memory_check.store_committed t.memcheck line ~node:t.id ~value:version
                 ~time:(Sim.now t.sim);
               (match find_producer t line with
               | Some entry ->
@@ -1255,12 +1437,16 @@ let submit t ~kind ~line ~on_commit =
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let create ~config ~sim ~network ~id ~stats ~memcheck ~next_version ~rng =
+let create ?alive_view ~config ~sim ~network ~id ~stats ~memcheck ~next_version ~rng
+    () =
   let open Config in
   if config.speculative_updates && not config.rac_enabled then
     invalid_arg "Node.create: speculative updates require a RAC";
   if config.delegation_enabled && not config.rac_enabled then
     invalid_arg "Node.create: delegation requires a RAC";
+  let alive_view =
+    match alive_view with Some a -> a | None -> Array.make config.nodes true
+  in
   let l2 =
     L2.create ~rng:(Pcc_engine.Rng.split rng) ~lines:(Config.l2_lines config)
       ~ways:config.l2_ways ()
@@ -1313,6 +1499,8 @@ let create ~config ~sim ~network ~id ~stats ~memcheck ~next_version ~rng =
       memcheck;
       next_version;
       rng;
+      crashable = Config.crash_capable config;
+      alive_view;
       l2;
       rac;
       dir;
@@ -1326,6 +1514,8 @@ let create ~config ~sim ~network ~id ~stats ~memcheck ~next_version ~rng =
       class_cells = Array.make Message.class_count None;
       next_tid = 0;
       pending = None;
+      alive = true;
+      node_epoch = 0;
       trace = [];
       commit_hooks = [];
       issue_hooks = [];
@@ -1554,3 +1744,335 @@ let check_invariants nodes =
   Hashtbl.iter check_line lines;
   List.rev !errors
 
+
+(* ------------------------------------------------------------------ *)
+(* Fail-stop crashes and directory recovery                            *)
+(* ------------------------------------------------------------------ *)
+
+let alive t = t.alive
+
+let node_epoch t = t.node_epoch
+
+(* The freshest value for [line] still materialized somewhere that
+   survives: home memory plus every live cached copy.  Store versions
+   are globally monotone, so the maximum is the newest.  By the
+   crash-mode value-escape rules (Transfer_ack and downgrade
+   writebacks carry values home), any value a survivor ever observed is
+   either in a live cache or already in home memory — recovering to
+   this value never rolls a survivor back. *)
+let surviving_value nodes line =
+  let home = nodes.(Types.Layout.home_of_line line) in
+  let best = ref (Directory.entry home.dir line).mem_value in
+  Array.iter
+    (fun node ->
+      if node.alive then begin
+        (match L2.peek node.l2 line with
+        | Some L2.{ value; _ } -> if value > !best then best := value
+        | None -> ());
+        match node.rac with
+        | Some rac -> (
+            match Rac.peek rac line with
+            | Some v -> if v > !best then best := v
+            | None -> ())
+        | None -> ()
+      end)
+    nodes;
+  !best
+
+(* Drop a (stale) cached copy during recovery: like [on_inval] but with
+   no requester to acknowledge.  A pending load on the line commits
+   without caching, exactly as if an invalidation had overtaken it. *)
+let recovery_invalidate t line =
+  ignore (L2.invalidate t.l2 line);
+  (match t.rac with Some rac -> Rac.invalidate rac line | None -> ());
+  match t.pending with
+  | Some p when p.line = line && p.kind = Types.Load -> p.poisoned <- true
+  | _ -> ()
+
+(* Rebuild [entry] into a stable Shared_s/Unowned state from surviving
+   caches: recover the newest surviving value into home memory, keep the
+   copies that match it as sharers, and drop the rest.  The Shared_s
+   invariant promises every covered copy equals home memory, so stale
+   survivors (pre-escape values) are invalidated. *)
+let rebuild_stable_from_survivors nodes line (entry : Directory.entry) =
+  let v_rec = surviving_value nodes line in
+  entry.mem_value <- v_rec;
+  let holders = ref Nodeset.empty in
+  Array.iter
+    (fun node ->
+      if node.alive then begin
+        let l2_v =
+          match L2.peek node.l2 line with
+          | Some L2.{ value; _ } -> Some value
+          | None -> None
+        in
+        let rac_v =
+          match node.rac with Some rac -> Rac.peek rac line | None -> None
+        in
+        if l2_v <> None || rac_v <> None then begin
+          if
+            (l2_v = None || l2_v = Some v_rec)
+            && (rac_v = None || rac_v = Some v_rec)
+          then holders := Nodeset.add !holders node.id
+          else recovery_invalidate node line
+        end
+      end)
+    nodes;
+  entry.owner <- -1;
+  entry.sharers <- !holders;
+  entry.state <-
+    (if Nodeset.is_empty !holders then Directory.Unowned else Directory.Shared_s)
+
+(* The line's registered owner (exclusive holder or delegated home)
+   died.  Rebuild the entry at [t] (the line's home) from surviving
+   state.  The dead node's unacknowledged stores are legitimately lost —
+   fail-stop semantics — but everything a survivor observed is recovered
+   via [surviving_value]. *)
+let rebuild_dead_owner t nodes line (entry : Directory.entry) =
+  let was = entry.state in
+  (* a live node already holding the line exclusively means ownership
+     had de-facto transferred before the crash (the dead owner's grant
+     landed, the directory ack did not): keep it as the owner *)
+  let excl_holder = ref None in
+  Array.iter
+    (fun node ->
+      if node.alive then
+        match L2.peek node.l2 line with
+        | Some L2.{ state = L2.Exclusive; value; _ } ->
+            excl_holder := Some (node.id, value)
+        | Some _ | None -> ())
+    nodes;
+  (match !excl_holder with
+  | Some (owner, value) ->
+      entry.state <- Directory.Excl;
+      entry.owner <- owner;
+      entry.sharers <- Nodeset.empty;
+      if value > entry.mem_value then entry.mem_value <- value;
+      Array.iter
+        (fun node ->
+          if node.alive && node.id <> owner then recovery_invalidate node line)
+        nodes
+  | None -> rebuild_stable_from_survivors nodes line entry);
+  (match was with
+  | Directory.Dele ->
+      (* delegation revoked: demote the line to the verified base
+         protocol and make the predictor re-earn any future delegation *)
+      Directory.reset_predictor t.dir line;
+      force_fallback t line;
+      t.stats.crash_revoked <- t.stats.crash_revoked + 1
+  | _ -> t.stats.crash_pruned <- t.stats.crash_pruned + 1);
+  (* a Busy entry whose requester is still current gets re-served from
+     the rebuilt state: the dead owner can no longer answer for it *)
+  match was with
+  | Directory.Busy_shared | Directory.Busy_excl ->
+      if requester_current t entry then
+        home_service_request t
+          (entry.requester, entry.requester_op, entry.requester_tid)
+          line
+  | _ -> ()
+
+(* Is a directory-resolving reply for [line] still in flight from a
+   survivor to the dead home?  Survivors' unacked frames are requeued at
+   detection and re-deliver after restart, so such a frame — a
+   writeback, ownership-transfer ack, or delegation hand-back — will
+   resolve the entry on its own; touching the entry before it lands
+   would race the authoritative update. *)
+let resolution_in_flight nodes ~dead line =
+  Array.exists
+    (fun node ->
+      node.id <> dead && node.alive
+      && Hub_link.exists_unacked node.hub ~peer:dead ~f:(fun msg ->
+             Message.line_of msg = line
+             &&
+             match (msg : Message.t) with
+             | Message.Writeback _ | Message.Shared_writeback _
+             | Message.Transfer_ack _ | Message.Recall_nack _
+             | Message.Undelegate _ ->
+                 true
+             | _ -> false))
+    nodes
+
+(* [t] itself died but its directory and memory survive; repair the
+   entries whose in-flight resolutions died in [t]'s own hub.
+
+   A Busy entry whose live owner still holds the line exclusively means
+   the intervention/transfer was lost with the crash: restore Excl so
+   the owner is reachable again (the requester's transaction timeout
+   re-issues its request).
+
+   An Excl entry whose registered owner neither holds the line nor is
+   mid-commit records a grant that died unacknowledged in [t]'s hub: the
+   requester was already rescued (its retry would otherwise be NACKed
+   "owner pending" forever), so rebuild the entry from survivors.  The
+   same applies to a Busy entry whose transfer can no longer resolve.
+   In both cases, if a survivor still carries a resolution frame for the
+   line (requeued at detection, delivered after restart), leave the
+   entry alone — that frame is the authoritative fix. *)
+let normalize_dead_home t nodes line (entry : Directory.entry) =
+  let owner = entry.owner in
+  let owner_live = owner >= 0 && owner < Array.length nodes && nodes.(owner).alive in
+  let owner_holds_excl =
+    owner_live
+    &&
+    match L2.peek nodes.(owner).l2 line with
+    | Some L2.{ state = L2.Exclusive; _ } -> true
+    | Some _ | None -> false
+  in
+  match entry.state with
+  | Directory.Busy_shared | Directory.Busy_excl ->
+      if owner_holds_excl then begin
+        entry.state <- Directory.Excl;
+        entry.sharers <- Nodeset.empty;
+        t.stats.crash_pruned <- t.stats.crash_pruned + 1
+      end
+      else if not (resolution_in_flight nodes ~dead:t.id line) then begin
+        rebuild_stable_from_survivors nodes line entry;
+        t.stats.crash_pruned <- t.stats.crash_pruned + 1
+      end
+  | Directory.Excl ->
+      (* mid-commit: the grant landed and the new owner is collecting
+         invalidation acks — its L2 shows Exclusive only at commit *)
+      let owner_committing =
+        owner_live
+        &&
+        match nodes.(owner).pending with
+        | Some p -> p.line = line && p.have_data
+        | None -> false
+      in
+      if
+        (not owner_holds_excl) && (not owner_committing)
+        && not (resolution_in_flight nodes ~dead:t.id line)
+      then begin
+        rebuild_stable_from_survivors nodes line entry;
+        t.stats.crash_pruned <- t.stats.crash_pruned + 1
+      end
+  | Directory.Unowned | Directory.Shared_s | Directory.Dele -> ()
+
+(* Fail-stop crash: every volatile structure on the node dies.  The
+   directory and home memory live on the battery-backed memory
+   controller and survive (the recovery sweep repairs them).  Timers
+   armed by this incarnation are neutralized by the [sched] epoch
+   guard. *)
+let crash t =
+  if not t.crashable then invalid_arg "Node.crash: machine has no crash schedule";
+  t.alive <- false;
+  t.alive_view.(t.id) <- false;
+  t.stats.crashes <- t.stats.crashes + 1;
+  L2.clear t.l2;
+  (match t.rac with Some rac -> Rac.clear rac | None -> ());
+  (match t.producer_table with Some table -> Producer.clear table | None -> ());
+  (match t.consumer_table with Some table -> Consumer.clear table | None -> ());
+  Hashtbl.reset t.wb_pending;
+  Hashtbl.reset t.strikes;
+  Hashtbl.reset t.fallback_lines;
+  (* the interrupted op dies unsubmitted: un-count it so the machine-wide
+     access counters keep matching committed operations (the restarted
+     incarnation re-submits it from scratch) *)
+  (match t.pending with
+  | Some p -> (
+      match p.kind with
+      | Types.Load -> t.stats.loads <- t.stats.loads - 1
+      | Types.Store -> t.stats.stores <- t.stats.stores - 1)
+  | None -> ());
+  t.pending <- None;
+  Hub_link.reset_all t.hub
+
+(* Re-admission after a crash: cold caches, fresh incarnation.  The
+   epoch was already bumped at detection time (recover_after_crash), so
+   frames stamped after detection — including survivors' requeued
+   frames — deliver to the new incarnation. *)
+let restart t =
+  t.alive <- true;
+  t.alive_view.(t.id) <- true;
+  t.stats.restarts <- t.stats.restarts + 1
+
+(* Machine-wide recovery sweep, run once per crash when the failure is
+   detected (after {!Pcc_interconnect.Network.bump_epoch} for the
+   victim).  Order matters: link surgery and transaction rescue first,
+   so directory repair sees post-rescue cache states. *)
+let recover_after_crash nodes ~dead ~will_restart =
+  let victim = nodes.(dead) in
+  victim.node_epoch <- victim.node_epoch + 1;
+  let stats = victim.stats in
+  (* 1. Per-survivor surgery: links, routing hints, producer
+     bookkeeping, wedged transactions. *)
+  Array.iter
+    (fun node ->
+      if node.id <> dead then begin
+        if will_restart then Hub_link.requeue_peer node.hub ~peer:dead
+        else Hub_link.drop_peer node.hub ~peer:dead;
+        (match node.consumer_table with
+        | Some table -> Consumer.drop_target table dead
+        | None -> ());
+        (match node.producer_table with
+        | Some table ->
+            let flushes = ref [] in
+            Producer.iter
+              (fun line entry ->
+                entry.psharers <- Nodeset.remove entry.psharers dead;
+                entry.update_set <- Nodeset.remove entry.update_set dead;
+                entry.unflushed <- Nodeset.remove entry.unflushed dead;
+                (match entry.after_busy with
+                | Undelegate_with (r, _, _) when r = dead ->
+                    (* still give the line back, just not to the dead
+                       requester *)
+                    entry.after_busy <- Undelegate_plain
+                | No_recall | Undelegate_plain | Undelegate_with _ -> ());
+                if Nodeset.mem entry.flush_waiters dead then begin
+                  entry.flush_waiters <- Nodeset.remove entry.flush_waiters dead;
+                  flushes := (line, entry) :: !flushes
+                end)
+              table;
+            (* credited outside the iteration: completing a flush round
+               can undelegate, which mutates the table being iterated *)
+            List.iter (fun (line, entry) -> flush_ack_credit node line entry)
+              (List.rev !flushes)
+        | None -> ());
+        (match node.pending with
+        | Some p when p.kind = Types.Store && Nodeset.mem p.ack_waiters dead ->
+            (* the dead node can no longer acknowledge — and its copy
+               died with it, which is all the invalidation wanted *)
+            p.ack_waiters <- Nodeset.remove p.ack_waiters dead;
+            p.acks_needed <- p.acks_needed - 1;
+            stats.crash_rescued <- stats.crash_rescued + 1;
+            try_complete_store node p
+        | Some _ | None -> ());
+        match node.pending with
+        | Some p when p.target = dead && not p.have_data ->
+            (* the request went to the dead node (home or delegated
+               home): drop the stale routing hint and re-issue *)
+            (match node.consumer_table with
+            | Some table -> Consumer.remove table p.line
+            | None -> ());
+            stats.crash_rescued <- stats.crash_rescued + 1;
+            schedule_retry node p
+        | Some _ | None -> ()
+      end)
+    nodes;
+  (* 2. Directory repair on every directory in the machine (the dead
+     node's own directory survives with its memory). *)
+  Array.iter
+    (fun home ->
+      let rebuilds = ref [] in
+      Directory.iter
+        (fun line entry ->
+          if Nodeset.mem entry.sharers dead then begin
+            entry.sharers <- Nodeset.remove entry.sharers dead;
+            stats.crash_pruned <- stats.crash_pruned + 1;
+            if entry.state = Directory.Shared_s && Nodeset.is_empty entry.sharers
+            then entry.state <- Directory.Unowned
+          end;
+          if entry.owner = dead then (
+            match entry.state with
+            | Directory.Excl | Directory.Dele | Directory.Busy_shared
+            | Directory.Busy_excl ->
+                rebuilds := (line, entry) :: !rebuilds
+            | Directory.Unowned | Directory.Shared_s -> entry.owner <- -1)
+          else if home.id = dead then normalize_dead_home home nodes line entry)
+        home.dir;
+      (* rebuilt outside the iteration (re-serving a parked requester
+         sends messages and touches the directory cache), in line order
+         for determinism *)
+      List.sort (fun (a, _) (b, _) -> compare (a : Types.line) b) !rebuilds
+      |> List.iter (fun (line, entry) -> rebuild_dead_owner home nodes line entry))
+    nodes

@@ -11,6 +11,7 @@
 type t
 
 val create :
+  ?alive_view:bool array ->
   config:Config.t ->
   sim:Pcc_engine.Simulator.t ->
   network:Message.t Hub_link.frame Pcc_interconnect.Network.t ->
@@ -19,13 +20,16 @@ val create :
   memcheck:Memory_check.t ->
   next_version:(unit -> int) ->
   rng:Pcc_engine.Rng.t ->
+  unit ->
   t
 (** Build a node and register its hub link endpoint as the network
     receiver for [id].  All node traffic travels as {!Hub_link.frame}s;
     with a fault profile configured ({!Config.hardened}) the link runs
     in reliable mode, otherwise it is a strict pass-through.
     [next_version] supplies globally unique store values for coherence
-    checking. *)
+    checking.  [alive_view] is the machine-wide aliveness array shared
+    by every node of one system (crash-capable machines; defaults to a
+    private all-alive array). *)
 
 val id : t -> Types.node_id
 
@@ -166,3 +170,45 @@ val check_invariants : t array -> string list
     "consistency within the directory" — every shared copy is covered by
     the responsible directory's sharing vector.  Returns human-readable
     violation descriptions (empty = consistent). *)
+
+(** {2 Fail-stop crashes and directory recovery}
+
+    Driven by {!System} from the fault profile's crash schedule.  The
+    life cycle of one crash is: [crash] at the scheduled cycle (volatile
+    node state dies, the machine-wide alive view flips), then — after
+    the configured detection delay — the network bumps the victim's
+    incarnation epoch and [recover_after_crash] runs the machine-wide
+    recovery sweep; finally [restart] (if scheduled) re-admits the node
+    with cold caches. *)
+
+val alive : t -> bool
+
+val node_epoch : t -> int
+(** Incarnation count: 0 until the first crash is detected, then +1 per
+    detected crash.  Mirrors {!Pcc_interconnect.Network.node_epoch}. *)
+
+val crash : t -> unit
+(** Fail-stop: clears L2, RAC, producer/consumer tables, MSHR,
+    writeback/strike/fallback bookkeeping and all hub-link state; flips
+    the shared alive view.  The node's directory and home memory survive
+    (battery-backed memory controller).  Raises [Invalid_argument] on a
+    machine without a crash schedule. *)
+
+val restart : t -> unit
+(** Re-admit a crashed node with cold caches under its new incarnation
+    epoch.  Must follow the detection sweep for its crash. *)
+
+val recover_after_crash : t array -> dead:Types.node_id -> will_restart:bool -> unit
+(** Machine-wide recovery sweep at crash-detection time, after
+    {!Pcc_interconnect.Network.bump_epoch} for [dead]: survivors requeue
+    (restart coming) or drop (permanent death) hub frames for the victim
+    and purge routing hints, producer bookkeeping and wedged
+    transactions referencing it; every directory prunes the victim from
+    sharing vectors, rebuilds entries it owned from surviving copies
+    (delegated lines are revoked and demoted to the base protocol,
+    counted in {!Run_stats}), and re-serves parked requesters that are
+    still alive. *)
+
+val surviving_value : t array -> Types.line -> int
+(** The freshest value for a line still materialized in home memory or
+    any live cache (recovery target; exposed for tests/oracles). *)

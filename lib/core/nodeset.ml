@@ -49,3 +49,5 @@ let equal a b = a = b
 
 let pp ppf t =
   Format.fprintf ppf "{%s}" (String.concat "," (List.map string_of_int (to_list t)))
+
+let filter f t = fold (fun node acc -> if f node then add acc node else acc) t empty

@@ -27,6 +27,8 @@ val iter : (int -> unit) -> t -> unit
 
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 
+val filter : (int -> bool) -> t -> t
+
 val to_list : t -> int list
 (** Ascending node order. *)
 

@@ -63,6 +63,10 @@ let invalidate t line =
 
 let unpin t line = Cache.unpin t.cache line
 
+(* Drop every entry (fail-stop crash).  The cumulative update counters
+   survive: they describe traffic that really happened. *)
+let clear t = Cache.clear t.cache
+
 let size t = Cache.size t.cache
 
 let capacity t = Cache.capacity t.cache

@@ -36,6 +36,11 @@ val invalidate : t -> Types.line -> unit
 val unpin : t -> Types.line -> unit
 (** Delegation released: entry becomes an ordinary evictable copy. *)
 
+val clear : t -> unit
+(** Drop every entry, pinned or not (fail-stop crash).  The cumulative
+    update counters are kept: they describe traffic that really
+    happened. *)
+
 val size : t -> int
 
 val capacity : t -> int

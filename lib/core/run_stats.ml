@@ -34,6 +34,11 @@ type t = {
   mutable dup_dropped : int;
   mutable txn_timeouts : int;
   mutable fallbacks : int;
+  mutable crashes : int;
+  mutable restarts : int;
+  mutable crash_revoked : int;
+  mutable crash_pruned : int;
+  mutable crash_rescued : int;
 }
 
 let create () =
@@ -66,6 +71,11 @@ let create () =
     dup_dropped = 0;
     txn_timeouts = 0;
     fallbacks = 0;
+    crashes = 0;
+    restarts = 0;
+    crash_revoked = 0;
+    crash_pruned = 0;
+    crash_rescued = 0;
   }
 
 let activity t line =
@@ -141,6 +151,10 @@ let pp ppf t =
     t.updates_sent t.updates_as_reply t.invals_sent t.interventions_sent t.writebacks
     t.dir_cache_hits t.dir_cache_misses t.retransmits t.dup_dropped t.txn_timeouts
     t.fallbacks;
+  if t.crashes > 0 then
+    Format.fprintf ppf
+      "@,crashes: %d (%d restarted) revoked=%d pruned=%d rescued-txns=%d" t.crashes
+      t.restarts t.crash_revoked t.crash_pruned t.crash_rescued;
   List.iter
     (fun miss ->
       let h = latency_hist t miss in

@@ -52,6 +52,20 @@ type t = {
   mutable fallbacks : int;
       (** lines demoted to the base 3-hop protocol after repeated
           timeouts (undelegated, updates off, delegation refused) *)
+  (* Fail-stop crashes (only nonzero when the profile schedules them) *)
+  mutable crashes : int;  (** nodes that crashed *)
+  mutable restarts : int;  (** crashed nodes re-admitted after restart *)
+  mutable crash_revoked : int;
+      (** delegations revoked because the delegated home died: the line is
+          rebuilt at its original home and demoted to the base protocol *)
+  mutable crash_pruned : int;
+      (** dead-node references pruned during recovery: sharing-vector
+          bits, lost exclusive ownerships, stale cached copies, producer
+          bookkeeping *)
+  mutable crash_rescued : int;
+      (** survivor transactions un-wedged by recovery (dead invalidation
+          debtor credited, or a request targeting the dead node
+          re-issued) *)
 }
 
 val create : unit -> t

@@ -1,8 +1,18 @@
 module Sim = Pcc_engine.Simulator
 module Network = Pcc_interconnect.Network
 module Topology = Pcc_interconnect.Topology
+module Fault = Pcc_interconnect.Fault
 
-type barrier = { mutable arrived : int; mutable waiters : (unit -> unit) list }
+(* Barrier arrivals are tracked per node so that fail-stop recovery can
+   retract a crashed node's arrival (its stepper re-arrives after the
+   restart) and release rounds that were only waiting on a node that will
+   never return. *)
+type barrier = {
+  mutable arrived : Nodeset.t;
+  mutable waiters : (Types.node_id * (unit -> unit)) list;
+}
+
+type crash_phase = Crash_down | Crash_detected | Crash_restarted
 
 type t = {
   config : Config.t;
@@ -11,10 +21,114 @@ type t = {
   nodes : Node.t array;
   stats : Run_stats.t;
   memcheck : Memory_check.t;
+  alive_view : bool array;  (* shared with every node; flipped by crashes *)
   barriers : (int, barrier) Hashtbl.t;
+  barriers_released : (int, unit) Hashtbl.t;
+      (* crash mode only: a restarted node re-arriving at a barrier that
+         released during its outage must pass, not re-open it *)
+  mutable dead_forever : Nodeset.t;  (* crashed with no restart scheduled *)
+  mutable crash_hooks :
+    (time:int -> node:Types.node_id -> phase:crash_phase -> unit) list;
   mutable last_finish : int;
   mutable commits : int;  (* watchdog progress counter (hardened mode) *)
 }
+
+let on_crash t f = t.crash_hooks <- t.crash_hooks @ [ f ]
+
+let fire_crash_hooks t ~node ~phase =
+  let time = Sim.now t.sim in
+  List.iter (fun f -> f ~time ~node ~phase) t.crash_hooks
+
+(* A barrier releases every processor [barrier_latency] cycles after the
+   last arrival, modeling the synchronization round trip without adding
+   protocol traffic of its own.  Participation excludes permanently dead
+   nodes; a node down-for-restart still counts, so survivors wait out the
+   outage as a real barrier would make them. *)
+
+let barrier_participants t = t.config.nodes - Nodeset.cardinal t.dead_forever
+
+let release_barrier_if_full t id b =
+  if Nodeset.cardinal b.arrived >= barrier_participants t then begin
+    let waiters = b.waiters in
+    Hashtbl.remove t.barriers id;
+    if Config.crash_capable t.config then Hashtbl.replace t.barriers_released id ();
+    List.iter
+      (fun (_, waiter) -> Sim.schedule t.sim ~delay:t.config.barrier_latency waiter)
+      waiters
+  end
+
+let barrier_arrive t node_id id continue =
+  if Hashtbl.mem t.barriers_released id then
+    Sim.schedule t.sim ~delay:t.config.barrier_latency continue
+  else begin
+    let b =
+      match Hashtbl.find_opt t.barriers id with
+      | Some b -> b
+      | None ->
+          let b = { arrived = Nodeset.empty; waiters = [] } in
+          Hashtbl.add t.barriers id b;
+          b
+    in
+    b.arrived <- Nodeset.add b.arrived node_id;
+    b.waiters <-
+      (node_id, continue) :: List.filter (fun (n, _) -> n <> node_id) b.waiters;
+    release_barrier_if_full t id b
+  end
+
+(* Crash detection: retract the victim's arrivals (restarted incarnations
+   re-arrive; permanent deaths shrink the participant count) and release
+   any round that no longer waits on anyone. *)
+let barrier_forget t ~dead =
+  let pending = Hashtbl.fold (fun id b acc -> (id, b) :: acc) t.barriers [] in
+  List.iter
+    (fun (id, b) ->
+      b.arrived <- Nodeset.remove b.arrived dead;
+      b.waiters <- List.filter (fun (n, _) -> n <> dead) b.waiters;
+      release_barrier_if_full t id b)
+    (List.sort (fun (a, _) (b, _) -> compare (a : int) b) pending)
+
+(* Fail-stop schedule: each crash is three simulator events.  At
+   [crash_at] the node dies (volatile state lost, links down).  After the
+   detection delay the machine notices: the victim's incarnation epoch is
+   bumped — discarding its remaining pre-crash traffic — and the
+   machine-wide recovery sweep repairs directories, transactions and the
+   value oracle.  At the optional restart the node rejoins cold.  Each
+   event counts as watchdog progress: a machine busy recovering is not
+   livelocked. *)
+let schedule_crashes t (crashes : Fault.crash list) =
+  List.iter
+    (fun (c : Fault.crash) ->
+      let victim = c.victim in
+      if victim < 0 || victim >= t.config.nodes then
+        invalid_arg "System: crash victim out of range";
+      let detect_at = c.crash_at + t.config.crash_detect_delay in
+      Sim.schedule t.sim ~delay:c.crash_at (fun () ->
+          Network.mark_down t.network ~node:victim;
+          Node.crash t.nodes.(victim);
+          t.commits <- t.commits + 1;
+          fire_crash_hooks t ~node:victim ~phase:Crash_down);
+      Sim.schedule t.sim ~delay:detect_at (fun () ->
+          let will_restart = c.restart_after <> None in
+          Network.bump_epoch t.network ~node:victim;
+          Node.recover_after_crash t.nodes ~dead:victim ~will_restart;
+          Memory_check.crash_forget t.memcheck ~dead:victim
+            ~surviving:(fun line -> Node.surviving_value t.nodes line);
+          if not will_restart then
+            t.dead_forever <- Nodeset.add t.dead_forever victim;
+          barrier_forget t ~dead:victim;
+          t.commits <- t.commits + 1;
+          fire_crash_hooks t ~node:victim ~phase:Crash_detected);
+      match c.restart_after with
+      | None -> ()
+      | Some d ->
+          (* a node cannot rejoin before its crash was even detected *)
+          let restart_at = max (c.crash_at + d) (detect_at + 1) in
+          Sim.schedule t.sim ~delay:restart_at (fun () ->
+              Network.mark_up t.network ~node:victim;
+              Node.restart t.nodes.(victim);
+              t.commits <- t.commits + 1;
+              fire_crash_hooks t ~node:victim ~phase:Crash_restarted))
+    crashes
 
 let create ~(config : Config.t) () =
   let sim = Sim.create () in
@@ -28,10 +142,13 @@ let create ~(config : Config.t) () =
     !version
   in
   let rng = Pcc_engine.Rng.create ~seed:config.seed in
+  let alive_view = Array.make config.nodes true in
   let nodes =
     Array.init config.nodes (fun id ->
-        Node.create ~config ~sim ~network ~id ~stats ~memcheck ~next_version
-          ~rng:(Pcc_engine.Rng.split rng))
+        Node.create ~alive_view ~config ~sim ~network ~id ~stats ~memcheck
+          ~next_version
+          ~rng:(Pcc_engine.Rng.split rng)
+          ())
   in
   let t =
     {
@@ -41,11 +158,18 @@ let create ~(config : Config.t) () =
       nodes;
       stats;
       memcheck;
+      alive_view;
       barriers = Hashtbl.create 16;
+      barriers_released = Hashtbl.create 16;
+      dead_forever = Nodeset.empty;
+      crash_hooks = [];
       last_finish = 0;
       commits = 0;
     }
   in
+  (match config.net_faults with
+  | Some { Fault.crashes = _ :: _ as crashes; _ } -> schedule_crashes t crashes
+  | Some _ | None -> ());
   if Config.hardened config then begin
     (* livelock detection: committed operations are the progress measure —
        under fault injection events keep flowing (retransmissions, retries)
@@ -76,6 +200,8 @@ let config t = t.config
 let node t id = t.nodes.(id)
 
 let nodes t = t.nodes
+
+let node_alive t id = t.alive_view.(id)
 
 let stats t = t.stats
 
@@ -209,35 +335,33 @@ let pp_stall_report ppf r =
       List.iter (fun (time, label) -> Format.fprintf ppf "@,  [%d] %s" time label) events);
   Format.fprintf ppf "@]"
 
-(* A barrier releases every processor [barrier_latency] cycles after the
-   last arrival, modeling the synchronization round trip without adding
-   protocol traffic of its own. *)
-let barrier_arrive t id continue =
-  let b =
-    match Hashtbl.find_opt t.barriers id with
-    | Some b -> b
-    | None ->
-        let b = { arrived = 0; waiters = [] } in
-        Hashtbl.add t.barriers id b;
-        b
-  in
-  b.arrived <- b.arrived + 1;
-  b.waiters <- continue :: b.waiters;
-  if b.arrived = t.config.nodes then begin
-    let waiters = b.waiters in
-    Hashtbl.remove t.barriers id;
-    List.iter
-      (fun waiter -> Sim.schedule t.sim ~delay:t.config.barrier_latency waiter)
-      waiters
-  end
-
 let run_programs ?max_events (t : t) programs =
   if Array.length programs <> t.config.nodes then
     invalid_arg "System.run_programs: one program per node required";
+  let crashable = Config.crash_capable t.config in
   let remaining = ref t.config.nodes in
-  let finish _node_id () =
-    t.last_finish <- max t.last_finish (Sim.now t.sim);
-    decr remaining
+  let finished = Array.make t.config.nodes false in
+  let finish node_id () =
+    if not finished.(node_id) then begin
+      finished.(node_id) <- true;
+      t.last_finish <- max t.last_finish (Sim.now t.sim);
+      decr remaining
+    end
+  in
+  (* Crash mode: a dead incarnation must not keep stepping its program.
+     Every stepper continuation is guarded by the incarnation epoch it was
+     created under — the crash bump silently retires continuations of the
+     previous life — and the op in flight at the crash is re-dispatched
+     cold when the node restarts. *)
+  let in_flight_op = Array.make t.config.nodes false in
+  let resume_stepper = Array.make t.config.nodes (fun () -> ()) in
+  let guard node_id k =
+    if not crashable then k
+    else begin
+      let node = t.nodes.(node_id) in
+      let epoch = Node.node_epoch node in
+      fun () -> if Node.alive node && Node.node_epoch node = epoch then k ()
+    end
   in
   Array.iteri
     (fun node_id program ->
@@ -249,18 +373,40 @@ let run_programs ?max_events (t : t) programs =
          is read exactly once per op and no per-op closure is built *)
       let idx = ref 0 in
       let rec step () =
+        in_flight_op.(node_id) <- false;
         if !idx >= count then finish node_id ()
         else begin
           let op = ops.(!idx) in
           incr idx;
+          in_flight_op.(node_id) <- true;
           match op with
-          | Types.Compute cycles -> Sim.schedule t.sim ~delay:(max 0 cycles) step
+          | Types.Compute cycles ->
+              Sim.schedule t.sim ~delay:(max 0 cycles) (guard node_id step)
           | Types.Access (kind, line) -> Node.submit node ~kind ~line ~on_commit:resume
-          | Types.Barrier id -> barrier_arrive t id step
+          | Types.Barrier id -> barrier_arrive t node_id id (guard node_id step)
         end
-      and resume () = Sim.schedule t.sim ~delay:1 step in
+      and resume () =
+        in_flight_op.(node_id) <- false;
+        Sim.schedule t.sim ~delay:1 (guard node_id step)
+      in
+      if crashable then
+        resume_stepper.(node_id) <-
+          (fun () ->
+            (* the interrupted op never committed: rewind and retry it
+               under the new incarnation *)
+            if in_flight_op.(node_id) && !idx > 0 then decr idx;
+            Sim.schedule t.sim ~delay:1 (guard node_id step));
       Sim.schedule t.sim ~delay:0 step)
     programs;
+  if crashable then
+    on_crash t (fun ~time:_ ~node ~phase ->
+        match phase with
+        | Crash_down -> ()
+        | Crash_detected ->
+            (* a victim that never restarts abandons the rest of its
+               program; the run can still drain without it *)
+            if Nodeset.mem t.dead_forever node then finish node ()
+        | Crash_restarted -> resume_stepper.(node) ());
   let outcome = Sim.run ?max_events t.sim in
   let invariant_errors =
     if !remaining = 0 && outcome = Sim.Drained then Node.check_invariants t.nodes

@@ -17,6 +17,10 @@ val node : t -> Types.node_id -> Node.t
 
 val nodes : t -> Node.t array
 
+val node_alive : t -> Types.node_id -> bool
+(** False while a node is fail-stopped (between a scheduled crash and its
+    restart, or forever when no restart is scheduled). *)
+
 val stats : t -> Run_stats.t
 
 val network_messages : t -> int
@@ -75,6 +79,19 @@ val on_recv :
 val on_retransmit :
   t -> (time:int -> src:Types.node_id -> dst:Types.node_id -> unit) -> unit
 (** Observe every hub-link retransmission (hardened mode only). *)
+
+(** One crash's life cycle, as seen by {!on_crash} observers:
+    [Crash_down] when the node fail-stops (volatile state lost, links
+    down), [Crash_detected] after the configured detection delay (epoch
+    bumped, machine-wide recovery sweep done), [Crash_restarted] when a
+    scheduled restart re-admits the node cold. *)
+type crash_phase = Crash_down | Crash_detected | Crash_restarted
+
+val on_crash :
+  t -> (time:int -> node:Types.node_id -> phase:crash_phase -> unit) -> unit
+(** Observe every fail-stop crash event from the fault profile's crash
+    schedule.  [Crash_detected] fires after the recovery sweep for that
+    crash has completed.  Observers compose in registration order. *)
 
 (** {2 Occupancy gauges (telemetry samplers)}
 
@@ -155,7 +172,17 @@ type result = {
 val run_programs : ?max_events:int -> t -> Types.op list array -> result
 (** Execute one program per node (the array length must equal the node
     count) until every processor finishes and the system drains.
-    [Barrier] operations synchronize all processors. *)
+    [Barrier] operations synchronize all processors; each barrier id must
+    name a distinct synchronization point (never reused later in the
+    programs), which the workload generator guarantees.
+
+    With a crash schedule configured, a victim's program pauses at the
+    crash: the interrupted operation is abandoned (its effects, if any,
+    count as lost with the node) and re-dispatched cold when the node
+    restarts.  A victim that never restarts abandons the rest of its
+    program at detection time and is excluded from barrier participation,
+    so survivors can still finish; such runs may also legitimately fail
+    to drain when the dead node's home memory is required. *)
 
 val run :
   ?max_events:int -> config:Config.t -> programs:Types.op list array -> unit -> result

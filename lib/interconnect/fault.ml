@@ -1,5 +1,7 @@
 module Rng = Pcc_engine.Rng
 
+type crash = { victim : int; crash_at : int; restart_after : int option }
+
 type profile = {
   drop : float;
   duplicate : float;
@@ -9,6 +11,7 @@ type profile = {
   reorder_window : int;
   outage : float;
   outage_cycles : int;
+  crashes : crash list;
   chaos_seed : int;
 }
 
@@ -22,6 +25,7 @@ let zero =
     reorder_window = 0;
     outage = 0.0;
     outage_cycles = 0;
+    crashes = [];
     chaos_seed = 1;
   }
 
@@ -53,6 +57,38 @@ let presets = [ ("drops", drops); ("storm", storm); ("outages", outages) ]
 
 let preset name ~seed =
   Option.map (fun make -> make ~seed) (List.assoc_opt name presets)
+
+(* The crash schedule is computed up front from its own seed — a pure
+   function of (seed, nodes, victims, window) — and never consults the
+   per-packet chaos stream, so adding crashes to a profile perturbs
+   neither the fault decisions of surviving traffic nor jobs-1-vs-N
+   byte-identity. *)
+let crash_schedule ~seed ~nodes ~victims ?(window = (6_000, 30_000)) ?restart_after () =
+  if nodes < 2 then []
+  else begin
+    let victims = max 0 (min victims (nodes - 1)) in
+    let lo, hi = window in
+    let lo = max 1 lo in
+    let hi = max lo hi in
+    let rng = Rng.create ~seed:((seed * 0x2545f) lxor 0x9e3779b9) in
+    let chosen = Hashtbl.create 8 in
+    let rec pick_victim () =
+      let v = Rng.int rng ~bound:nodes in
+      if Hashtbl.mem chosen v then pick_victim ()
+      else begin
+        Hashtbl.add chosen v ();
+        v
+      end
+    in
+    List.init victims (fun _ ->
+        let victim = pick_victim () in
+        let crash_at = lo + Rng.int rng ~bound:(hi - lo + 1) in
+        { victim; crash_at; restart_after })
+    |> List.sort (fun a b ->
+           match compare a.crash_at b.crash_at with
+           | 0 -> compare a.victim b.victim
+           | c -> c)
+  end
 
 type stats = {
   mutable dropped : int;
@@ -87,6 +123,13 @@ let plan t ~src ~dst ~now =
   let down =
     match Hashtbl.find_opt t.outage_until link with
     | Some until_ when now < until_ -> true
+    (* refractory window: a link that just came back carries the whole
+       retransmit backlog its outage created, and each of those packets
+       would re-roll the outage die — a busy link would go straight back
+       down, forever.  After an outage the link is guaranteed up for at
+       least [outage_cycles], bounding the duty cycle at 50% so reliable
+       delivery always makes progress. *)
+    | Some until_ when now < until_ + p.outage_cycles -> false
     | Some _ | None ->
         p.outage > 0.0
         && Rng.bool t.rng ~p:p.outage

@@ -1,15 +1,27 @@
 (** Seeded chaos/fault injection for the interconnect.
 
     A fault profile gives each remote packet an independent chance of
-    being dropped, duplicated, delayed, or reordered, and each link an
-    independent chance of a transient outage during which every packet on
-    that (src, dst) link is lost.  The layer is driven by its own
-    SplitMix64 stream, so a chaotic run is exactly reproducible from
-    [chaos_seed] and fault decisions never perturb the protocol RNGs.
+    being dropped, duplicated, delayed, or reordered, and can take whole
+    links or whole nodes out: transient per-link outages (see {!field:outage})
+    and scheduled fail-stop node crashes (see {!type:crash}).  The
+    probabilistic layer is driven by its own SplitMix64 stream, so a
+    chaotic run is exactly reproducible from [chaos_seed] and fault
+    decisions never perturb the protocol RNGs.
 
     An all-zero profile draws nothing from the RNG and schedules every
     packet exactly as the fault-free network would: the chaos layer is
     bit-identical to no chaos layer when its probabilities are zero. *)
+
+type crash = {
+  victim : int;  (** node that fail-stops *)
+  crash_at : int;  (** simulated cycle at which the node dies *)
+  restart_after : int option;
+      (** cycles after [crash_at] at which the node rejoins with a cold
+          cache and a fresh epoch; [None] means it never restarts *)
+}
+(** One scheduled fail-stop crash.  Crashes are a {e static} schedule —
+    decided when the profile is built, not drawn per packet — so they
+    coexist with the zero-probability bit-identity guarantee above. *)
 
 type profile = {
   drop : float;  (** per-packet loss probability *)
@@ -20,8 +32,17 @@ type profile = {
       (** per-packet chance of jitter large enough to overtake later
           packets on the same link *)
   reorder_window : int;  (** jitter is uniform in [1, reorder_window] *)
-  outage : float;  (** per-packet chance the (src, dst) link goes down *)
-  outage_cycles : int;  (** outage duration *)
+  outage : float;
+      (** Per-packet chance that sending on an up (src, dst) link starts a
+          transient outage on that link; the triggering packet and every
+          later packet on the link are lost until the outage ends.  A
+          link that just came back is refractory — guaranteed up for at
+          least [outage_cycles] — so the retransmit backlog an outage
+          creates cannot immediately knock the link back down (duty
+          cycle is bounded at 50%).  This field is the single source of
+          truth for outage semantics. *)
+  outage_cycles : int;  (** outage duration, in cycles *)
+  crashes : crash list;  (** fail-stop schedule; [[]] = no node crashes *)
   chaos_seed : int;
 }
 
@@ -40,6 +61,20 @@ val outages : seed:int -> profile
 val presets : (string * (seed:int -> profile)) list
 
 val preset : string -> seed:int -> profile option
+
+val crash_schedule :
+  seed:int ->
+  nodes:int ->
+  victims:int ->
+  ?window:int * int ->
+  ?restart_after:int ->
+  unit ->
+  crash list
+(** Deterministic fail-stop schedule: [victims] distinct nodes (clamped to
+    [nodes - 1] so at least one node survives), each crashing at a seeded
+    time uniform in [window] (default [6_000, 30_000]) and restarting
+    [restart_after] cycles later (never, when omitted).  Pure function of
+    its arguments; consumes no per-packet chaos randomness. *)
 
 type stats = {
   mutable dropped : int;  (** packets lost (including outage losses) *)

@@ -19,11 +19,25 @@ let default_config =
     mode = Uniform;
   }
 
+(* Fail-stop bookkeeping, allocated only when the fault profile schedules
+   crashes.  [epoch] is a per-node incarnation number: every packet
+   captures the current (src, dst) epochs when it is scheduled, and a
+   delivery whose captured epochs no longer match is stale pre-crash
+   traffic and is discarded.  [down] packets are simply lost, as on a
+   dead hub. *)
+type crash_state = {
+  down : bool array;
+  epoch : int array;
+  mutable dead_dropped : int;  (* packets to, or sent by, a down node *)
+  mutable stale_dropped : int;  (* stale-epoch packets discarded *)
+}
+
 type 'a t = {
   sim : Simulator.t;
   topology : Topology.t;
   config : config;
   faults : Fault.t option;
+  crash : crash_state option;
   receivers : (src:int -> 'a -> unit) option array;
   egress_free : int array; (* per-node egress port availability *)
   ingress_free : int array;
@@ -35,11 +49,24 @@ type 'a t = {
 
 let create ?faults sim topology config =
   let n = Topology.nodes topology in
+  let crash =
+    match faults with
+    | Some p when p.Fault.crashes <> [] ->
+        Some
+          {
+            down = Array.make n false;
+            epoch = Array.make n 0;
+            dead_dropped = 0;
+            stale_dropped = 0;
+          }
+    | Some _ | None -> None
+  in
   {
     sim;
     topology;
     config;
     faults = Option.map Fault.create faults;
+    crash;
     receivers = Array.make n None;
     egress_free = Array.make n 0;
     ingress_free = Array.make n 0;
@@ -62,6 +89,34 @@ let deliver t ~src ~dst payload =
         (Printf.sprintf
            "Network.deliver: node %d has no receiver for the packet from node %d" dst
            src)
+
+(* Epoch-stamped delivery: the packet carries the incarnation numbers of
+   both endpoints as they were at send time.  It lands only if the
+   destination is up and neither endpoint has been through a crash
+   detection since — in-flight traffic from a dead node keeps arriving
+   until the crash is detected (its epoch bumps), then drains away. *)
+let deliver_stamped t cs ~src ~dst ~src_epoch ~dst_epoch payload =
+  t.in_flight <- t.in_flight - 1;
+  if cs.down.(dst) then cs.dead_dropped <- cs.dead_dropped + 1
+  else if cs.epoch.(src) <> src_epoch || cs.epoch.(dst) <> dst_epoch then
+    cs.stale_dropped <- cs.stale_dropped + 1
+  else
+    match t.receivers.(dst) with
+    | Some handler -> handler ~src payload
+    | None ->
+        failwith
+          (Printf.sprintf
+             "Network.deliver: node %d has no receiver for the packet from node %d" dst
+             src)
+
+let schedule_delivery t ~time ~src ~dst payload =
+  t.in_flight <- t.in_flight + 1;
+  match t.crash with
+  | None -> Simulator.schedule_at t.sim ~time (fun () -> deliver t ~src ~dst payload)
+  | Some cs ->
+      let src_epoch = cs.epoch.(src) and dst_epoch = cs.epoch.(dst) in
+      Simulator.schedule_at t.sim ~time (fun () ->
+          deliver_stamped t cs ~src ~dst ~src_epoch ~dst_epoch payload)
 
 (* Misrouted or premature traffic must fail loudly at the send, not as a
    bare [Invalid_argument] (or a silent misroute) deep inside a scheduled
@@ -96,10 +151,24 @@ let reserve port ~node ~earliest ~occupancy =
 let send t ~src ~dst ~bytes payload =
   check_route t ~src ~dst;
   let now = Simulator.now t.sim in
-  if src = dst then begin
-    t.in_flight <- t.in_flight + 1;
-    Simulator.schedule t.sim ~delay:t.config.local_latency (fun () ->
-        deliver t ~src ~dst payload)
+  let zombie_send =
+    (* a closure armed before its node crashed must not emit traffic on
+       behalf of the dead incarnation *)
+    match t.crash with
+    | Some cs when cs.down.(src) ->
+        cs.dead_dropped <- cs.dead_dropped + 1;
+        true
+    | Some _ | None -> false
+  in
+  if zombie_send then ()
+  else if src = dst then begin
+    match t.crash with
+    | None ->
+        t.in_flight <- t.in_flight + 1;
+        Simulator.schedule t.sim ~delay:t.config.local_latency (fun () ->
+            deliver t ~src ~dst payload)
+    | Some _ ->
+        schedule_delivery t ~time:(now + t.config.local_latency) ~src ~dst payload
   end
   else begin
     let wire_bytes = max bytes t.config.min_packet_bytes in
@@ -117,19 +186,45 @@ let send t ~src ~dst ~bytes payload =
     t.bytes <- t.bytes + wire_bytes;
     t.hops <- t.hops + router_hops;
     match t.faults with
-    | None ->
-        t.in_flight <- t.in_flight + 1;
-        Simulator.schedule_at t.sim ~time:in_clear (fun () -> deliver t ~src ~dst payload)
+    | None -> schedule_delivery t ~time:in_clear ~src ~dst payload
     | Some chaos ->
         (* traffic counters above describe what was {e sent}; the fault
            layer only decides what arrives, and when *)
         List.iter
-          (fun extra ->
-            t.in_flight <- t.in_flight + 1;
-            Simulator.schedule_at t.sim ~time:(in_clear + extra) (fun () ->
-                deliver t ~src ~dst payload))
+          (fun extra -> schedule_delivery t ~time:(in_clear + extra) ~src ~dst payload)
           (Fault.plan chaos ~src ~dst ~now)
   end
+
+let crash_state t =
+  match t.crash with
+  | Some cs -> cs
+  | None ->
+      invalid_arg
+        "Network: no fail-stop state (the fault profile schedules no crashes)"
+
+let crash_capable t = t.crash <> None
+
+let mark_down t ~node =
+  let cs = crash_state t in
+  cs.down.(node) <- true
+
+let mark_up t ~node =
+  let cs = crash_state t in
+  cs.down.(node) <- false
+
+let node_down t ~node =
+  match t.crash with Some cs -> cs.down.(node) | None -> false
+
+let bump_epoch t ~node =
+  let cs = crash_state t in
+  cs.epoch.(node) <- cs.epoch.(node) + 1
+
+let node_epoch t ~node = match t.crash with Some cs -> cs.epoch.(node) | None -> 0
+
+let crash_drops t =
+  match t.crash with
+  | Some cs -> (cs.dead_dropped, cs.stale_dropped)
+  | None -> (0, 0)
 
 let in_flight t = t.in_flight
 

@@ -55,6 +55,40 @@ val send : 'a t -> src:int -> dst:int -> bytes:int -> 'a -> unit
 val fault_stats : 'a t -> Fault.stats option
 (** Live counters of the attached chaos layer, if any. *)
 
+(** {2 Fail-stop crash support}
+
+    Allocated only when the fault profile schedules crashes
+    ([Fault.crashes <> []]).  Every packet is then stamped with the
+    incarnation {e epochs} of both endpoints at send time; a delivery
+    whose stamped epochs no longer match the live epochs is stale
+    pre-crash traffic and is silently discarded, as are packets to a
+    down node and packets emitted by closures armed before their node
+    crashed.  The controlling layer (see [Pcc_core.System]) marks nodes
+    down at crash time and bumps the victim's epoch at crash
+    {e detection} time, so in-flight traffic from the victim keeps
+    landing during the detection window and drains away after it. *)
+
+val crash_capable : 'a t -> bool
+
+val mark_down : 'a t -> node:int -> unit
+(** Raises [Invalid_argument] when the profile schedules no crashes. *)
+
+val mark_up : 'a t -> node:int -> unit
+
+val node_down : 'a t -> node:int -> bool
+(** [false] when crash support is off. *)
+
+val bump_epoch : 'a t -> node:int -> unit
+(** Start a new incarnation: every packet stamped with an older epoch of
+    this node (in either direction) is discarded on delivery. *)
+
+val node_epoch : 'a t -> node:int -> int
+(** [0] when crash support is off. *)
+
+val crash_drops : 'a t -> int * int
+(** [(dead_dropped, stale_dropped)]: packets lost to a down endpoint and
+    stale-epoch packets discarded.  [(0, 0)] when crash support is off. *)
+
 val in_flight : 'a t -> int
 (** Deliveries scheduled but not yet executed (local and remote; a
     dropped packet is never scheduled and so never counted).  A live

@@ -243,6 +243,14 @@ let attach ?(ring_capacity = 64) ?(full_check_period = 10_000) sys =
             Order.record_load t.order ~node:c.c_node ~line:c.c_line ~value:c.c_value
               ~started:c.c_started ~time:c.c_time
       with Order.Violation message -> raise_violation t message);
+  System.on_crash sys (fun ~time:_ ~node ~phase ->
+      (* detection fires after the recovery sweep, so the surviving value
+         the order oracle rolls back to is the one recovery installed *)
+      match phase with
+      | System.Crash_detected ->
+          Order.node_crashed t.order ~dead:node ~surviving:(fun line ->
+              Node.surviving_value (System.nodes sys) line)
+      | System.Crash_down | System.Crash_restarted -> ());
   System.on_post_event sys (fun () -> on_post_event t ());
   t
 

@@ -103,6 +103,48 @@ let record_load t ~node ~line ~value ~started ~time =
     h.loads <- { l_node = node; l_value = value; l_started = started; l_time = time } :: h.loads
 
 (* ------------------------------------------------------------------ *)
+(* Fail-stop crashes                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The victim's newest unflushed stores vanish with its caches: recovery
+   rolls each line back to the freshest value still materialized anywhere
+   ([surviving line]).  Those versions must stop anchoring the store
+   order — a later load of the rebuilt value is not "stale" — and
+   observations of them must stop binding anyone: survivors are capped at
+   the surviving value (they can never see the vanished version again),
+   and the victim's own observation history dies with it outright, so a
+   restarted incarnation legally re-reads older values. *)
+let node_crashed t ~dead ~surviving =
+  let memo = Hashtbl.create 64 in
+  let surviving line =
+    match Hashtbl.find_opt memo line with
+    | Some v -> v
+    | None ->
+        let v = surviving line in
+        Hashtbl.add memo line v;
+        v
+  in
+  Hashtbl.iter
+    (fun line h ->
+      let rec strip = function
+        | { s_node; s_value; _ } :: rest when s_node = dead && s_value > surviving line
+          ->
+            h.nstores <- h.nstores - 1;
+            strip rest
+        | stores -> stores
+      in
+      h.stores <- strip h.stores)
+    t.histories;
+  let entries = Hashtbl.fold (fun key seen acc -> (key, seen) :: acc) t.last_seen [] in
+  List.iter
+    (fun (((line, node) as key), seen) ->
+      if node = dead then Hashtbl.remove t.last_seen key
+      else
+        let v = surviving line in
+        if seen > v then Hashtbl.replace t.last_seen key v)
+    entries
+
+(* ------------------------------------------------------------------ *)
 (* Extraction                                                          *)
 (* ------------------------------------------------------------------ *)
 

@@ -33,6 +33,14 @@ val record_store : t -> node:int -> line:Types.line -> value:int -> time:int -> 
 val record_load :
   t -> node:int -> line:Types.line -> value:int -> started:int -> time:int -> unit
 
+val node_crashed : t -> dead:int -> surviving:(Types.line -> int) -> unit
+(** Fail-stop recovery: drop the newest run of [dead]'s stores per line
+    whose versions exceed [surviving line] (they vanished with its
+    caches), forget the victim's own observation history (its restarted
+    incarnation starts fresh), and cap every survivor's observed version
+    at the surviving value so reading the rolled-back line is not flagged
+    as a regression. *)
+
 (** One operation in a line's extracted serial order. *)
 type op =
   | O_store of { node : int; value : int; time : int }

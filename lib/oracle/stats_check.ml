@@ -27,10 +27,43 @@ let check sys (result : System.result) =
       (fun acc node -> acc + Node.delegated_line_count node)
       0 (System.nodes sys)
   in
-  let accounted = stats.undelegations + stats.delegation_refusals + live_delegated in
+  let accounted =
+    stats.undelegations + stats.delegation_refusals + live_delegated
+    + stats.crash_revoked
+  in
   if stats.delegations < accounted then
-    err "delegations %d < undelegations %d + refusals %d + live %d" stats.delegations
-      stats.undelegations stats.delegation_refusals live_delegated;
+    err "delegations %d < undelegations %d + refusals %d + live %d + crash-revoked %d"
+      stats.delegations stats.undelegations stats.delegation_refusals live_delegated
+      stats.crash_revoked;
+  (* fail-stop crash accounting: a drained run executed its whole crash
+     schedule, and recovery counters only move when crashes happened *)
+  let scheduled_crashes =
+    match config.net_faults with
+    | Some p -> List.length p.Pcc_interconnect.Fault.crashes
+    | None -> 0
+  in
+  let scheduled_restarts =
+    match config.net_faults with
+    | Some p ->
+        List.length
+          (List.filter
+             (fun (c : Pcc_interconnect.Fault.crash) -> c.restart_after <> None)
+             p.Pcc_interconnect.Fault.crashes)
+    | None -> 0
+  in
+  if result.outcome = Pcc_engine.Simulator.Drained then begin
+    if stats.crashes <> scheduled_crashes then
+      err "crash schedule has %d entries but %d crashes recorded" scheduled_crashes
+        stats.crashes;
+    if stats.restarts <> scheduled_restarts then
+      err "%d restarts scheduled but %d recorded" scheduled_restarts stats.restarts
+  end;
+  if scheduled_crashes = 0 then begin
+    if stats.crashes > 0 then err "no crash schedule but %d crashes recorded" stats.crashes;
+    if stats.crash_revoked + stats.crash_pruned + stats.crash_rescued > 0 then
+      err "no crash schedule but recovery counters moved (revoked=%d pruned=%d rescued=%d)"
+        stats.crash_revoked stats.crash_pruned stats.crash_rescued
+  end;
   let classified =
     result.updates_consumed + result.updates_wasted + stats.updates_as_reply
   in

@@ -124,10 +124,8 @@ let event_to_json = function
         ]
 
 let write ~path ~desc ~violations ~events =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  Pcc_stats.Atomic_file.write ~path
+    (fun oc ->
       output_string oc (Jsonl.to_string (desc_to_json desc));
       output_char oc '\n';
       List.iter

@@ -1,9 +1,17 @@
-exception Job_failed of { key : string; exn : exn; backtrace : string }
+exception
+  Job_failed of { key : string; exn : exn; backtrace : string; attempts : int }
+
+exception Timed_out of { key : string; seconds : float }
 
 let () =
   Printexc.register_printer (function
-    | Job_failed { key; exn; _ } ->
-        Some (Printf.sprintf "Job_failed(%s: %s)" key (Printexc.to_string exn))
+    | Job_failed { key; exn; attempts; _ } ->
+        Some
+          (Printf.sprintf "Job_failed(%s: %s after %d attempt%s)" key
+             (Printexc.to_string exn) attempts
+             (if attempts = 1 then "" else "s"))
+    | Timed_out { key; seconds } ->
+        Some (Printf.sprintf "Timed_out(%s: %.3fs)" key seconds)
     | _ -> None)
 
 let available_cores () = max 1 (Domain.recommended_domain_count ())
@@ -21,29 +29,87 @@ let default_jobs () =
   match jobs_from_env () with Some n -> n | None -> available_cores ()
 
 (* Outcome of one job, stored at its submission index. *)
-type 'a outcome = Ok of 'a | Failed of { key : string; exn : exn; backtrace : string }
+type 'a outcome =
+  | Ok of 'a
+  | Failed of { key : string; exn : exn; backtrace : string; attempts : int }
 
 let run_thunk key thunk =
   match thunk () with
   | v -> Ok v
-  | exception exn -> Failed { key; exn; backtrace = Printexc.get_backtrace () }
+  | exception exn ->
+      Failed { key; exn; backtrace = Printexc.get_backtrace (); attempts = 1 }
+
+(* One attempt under a wall-clock deadline.  A domain cannot be
+   cancelled, so the attempt runs in a throwaway domain the waiter polls;
+   on timeout the runaway domain is abandoned (its eventual result is
+   discarded, and it dies with the process).  That makes a wedged job
+   cost one leaked domain instead of hanging the whole sweep. *)
+let attempt_under_timeout ~seconds key thunk =
+  let slot = Atomic.make None in
+  let runner = Domain.spawn (fun () -> Atomic.set slot (Some (run_thunk key thunk))) in
+  let deadline = Unix.gettimeofday () +. seconds in
+  let rec wait () =
+    match Atomic.get slot with
+    | Some outcome ->
+        Domain.join runner;
+        outcome
+    | None ->
+        if Unix.gettimeofday () >= deadline then
+          Failed
+            { key; exn = Timed_out { key; seconds }; backtrace = ""; attempts = 1 }
+        else begin
+          Unix.sleepf 0.002;
+          wait ()
+        end
+  in
+  wait ()
+
+(* Bounded retry with exponential backoff around one job.  [attempts] in
+   the final outcome counts every try, so a post-mortem can tell a
+   first-strike failure from an exhausted retry budget.  With no timeout
+   and no retries this is exactly [run_thunk] — no domain, no clock. *)
+let run_job ~timeout ~retries ~backoff key thunk =
+  let attempt () =
+    match timeout with
+    | None -> run_thunk key thunk
+    | Some seconds -> attempt_under_timeout ~seconds key thunk
+  in
+  let rec go n delay =
+    match attempt () with
+    | Ok _ as ok -> ok
+    | Failed f ->
+        if n > retries then Failed { f with attempts = n }
+        else begin
+          Unix.sleepf delay;
+          go (n + 1) (delay *. 2.0)
+        end
+  in
+  go 1 backoff
 
 (* Collect in submission order; the earliest failure wins. *)
 let collect outcomes =
   Array.to_list outcomes
   |> List.map (function
        | Ok v -> v
-       | Failed { key; exn; backtrace } -> raise (Job_failed { key; exn; backtrace }))
+       | Failed { key; exn; backtrace; attempts } ->
+           raise (Job_failed { key; exn; backtrace; attempts }))
 
-let run_keyed ~jobs tasks =
+let run_keyed ?timeout ?(retries = 0) ?(backoff = 0.05) ~jobs tasks =
+  (match timeout with
+  | Some s when s <= 0.0 -> invalid_arg "Pool.run_keyed: timeout must be positive"
+  | Some _ | None -> ());
+  if retries < 0 then invalid_arg "Pool.run_keyed: retries must be non-negative";
+  let run_job key thunk = run_job ~timeout ~retries ~backoff key thunk in
   let tasks = Array.of_list tasks in
   let n = Array.length tasks in
   if jobs <= 1 || n <= 1 then
-    (* Sequential fallback: same loop, same order, no domains. *)
-    collect (Array.map (fun (key, thunk) -> run_thunk key thunk) tasks)
+    (* Sequential fallback: same loop, same order, no pool domains. *)
+    collect (Array.map (fun (key, thunk) -> run_job key thunk) tasks)
   else begin
     let outcomes =
-      Array.map (fun (key, _) -> Failed { key; exn = Not_found; backtrace = "" }) tasks
+      Array.map
+        (fun (key, _) -> Failed { key; exn = Not_found; backtrace = ""; attempts = 0 })
+        tasks
     in
     let next = Atomic.make 0 in
     (* Each worker claims the next unclaimed submission index; distinct
@@ -53,7 +119,7 @@ let run_keyed ~jobs tasks =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
         let key, thunk = tasks.(i) in
-        outcomes.(i) <- run_thunk key thunk;
+        outcomes.(i) <- run_job key thunk;
         worker ()
       end
     in
@@ -63,5 +129,6 @@ let run_keyed ~jobs tasks =
     collect outcomes
   end
 
-let map_keyed ~jobs ~key f xs =
-  run_keyed ~jobs (List.map (fun x -> (key x, fun () -> f x)) xs)
+let map_keyed ?timeout ?retries ?backoff ~jobs ~key f xs =
+  run_keyed ?timeout ?retries ?backoff ~jobs
+    (List.map (fun x -> (key x, fun () -> f x)) xs)

@@ -59,6 +59,9 @@ module Table = Pcc_stats.Table
 (** Minimal JSON encoding used by every machine-readable artifact. *)
 module Jsonl = Pcc_stats.Jsonl
 
+(** Crash-safe artifact writes (temp file + atomic rename). *)
+module Atomic_file = Pcc_stats.Atomic_file
+
 (** Scalar summaries (geometric mean and friends). *)
 module Summary = Pcc_stats.Summary
 

@@ -1,0 +1,16 @@
+let write ~path f =
+  let dir = Filename.dirname path in
+  let tmp =
+    Filename.temp_file ~temp_dir:dir ("." ^ Filename.basename path ^ ".") ".tmp"
+  in
+  (match
+     let oc = open_out tmp in
+     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+   with
+  | () -> ()
+  | exception exn ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise exn);
+  Sys.rename tmp path
+
+let write_string ~path s = write ~path (fun oc -> output_string oc s)

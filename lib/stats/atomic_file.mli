@@ -1,0 +1,19 @@
+(** Crash-safe artifact writes: temp file + atomic rename.
+
+    Experiment artifacts (sweep JSON, metrics, traces) feed byte-diff
+    gates in CI; a run interrupted mid-write must never leave a
+    truncated file behind to trip them.  The content is written to a
+    hidden temp file in the destination's own directory (same
+    filesystem, so the rename is atomic) and renamed over the target
+    only once the writer returned and the channel is closed.  Readers
+    therefore see either the old artifact or the complete new one,
+    never a prefix. *)
+
+val write : path:string -> (out_channel -> unit) -> unit
+(** [write ~path f] runs [f] on a temp-file channel, then atomically
+    renames the temp file to [path].  On any exception from [f] the
+    temp file is removed, [path] is left untouched, and the exception
+    re-raised. *)
+
+val write_string : path:string -> string -> unit
+(** [write ~path] of one preformatted string. *)

@@ -32,10 +32,8 @@ let json_of_links links =
     ]
 
 let write ~path ?(links = []) samples =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  Pcc_stats.Atomic_file.write ~path
+    (fun oc ->
       List.iter
         (fun s ->
           output_string oc (Jsonl.to_string (json_of_sample s));

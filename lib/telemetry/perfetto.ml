@@ -47,8 +47,66 @@ let async_events (span : Span.t) =
   in
   [ base "b" span.start; base "e" span.finish ]
 
-let metadata_events spans =
-  let nodes = List.sort_uniq compare (List.map (fun (s : Span.t) -> s.node) spans) in
+(* Fail-stop outages render as "X" slices on the victim's own track —
+   the gap they carve out of the node's span stream is exactly the
+   outage — plus an instant marker where the machine-wide recovery
+   sweep ran. *)
+let recovery_events (r : Recorder.recovery) =
+  let outage_end =
+    match (r.r_restarted_at, r.r_detected_at) with
+    | Some t, _ | None, Some t -> t
+    | None, None -> r.r_crash_at
+  in
+  let outage =
+    Jsonl.Obj
+      [
+        ("name", Jsonl.String "crash-outage");
+        ("cat", Jsonl.String "crash");
+        ("ph", Jsonl.String "X");
+        ("ts", Jsonl.Int r.r_crash_at);
+        ("dur", Jsonl.Int (outage_end - r.r_crash_at));
+        ("pid", Jsonl.Int 0);
+        ("tid", Jsonl.Int r.r_victim);
+        ( "args",
+          Jsonl.Obj
+            [
+              ( "detected_at",
+                match r.r_detected_at with
+                | Some t -> Jsonl.Int t
+                | None -> Jsonl.String "never" );
+              ( "restarted_at",
+                match r.r_restarted_at with
+                | Some t -> Jsonl.Int t
+                | None -> Jsonl.String "never" );
+              ("aborted_txn", Jsonl.Bool r.r_aborted_txn);
+            ] );
+      ]
+  in
+  let sweep =
+    match r.r_detected_at with
+    | None -> []
+    | Some t ->
+        [
+          Jsonl.Obj
+            [
+              ("name", Jsonl.String "recovery-sweep");
+              ("cat", Jsonl.String "crash");
+              ("ph", Jsonl.String "i");
+              ("s", Jsonl.String "p");
+              ("ts", Jsonl.Int t);
+              ("pid", Jsonl.Int 0);
+              ("tid", Jsonl.Int r.r_victim);
+            ];
+        ]
+  in
+  outage :: sweep
+
+let metadata_events ~recoveries spans =
+  let nodes =
+    List.sort_uniq compare
+      (List.map (fun (s : Span.t) -> s.node) spans
+      @ List.map (fun (r : Recorder.recovery) -> r.r_victim) recoveries)
+  in
   Jsonl.Obj
     [
       ("name", Jsonl.String "process_name");
@@ -70,13 +128,14 @@ let metadata_events spans =
            ])
        nodes
 
-let json_of_spans spans =
+let json_of_spans ?(recoveries = []) spans =
   let events =
-    metadata_events spans
+    metadata_events ~recoveries spans
     @ List.concat_map
         (fun (span : Span.t) ->
           List.map (event_of_segment span) span.segments @ async_events span)
         spans
+    @ List.concat_map recovery_events recoveries
   in
   Jsonl.Obj
     [
@@ -85,10 +144,7 @@ let json_of_spans spans =
       ("otherData", Jsonl.Obj [ ("timeUnit", Jsonl.String "sim cycles as us") ]);
     ]
 
-let write ~path spans =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (Jsonl.to_string (json_of_spans spans));
+let write ?recoveries ~path spans =
+  Pcc_stats.Atomic_file.write ~path (fun oc ->
+      output_string oc (Jsonl.to_string (json_of_spans ?recoveries spans));
       output_char oc '\n')

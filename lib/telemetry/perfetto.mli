@@ -8,7 +8,11 @@
     so all traffic on one cache line lines up on a single async track.
     Timestamps are simulation cycles presented as trace microseconds. *)
 
-val json_of_spans : Span.t list -> Pcc_stats.Jsonl.t
+val json_of_spans : ?recoveries:Recorder.recovery list -> Span.t list -> Pcc_stats.Jsonl.t
+(** [recoveries] additionally renders each fail-stop crash as a
+    "crash-outage" slice on the victim's track (crash to restart, or to
+    detection for permanent death) plus a "recovery-sweep" instant
+    marker at detection time.  Default: none. *)
 
-val write : path:string -> Span.t list -> unit
+val write : ?recoveries:Recorder.recovery list -> path:string -> Span.t list -> unit
 (** Write the trace JSON (one line + newline) to [path]. *)

@@ -11,6 +11,19 @@ type open_span = {
   mutable o_retransmits : int;
 }
 
+type recovery = {
+  r_victim : Types.node_id;
+  r_crash_at : int;
+  mutable r_detected_at : int option;
+  mutable r_restarted_at : int option;
+  r_aborted_txn : bool;
+}
+
+let outage_cycles r =
+  match (r.r_restarted_at, r.r_detected_at) with
+  | Some t, _ | None, Some t -> t - r.r_crash_at
+  | None, None -> 0
+
 type sample = {
   s_time : int;
   s_in_flight_txns : int;
@@ -27,6 +40,8 @@ type t = {
   open_spans : open_span option array;
   mutable closed : Span.t list;  (* newest first *)
   mutable closed_count : int;
+  mutable recoveries : recovery list;  (* newest first *)
+  mutable aborted_spans : int;
   mutable samples : sample list;  (* newest first *)
   mutable next_sample_at : int;
   sample_every : int;
@@ -35,6 +50,10 @@ type t = {
 let spans t = List.rev t.closed
 
 let span_count t = t.closed_count
+
+let recoveries t = List.rev t.recoveries
+
+let aborted_span_count t = t.aborted_spans
 
 let samples t = List.rev t.samples
 
@@ -173,6 +192,45 @@ let on_commit t (e : Node.commit_event) =
       t.closed_count <- t.closed_count + 1
   | Some _ | None -> () (* attached mid-run; no span was opened *)
 
+(* Fail-stop crash life cycle.  The victim's open span (if any) can
+   never commit — its pending state died with the node — so it is
+   aborted rather than left dangling; the post-restart re-submission
+   opens a fresh span.  Each crash yields one recovery record whose
+   detection/restart marks are filled in as the later phases fire. *)
+let on_crash_event t ~time ~node ~phase =
+  match (phase : System.crash_phase) with
+  | System.Crash_down ->
+      let aborted = t.open_spans.(node) <> None in
+      if aborted then begin
+        t.open_spans.(node) <- None;
+        t.aborted_spans <- t.aborted_spans + 1
+      end;
+      t.recoveries <-
+        {
+          r_victim = node;
+          r_crash_at = time;
+          r_detected_at = None;
+          r_restarted_at = None;
+          r_aborted_txn = aborted;
+        }
+        :: t.recoveries
+  | System.Crash_detected -> (
+      match
+        List.find_opt
+          (fun r -> r.r_victim = node && r.r_detected_at = None)
+          t.recoveries
+      with
+      | Some r -> r.r_detected_at <- Some time
+      | None -> ())
+  | System.Crash_restarted -> (
+      match
+        List.find_opt
+          (fun r -> r.r_victim = node && r.r_restarted_at = None)
+          t.recoveries
+      with
+      | Some r -> r.r_restarted_at <- Some time
+      | None -> ())
+
 let take_sample t =
   let sys = t.system in
   {
@@ -193,6 +251,8 @@ let attach ?(sample_every = 0) system =
       open_spans = Array.make (System.config system).Config.nodes None;
       closed = [];
       closed_count = 0;
+      recoveries = [];
+      aborted_spans = 0;
       samples = [];
       next_sample_at = 0;
       sample_every;
@@ -204,6 +264,7 @@ let attach ?(sample_every = 0) system =
   System.on_recv system (fun ~time ~src ~dst msg -> on_recv t ~time ~src ~dst msg);
   System.on_retransmit system (fun ~time ~src ~dst -> on_retransmit t ~time ~src ~dst);
   System.on_commit system (fun e -> on_commit t e);
+  System.on_crash system (fun ~time ~node ~phase -> on_crash_event t ~time ~node ~phase);
   if sample_every > 0 then begin
     (* A self-rescheduling sampler event would keep the queue from ever
        draining, so sampling piggybacks on executed events instead: the

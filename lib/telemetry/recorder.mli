@@ -12,6 +12,25 @@ open Pcc_core
 
 type t
 
+(** One fail-stop crash's recovery span, reconstructed from
+    {!Pcc_core.System.on_crash}: the outage runs from the fail-stop to
+    the restart (or to detection for a victim that never returns). *)
+type recovery = {
+  r_victim : Types.node_id;
+  r_crash_at : int;  (** cycle the node fail-stopped *)
+  mutable r_detected_at : int option;
+      (** cycle the machine-wide recovery sweep completed *)
+  mutable r_restarted_at : int option;
+      (** cycle the node was re-admitted cold; [None] for permanent death *)
+  r_aborted_txn : bool;
+      (** the victim had an open transaction span when it died (the span
+          is aborted, not closed — see {!aborted_span_count}) *)
+}
+
+val outage_cycles : recovery -> int
+(** Crash to restart, or crash to detection when the victim never
+    restarts (0 while neither mark has been recorded yet). *)
+
 (** One reading of the machine's live occupancy gauges. *)
 type sample = {
   s_time : int;
@@ -36,6 +55,15 @@ val spans : t -> Span.t list
 (** Closed spans, oldest first. *)
 
 val span_count : t -> int
+
+val recoveries : t -> recovery list
+(** Recovery spans, oldest first (empty unless the fault profile
+    scheduled crashes). *)
+
+val aborted_span_count : t -> int
+(** Transaction spans aborted because their node fail-stopped mid-flight.
+    Aborted spans are excluded from {!spans} and {!open_span_count}: the
+    post-restart re-submission opens a fresh span. *)
 
 val samples : t -> sample list
 (** Occupancy samples, oldest first (empty unless [sample_every] > 0). *)

@@ -37,6 +37,26 @@ let pp_phase_breakdown ppf spans =
     Span.phases;
   Format.fprintf ppf "@]"
 
+let pp_recoveries ppf recoveries =
+  match recoveries with
+  | [] -> ()
+  | recoveries ->
+      Format.fprintf ppf "@[<v>crash recoveries (%d):" (List.length recoveries);
+      List.iter
+        (fun (r : Recorder.recovery) ->
+          let mark name = function
+            | Some t -> Printf.sprintf "%s@%d" name t
+            | None -> Printf.sprintf "no %s" name
+          in
+          Format.fprintf ppf "@,node %d down@@%d, %s, %s (outage %d cycles%s)"
+            r.Recorder.r_victim r.r_crash_at
+            (mark "detected" r.r_detected_at)
+            (mark "restart" r.r_restarted_at)
+            (Recorder.outage_cycles r)
+            (if r.r_aborted_txn then "; aborted an in-flight transaction" else ""))
+        recoveries;
+      Format.fprintf ppf "@]"
+
 let pp_hot_lines ppf hot =
   match hot with
   | [] -> Format.fprintf ppf "hot lines: none"
@@ -76,10 +96,13 @@ let pp_self_profile ppf p =
     "@[<v>self-profile: %d events in %.3fs wall (%.0f events/s), peak queue depth %d@]"
     p.events_executed p.wall_seconds rate p.peak_queue_depth
 
-let print ?self ppf ~(result : System.result) ~spans ~samples () =
+let print ?self ?(recoveries = []) ppf ~(result : System.result) ~spans ~samples () =
   Format.fprintf ppf "@[<v>%a@,@,%a@,@,%a@,@,%a" System.pp_result result
     pp_latency_table result.stats pp_phase_breakdown spans pp_hot_lines
     result.hot_lines;
+  (match recoveries with
+  | [] -> ()
+  | _ -> Format.fprintf ppf "@,@,%a" pp_recoveries recoveries);
   (match samples with
   | [] -> ()
   | _ -> Format.fprintf ppf "@,@,%a" pp_samples samples);

@@ -18,8 +18,13 @@ val pp_latency_table : Format.formatter -> Run_stats.t -> unit
 val pp_phase_breakdown : Format.formatter -> Span.t list -> unit
 (** Cycles (and share) spent in each protocol phase across the spans. *)
 
+val pp_recoveries : Format.formatter -> Recorder.recovery list -> unit
+(** One line per fail-stop crash: down/detected/restart marks and the
+    outage length.  Prints nothing for an empty list. *)
+
 val print :
   ?self:self_profile ->
+  ?recoveries:Recorder.recovery list ->
   Format.formatter ->
   result:System.result ->
   spans:Span.t list ->
@@ -27,4 +32,5 @@ val print :
   unit ->
   unit
 (** The full report: run summary, latency table, phase breakdown, hot
-    lines, time-series peaks, self-profile. *)
+    lines, crash recoveries (when any), time-series peaks,
+    self-profile. *)

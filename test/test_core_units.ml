@@ -304,9 +304,10 @@ let test_message_class_names_unique () =
       Message.Inval { line; requester = 0 };
       Message.Intervention { line; requester = 0; tid = 0 };
       Message.Transfer { line; requester = 0; tid = 0 };
-      Message.Transfer_ack { line; new_owner = 0 };
+      Message.Transfer_ack { line; new_owner = 0; value = None };
       Message.Data_shared { line; value = 0; source_is_home = true; tid = 0 };
-      Message.Data_exclusive { line; value = 0; acks_expected = 0; tid = 0 };
+      Message.Data_exclusive
+        { line; value = 0; acks_expected = 0; sharers = Nodeset.empty; tid = 0 };
       Message.Inv_ack { line };
       Message.Shared_writeback { line; value = 0; new_sharer = 0 };
       Message.Nack { line; reason = Message.Busy; tid = 0 };

@@ -18,6 +18,7 @@ let () =
       ("oracle", Test_oracle.suite);
       ("telemetry", Test_telemetry.suite);
       ("chaos", Test_chaos.suite);
+      ("crash", Test_crash.suite);
       ("golden", Test_golden.suite);
       ("parallel", Test_parallel.suite);
       ("determinism", Test_determinism.suite);

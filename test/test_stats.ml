@@ -127,6 +127,36 @@ let test_table_arity_check () =
     (Invalid_argument "Table.add_row: wrong number of cells") (fun () ->
       Table.add_row t [ Table.Int 1 ])
 
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_atomic_write () =
+  let dir = Filename.temp_file "pcc_atomic" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let path = Filename.concat dir "artifact.json" in
+  Pcc_stats.Atomic_file.write_string ~path "first\n";
+  Alcotest.(check string) "written" "first\n" (read_file path);
+  (* overwrite is atomic: a failing writer leaves the old artifact and
+     no temp debris behind *)
+  (match
+     Pcc_stats.Atomic_file.write ~path (fun oc ->
+         output_string oc "torn";
+         failwith "interrupted")
+   with
+  | () -> Alcotest.fail "expected the writer's exception to propagate"
+  | exception Failure _ -> ());
+  Alcotest.(check string) "old artifact intact" "first\n" (read_file path);
+  Alcotest.(check (list string)) "no temp debris" [ "artifact.json" ]
+    (Array.to_list (Sys.readdir dir));
+  Pcc_stats.Atomic_file.write_string ~path "second\n";
+  Alcotest.(check string) "replaced" "second\n" (read_file path);
+  Sys.remove path;
+  Sys.rmdir dir
+
 let suite =
   [
     Alcotest.test_case "counter basics" `Quick test_counter_basics;
@@ -142,4 +172,5 @@ let suite =
     Alcotest.test_case "normalize/speedup" `Quick test_normalize_speedup;
     Alcotest.test_case "table render" `Quick test_table_render;
     Alcotest.test_case "table arity check" `Quick test_table_arity_check;
+    Alcotest.test_case "atomic artifact write" `Quick test_atomic_write;
   ]
