@@ -86,6 +86,179 @@ let run_cell ~repeat ~scale (key, app, config) =
   done;
   Option.get !best
 
+(* {2 Perf trajectory}
+
+   [--history FILE] appends one schema-versioned JSONL record per
+   invocation: throughput, allocation per event, delegation / retransmit
+   rates, and per-miss-class latency percentiles.  [--check-history]
+   instead compares the fresh measurement against the file's last record
+   and fails on regression, writing nothing — so CI can gate on the
+   committed trajectory without dirtying the tree.
+
+   Tolerances: wall-clock throughput is the only noisy number (shared CI
+   runners), so it gets a loose 0.5x floor; allocations and the simulated
+   numbers are deterministic, so their bands are tight — they exist only
+   to let an intentional, reviewed change ratchet the record forward. *)
+
+type history = {
+  h_events_per_sec : float;
+  h_minor_words_per_event : float;
+  h_delegation_rate : float;  (* delegations per committed operation *)
+  h_retransmit_rate : float;  (* retransmits per executed event *)
+  h_latency : (string * (float * float * float)) list;
+      (* per miss class: p50, p95, p99 of issue-to-commit latency *)
+}
+
+let history_of_measurements measurements =
+  let total f = List.fold_left (fun acc m -> acc + f m) 0 measurements in
+  let events = total (fun m -> m.events) in
+  let commits = total (fun m -> m.commits) in
+  let seconds = List.fold_left (fun acc m -> acc +. m.seconds) 0.0 measurements in
+  let minor = List.fold_left (fun acc m -> acc +. m.minor_words) 0.0 measurements in
+  let stat f = total (fun m -> f m.result.System.stats) in
+  let delegations = stat (fun s -> s.Run_stats.delegations) in
+  let retransmits = stat (fun s -> s.Run_stats.retransmits) in
+  let latency =
+    List.map
+      (fun mc ->
+        (* merge the per-cell histograms so the percentiles cover the
+           whole harness, not just the last cell *)
+        let merged = Histogram.create () in
+        List.iter
+          (fun m ->
+            List.iter
+              (fun (v, n) -> Histogram.observe_n merged v ~count:n)
+              (Histogram.to_alist (Run_stats.latency_hist m.result.System.stats mc)))
+          measurements;
+        ( Types.miss_class_name mc,
+          (Histogram.p50 merged, Histogram.p95 merged, Histogram.p99 merged) ))
+      Types.miss_classes
+  in
+  {
+    h_events_per_sec = float_of_int events /. seconds;
+    h_minor_words_per_event = minor /. float_of_int events;
+    h_delegation_rate = float_of_int delegations /. float_of_int (max 1 commits);
+    h_retransmit_rate = float_of_int retransmits /. float_of_int (max 1 events);
+    h_latency = latency;
+  }
+
+let history_to_json ~nodes ~scale h =
+  Jsonl.Obj
+    [
+      ("kind", Jsonl.String "pcc-micro-history");
+      ("version", Jsonl.Int 1);
+      ("nodes", Jsonl.Int nodes);
+      ("scale", Jsonl.Float scale);
+      ("events_per_sec", Jsonl.Float h.h_events_per_sec);
+      ("minor_words_per_event", Jsonl.Float h.h_minor_words_per_event);
+      ("delegation_rate", Jsonl.Float h.h_delegation_rate);
+      ("retransmit_rate", Jsonl.Float h.h_retransmit_rate);
+      ( "latency",
+        Jsonl.Obj
+          (List.map
+             (fun (cls, (p50, p95, p99)) ->
+               ( cls,
+                 Jsonl.Obj
+                   [
+                     ("p50", Jsonl.Float p50);
+                     ("p95", Jsonl.Float p95);
+                     ("p99", Jsonl.Float p99);
+                   ] ))
+             h.h_latency) );
+    ]
+
+let history_of_json json =
+  let field name get =
+    match Option.bind (Jsonl.member name json) get with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "history record: missing or ill-typed %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let* kind = field "kind" Jsonl.get_string in
+  let* () =
+    if kind = "pcc-micro-history" then Ok ()
+    else Error (Printf.sprintf "history record: kind %S" kind)
+  in
+  let* version = field "version" Jsonl.get_int in
+  let* () =
+    if version = 1 then Ok ()
+    else Error (Printf.sprintf "history record: unsupported version %d" version)
+  in
+  let* events_per_sec = field "events_per_sec" Jsonl.get_float in
+  let* minor_words = field "minor_words_per_event" Jsonl.get_float in
+  let* delegation_rate = field "delegation_rate" Jsonl.get_float in
+  let* retransmit_rate = field "retransmit_rate" Jsonl.get_float in
+  let* latency_obj =
+    match Jsonl.member "latency" json with
+    | Some (Jsonl.Obj fields) -> Ok fields
+    | _ -> Error "history record: missing latency object"
+  in
+  let* latency =
+    List.fold_left
+      (fun acc (cls, v) ->
+        let* acc = acc in
+        let q name =
+          match Option.bind (Jsonl.member name v) Jsonl.get_float with
+          | Some f -> Ok f
+          | None -> Error (Printf.sprintf "history record: latency.%s.%s" cls name)
+        in
+        let* p50 = q "p50" in
+        let* p95 = q "p95" in
+        let* p99 = q "p99" in
+        Ok ((cls, (p50, p95, p99)) :: acc))
+      (Ok []) latency_obj
+  in
+  Ok
+    {
+      h_events_per_sec = events_per_sec;
+      h_minor_words_per_event = minor_words;
+      h_delegation_rate = delegation_rate;
+      h_retransmit_rate = retransmit_rate;
+      h_latency = List.rev latency;
+    }
+
+let read_last_history path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let last = ref None in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if line <> "" then last := Some line
+         done
+       with End_of_file -> close_in_noerr ic);
+      (match !last with
+      | None -> Error (Printf.sprintf "%s: no history records" path)
+      | Some line ->
+          Result.bind (Jsonl.of_string line) history_of_json)
+
+let check_history ~last fresh =
+  let problems = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  if fresh.h_events_per_sec < last.h_events_per_sec *. 0.5 then
+    fail "throughput regressed: %.0f events/sec vs %.0f recorded (floor 0.5x)"
+      fresh.h_events_per_sec last.h_events_per_sec;
+  if fresh.h_minor_words_per_event > (last.h_minor_words_per_event *. 1.10) +. 0.5 then
+    fail "allocation regressed: %.2f minor words/event vs %.2f recorded (band 1.10x)"
+      fresh.h_minor_words_per_event last.h_minor_words_per_event;
+  if fresh.h_delegation_rate < last.h_delegation_rate *. 0.5 then
+    fail "delegation rate collapsed: %.4f vs %.4f recorded (floor 0.5x)"
+      fresh.h_delegation_rate last.h_delegation_rate;
+  if fresh.h_retransmit_rate > (last.h_retransmit_rate *. 2.0) +. 0.001 then
+    fail "retransmit rate exploded: %.5f vs %.5f recorded (band 2x)"
+      fresh.h_retransmit_rate last.h_retransmit_rate;
+  List.iter
+    (fun (cls, (_, _, p99)) ->
+      match List.assoc_opt cls last.h_latency with
+      | None -> ()
+      | Some (_, _, last_p99) ->
+          if p99 > (last_p99 *. 1.25) +. 1.0 then
+            fail "%s p99 latency regressed: %.0f vs %.0f recorded (band 1.25x)" cls
+              p99 last_p99)
+    fresh.h_latency;
+  List.rev !problems
+
 let () =
   let rec split_opt flag acc = function
     | f :: value :: rest when f = flag -> (Some value, List.rev_append acc rest)
@@ -95,10 +268,19 @@ let () =
     | x :: rest -> split_opt flag (x :: acc) rest
     | [] -> (None, List.rev acc)
   in
+  let split_flag flag args =
+    (List.mem flag args, List.filter (fun a -> a <> flag) args)
+  in
   let args = List.tl (Array.to_list Sys.argv) in
   let json_path, args = split_opt "--json" [] args in
+  let history_path, args = split_opt "--history" [] args in
+  let check_history_flag, args = split_flag "--check-history" args in
   let repeat_arg, args = split_opt "--repeat" [] args in
   let scale_arg, args = split_opt "--scale" [] args in
+  if check_history_flag && history_path = None then begin
+    Printf.eprintf "--check-history requires --history FILE\n";
+    exit 2
+  end;
   (match args with
   | [] -> ()
   | junk ->
@@ -143,7 +325,7 @@ let () =
   Printf.printf "%-12s %12d %12s %14.0f %14.1f\n" "TOTAL" !total_events ""
     (float_of_int !total_events /. !total_seconds)
     (!total_minor /. float_of_int !total_events);
-  match json_path with
+  (match json_path with
   | None -> ()
   | Some path ->
       let runs = List.map (fun m -> (m.key, m.result)) measurements in
@@ -151,4 +333,27 @@ let () =
       Atomic_file.write ~path (fun oc ->
           output_string oc (Jsonl.to_string doc);
           output_char oc '\n');
-      Printf.printf "wrote %s (%d runs)\n" path (List.length runs)
+      Printf.printf "wrote %s (%d runs)\n" path (List.length runs));
+  match history_path with
+  | None -> ()
+  | Some path when check_history_flag -> (
+      match read_last_history path with
+      | Error message ->
+          Printf.eprintf "--check-history: %s\n" message;
+          exit 2
+      | Ok last -> (
+          let fresh = history_of_measurements measurements in
+          match check_history ~last fresh with
+          | [] -> Printf.printf "history check OK against %s\n" path
+          | problems ->
+              Printf.printf "HISTORY REGRESSION vs %s:\n" path;
+              List.iter (fun p -> Printf.printf "  %s\n" p) problems;
+              exit 3))
+  | Some path ->
+      let record = history_of_measurements measurements in
+      let line = Jsonl.to_string (history_to_json ~nodes ~scale record) in
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      output_string oc line;
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "appended history record to %s\n" path

@@ -43,6 +43,26 @@ let jobs ?(what = "runs") () =
 let json ?(doc = "Write machine-readable results to $(docv).") () =
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
 
+let metrics ?(doc_suffix = "") () =
+  let doc =
+    "Write a unified metrics snapshot to $(docv) on exit: $(b,*.json) gets the \
+     JSON registry snapshot, any other extension the OpenMetrics text \
+     exposition.  Deterministic: sorted by (name, labels) and byte-identical \
+     at every --jobs level." ^ doc_suffix
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"PATH" ~doc)
+
+(* Every tool funnels its exit through this: build the registry only when
+   the user asked for the file, so default runs stay write-free. *)
+let write_metrics path fill =
+  match path with
+  | None -> ()
+  | Some path ->
+      let registry = Pcc.Telemetry.Registry.create () in
+      fill registry;
+      Pcc.Telemetry.Registry.add_pool registry;
+      Pcc.Telemetry.Registry.write registry ~path
+
 let max_events ?(default = 50_000_000) ?(doc = "Event budget per run.") () =
   Arg.(value & opt int default & info [ "max-events" ] ~docv:"N" ~doc)
 

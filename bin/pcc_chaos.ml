@@ -105,6 +105,9 @@ type run_report = {
   rr_crashes : int;
   rr_restarts : int;
   rr_crash_revoked : int;
+  rr_flight_dump : string option;
+      (* armed post-mortem path for this run — the artifact to open when
+         the run fails *)
 }
 
 (* Fail-stop schedule for one run, derived purely from the run's own
@@ -128,7 +131,8 @@ let crash_schedule_for ~chaos_seed ~nodes ~crash_victims ~crash_nodes ~restart_a
     | explicit -> List.map2 (fun (c : Fault.crash) victim -> { c with victim }) sched explicit
 
 let run_one ~bench ~config_name ~nodes ~scale ~seed ~profile_name ~txn_timeout
-    ~fallback_threshold ~max_events ~crash_victims ~crash_nodes ~restart_after =
+    ~fallback_threshold ~max_events ~crash_victims ~crash_nodes ~restart_after
+    ~flight_dir =
   let desc =
     { Oracle.Trace.bench; config_name; nodes; scale; seed; fault = false }
   in
@@ -162,6 +166,15 @@ let run_one ~bench ~config_name ~nodes ~scale ~seed ~profile_name ~txn_timeout
   let programs = Oracle.Trace.programs_of_desc desc in
   let total_ops = count_accesses programs in
   let sys = System.create ~config () in
+  (* Deterministic per-run artifact path: a function of the run's own
+     identity, so parallel workers never collide and reruns overwrite. *)
+  (match flight_dir with
+  | None -> ()
+  | Some dir ->
+      System.arm_flight_dump sys
+        ~path:
+          (Filename.concat dir
+             (Printf.sprintf "seed%d-%s-%s.flight.json" seed profile_name bench)));
   let _audit = Oracle.Audit.attach sys in
   let committed = ref 0 in
   System.on_commit sys (fun _ -> incr committed);
@@ -184,6 +197,7 @@ let run_one ~bench ~config_name ~nodes ~scale ~seed ~profile_name ~txn_timeout
       rr_crashes = 0;
       rr_restarts = 0;
       rr_crash_revoked = 0;
+      rr_flight_dump = System.flight_dump_path sys;
     }
   in
   match System.run_programs ~max_events sys programs with
@@ -242,7 +256,12 @@ let print_report ~verbose (r : run_report) =
   | problems ->
       Printf.printf "FAIL seed=%d profile=%s bench=%s config=%s\n" r.rr_seed
         r.rr_profile r.rr_bench r.rr_config;
-      List.iter (fun p -> Printf.printf "  %s\n%!" p) problems
+      List.iter (fun p -> Printf.printf "  %s\n%!" p) problems;
+      (match r.rr_flight_dump with
+      | Some path ->
+          Printf.printf "  post-mortem: %s (decode with pcc_trace --flight %s)\n%!"
+            path path
+      | None -> ())
 
 let json_of_report (r : run_report) =
   Jsonl.Obj
@@ -264,6 +283,8 @@ let json_of_report (r : run_report) =
       ("crashes", Jsonl.Int r.rr_crashes);
       ("restarts", Jsonl.Int r.rr_restarts);
       ("crash_revoked", Jsonl.Int r.rr_crash_revoked);
+      ( "flight_dump",
+        match r.rr_flight_dump with Some p -> Jsonl.String p | None -> Jsonl.Null );
     ]
 
 let write_json path t reports =
@@ -295,7 +316,8 @@ let write_json path t reports =
       output_char oc '\n')
 
 let main seeds nodes scale profile_filter txn_timeout fallback_threshold max_events
-    jobs json_path verbose crash_victims crash_nodes restart_after =
+    jobs json_path verbose crash_victims crash_nodes restart_after flight_dir
+    metrics_path =
   if nodes < 2 then begin
     Printf.eprintf "pcc_chaos: --nodes must be at least 2 (got %d)\n" nodes;
     2
@@ -325,6 +347,15 @@ let main seeds nodes scale profile_filter txn_timeout fallback_threshold max_eve
     2
   end
   else begin
+    let flight_dir =
+      match flight_dir with
+      | "none" -> None
+      | dir ->
+          (match Sys.mkdir dir 0o755 with
+          | () -> ()
+          | exception Sys_error _ -> ());
+          Some dir
+    in
     let profiles =
       match profile_filter with
       | Some name -> [ name ]
@@ -351,7 +382,7 @@ let main seeds nodes scale profile_filter txn_timeout fallback_threshold max_eve
             fun () ->
               run_one ~bench ~config_name:"full" ~nodes ~scale ~seed ~profile_name
                 ~txn_timeout ~fallback_threshold ~max_events ~crash_victims
-                ~crash_nodes ~restart_after ))
+                ~crash_nodes ~restart_after ~flight_dir ))
         cells
     in
     let reports = Pool.run_keyed ~jobs tasks in
@@ -372,6 +403,21 @@ let main seeds nodes scale profile_filter txn_timeout fallback_threshold max_eve
       Printf.printf "crashed: %d fail-stops, %d restarts, %d delegations revoked\n"
         t.crashes t.restarts t.crash_revoked;
     (match json_path with Some path -> write_json path t reports | None -> ());
+    Cli_common.write_metrics metrics_path (fun registry ->
+        let module R = Telemetry.Registry in
+        R.counter registry "pcc_chaos_runs" t.runs;
+        R.counter registry "pcc_chaos_failures" t.failures;
+        R.counter registry "pcc_chaos_injected_drops" t.injected_drops;
+        R.counter registry "pcc_chaos_injected_dups" t.injected_dups;
+        R.counter registry "pcc_chaos_injected_delays" t.injected_delays;
+        R.counter registry "pcc_chaos_injected_outages" t.injected_outages;
+        R.counter registry "pcc_retransmits" t.retransmits;
+        R.counter registry "pcc_dup_dropped" t.dup_dropped;
+        R.counter registry "pcc_txn_timeouts" t.txn_timeouts;
+        R.counter registry "pcc_fallbacks" t.fallbacks;
+        R.counter registry "pcc_crashes" t.crashes;
+        R.counter registry "pcc_restarts" t.restarts;
+        R.counter registry "pcc_crash_revoked" t.crash_revoked);
     if t.failures > 0 then 1
     else if t.retransmits = 0 || t.dup_dropped = 0 then begin
       (* a sweep that never had to recover proves nothing *)
@@ -442,6 +488,17 @@ let restart_after_arg =
            positive: a sweep's pass criterion needs every victim back to \
            commit its remaining operations.")
 
+let flight_dir_arg =
+  Arg.(
+    value & opt string "flight-dumps"
+    & info [ "flight-dir" ] ~docv:"DIR"
+        ~doc:
+          "Directory for flight-recorder post-mortems (created if missing; \
+           $(b,none) disables arming).  Every run arms a deterministic \
+           per-run dump path there; on a stall, crash or oracle violation \
+           the retained event window lands at that path and the failure \
+           report names it (decode with $(b,pcc_trace --flight)).")
+
 let cmd =
   let term =
     Term.(
@@ -457,7 +514,8 @@ let cmd =
           ~doc:"Write machine-readable per-run reports and the final tally to $(docv)."
           ()
       $ Cli_common.verbose ~doc:"Print each passing run." ()
-      $ crash_arg $ crash_nodes_arg $ restart_after_arg)
+      $ crash_arg $ crash_nodes_arg $ restart_after_arg $ flight_dir_arg
+      $ Cli_common.metrics ())
   in
   Cmd.v
     (Cmd.info "pcc_chaos"

@@ -23,8 +23,18 @@ let workload_of_string = function
   | "pc" | "producer-consumer" -> Ok Model.Producer_consumer
   | other -> Error (Printf.sprintf "unknown workload %S" other)
 
+(* Checker counters for --metrics: every outcome carries stats. *)
+let checker_metrics registry (stats : Pcc.Checker.stats) ~violations ~deadlocks =
+  let module R = Pcc.Telemetry.Registry in
+  R.counter registry "pcc_check_states_explored" stats.Pcc.Checker.states_explored;
+  R.counter registry "pcc_check_transitions" stats.Pcc.Checker.transitions;
+  R.gauge registry "pcc_check_max_depth" stats.Pcc.Checker.max_depth;
+  R.gauge registry "pcc_check_complete" (if stats.Pcc.Checker.complete then 1 else 0);
+  R.counter registry "pcc_check_invariant_violations" violations;
+  R.counter registry "pcc_check_deadlocks" deadlocks
+
 let run_model_check nodes lines ops workload delegation updates bug max_states jobs spill
-    por =
+    por metrics_path =
   match (bug_of_string bug, workload_of_string workload) with
   | Error message, _ | _, Error message ->
       prerr_endline message;
@@ -45,9 +55,16 @@ let run_model_check nodes lines ops workload delegation updates bug max_states j
       let (module M) = Model.make ~por params in
       let outcome = Checker.run (module M) ~max_states ~jobs ?spill () in
       Format.printf "%a@." (Checker.pp_outcome M.pp) outcome;
+      Cli_common.write_metrics metrics_path (fun registry ->
+          match outcome with
+          | Checker.Ok stats -> checker_metrics registry stats ~violations:0 ~deadlocks:0
+          | Checker.Invariant_violation { stats; _ } ->
+              checker_metrics registry stats ~violations:1 ~deadlocks:0
+          | Checker.Deadlock { stats; _ } ->
+              checker_metrics registry stats ~violations:0 ~deadlocks:1);
       (match outcome with Checker.Ok _ -> 0 | _ -> 2)
 
-let run_litmus jobs mutate =
+let run_litmus jobs mutate metrics_path =
   let results =
     if mutate then
       (* detection sanity check: the corpus must fail against the broken
@@ -60,6 +77,10 @@ let run_litmus jobs mutate =
   in
   List.iter (fun r -> Format.printf "%a@." Litmus.pp_result r) results;
   let failed = Litmus.failures results in
+  Cli_common.write_metrics metrics_path (fun registry ->
+      let module R = Pcc.Telemetry.Registry in
+      R.counter registry "pcc_litmus_runs" (List.length results);
+      R.counter registry "pcc_litmus_failures" (List.length failed));
   if mutate then
     if failed = [] then begin
       Format.printf "mutation NOT detected: %d runs all passed@." (List.length results);
@@ -76,11 +97,11 @@ let run_litmus jobs mutate =
   end
 
 let run litmus mutate nodes lines ops workload delegation updates bug max_states jobs
-    spill por =
-  if litmus || mutate then run_litmus jobs mutate
+    spill por metrics_path =
+  if litmus || mutate then run_litmus jobs mutate metrics_path
   else
     run_model_check nodes lines ops workload delegation updates bug max_states jobs spill
-      por
+      por metrics_path
 
 let nodes_arg = Cli_common.nodes ~default:3 ~doc:"Nodes in the model." ()
 
@@ -161,7 +182,7 @@ let cmd =
     Term.(
       const run $ litmus_arg $ mutate_arg $ nodes_arg $ lines_arg $ ops_arg
       $ workload_arg $ delegation_arg $ updates_arg $ bug_arg $ max_states_arg
-      $ jobs_arg $ spill_arg $ por_arg)
+      $ jobs_arg $ spill_arg $ por_arg $ Cli_common.metrics ())
   in
   Cmd.v
     (Cmd.info "pcc_check" ~doc:"Verify the adaptive coherence protocol") term

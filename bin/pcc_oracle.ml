@@ -41,17 +41,21 @@ let report_failure ~trace ~artifact_written (report : Oracle.Runner.report) =
     Printf.printf "  trace written to %s\n" trace
   end
 
-let run_sweep ~seeds ~nodes ~scale ~max_lines ~trace =
+let run_sweep ~seeds ~nodes ~scale ~max_lines ~trace ~metrics_path =
   let failures = ref 0 in
   let runs = ref 0 in
   let ops = ref 0 in
   let steps = ref 0 in
   let artifact_written = ref false in
+  let results = ref [] in
   for seed = 1 to seeds do
     List.iter
       (fun desc ->
         incr runs;
         let report = Oracle.Runner.run ~max_lines desc in
+        (match report.result with
+        | Some r -> results := r :: !results
+        | None -> ());
         (match report.diff with
         | Some o ->
             ops := !ops + o.Oracle.Diff.ops_replayed;
@@ -65,6 +69,15 @@ let run_sweep ~seeds ~nodes ~scale ~max_lines ~trace =
   done;
   Printf.printf "%d runs, %d failures; %d ops replayed through the model (%d steps)\n"
     !runs !failures !ops !steps;
+  Cli_common.write_metrics metrics_path (fun registry ->
+      let module R = Telemetry.Registry in
+      List.iter
+        (fun r -> R.add_result ~summaries:false registry r)
+        (List.rev !results);
+      R.counter registry "pcc_oracle_runs" !runs;
+      R.counter registry "pcc_oracle_failures" !failures;
+      R.counter registry "pcc_oracle_ops_replayed" !ops;
+      R.counter registry "pcc_oracle_model_steps" !steps);
   if !failures = 0 then 0 else 1
 
 let run_fault ~nodes ~scale ~trace =
@@ -139,7 +152,7 @@ let run_golden ~nodes ~scale ~seed =
     configs;
   0
 
-let main seeds nodes scale max_lines trace replay inject_fault golden =
+let main seeds nodes scale max_lines trace replay inject_fault golden metrics_path =
   if nodes < 2 then begin
     Printf.eprintf "pcc_oracle: --nodes must be at least 2 (got %d)\n" nodes;
     2
@@ -150,7 +163,7 @@ let main seeds nodes scale max_lines trace replay inject_fault golden =
     | Some path -> run_replay ~max_lines ~path
     | None ->
         if inject_fault then run_fault ~nodes ~scale ~trace
-        else run_sweep ~seeds ~nodes ~scale ~max_lines ~trace
+        else run_sweep ~seeds ~nodes ~scale ~max_lines ~trace ~metrics_path
 
 let max_lines_arg =
   Arg.(
@@ -186,7 +199,9 @@ let cmd =
       const main $ Cli_common.seeds ()
       $ Cli_common.nodes ~default:6 ()
       $ Cli_common.scale ~default:0.15 ~doc:"Run-length scale for app benchmarks." ()
-      $ max_lines_arg $ trace_arg $ replay_arg $ fault_arg $ golden_arg)
+      $ max_lines_arg $ trace_arg $ replay_arg $ fault_arg $ golden_arg
+      $ Cli_common.metrics
+          ~doc_suffix:" (sweep mode only; other modes ignore the flag)" ())
   in
   Cmd.v
     (Cmd.info "pcc_oracle"

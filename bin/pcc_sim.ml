@@ -15,7 +15,7 @@ let machine_of_string nodes = function
   | other -> Error (Printf.sprintf "unknown machine %S" other)
 
 let run app_name machine nodes scale seed delegate_entries rac_kb intervention_delay
-    hop_latency verbose =
+    hop_latency verbose metrics_path flight_dump =
   match Workloads.find app_name with
   | None ->
       Printf.eprintf "unknown app %S (try: %s)\n" app_name
@@ -49,7 +49,14 @@ let run app_name machine nodes scale seed delegate_entries rac_kb intervention_d
           Format.printf "app=%s machine=%s nodes=%d scale=%.2f ops=%d@." app.name
             (Config.describe config) nodes scale
             (Workload_gen.total_ops programs);
-          let result = System.run ~config ~programs () in
+          let sys = System.create ~config () in
+          (match flight_dump with
+          | Some path -> System.arm_flight_dump sys ~path
+          | None -> ());
+          let result = System.run_programs sys programs in
+          Cli_common.write_metrics metrics_path (fun registry ->
+              Telemetry.Registry.add_result registry result;
+              Telemetry.Registry.add_system registry sys);
           Format.printf "cycles            %d@." result.System.cycles;
           Format.printf "network messages  %d (%d KB)@." result.System.network_messages
             (result.System.network_bytes / 1024);
@@ -87,13 +94,24 @@ let hop_arg =
     & opt (some int) None
     & info [ "hop-latency" ] ~docv:"CYCLES" ~doc:"Override network hop latency.")
 
+let flight_dump_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-dump" ] ~docv:"PATH"
+        ~doc:
+          "Arm the always-on flight recorder's post-mortem: on a stall, crash \
+           or uncaught exception the retained event window is dumped to \
+           $(docv) (decode with $(b,pcc_trace --flight)).")
+
 let cmd =
   let term =
     Term.(
       const run $ Cli_common.app () $ Cli_common.config () $ Cli_common.nodes ()
       $ Cli_common.scale () $ Cli_common.seed () $ delegate_arg $ rac_arg $ delay_arg
       $ hop_arg
-      $ Cli_common.verbose ~doc:"Print per-class message counters." ())
+      $ Cli_common.verbose ~doc:"Print per-class message counters." ()
+      $ Cli_common.metrics () $ flight_dump_arg)
   in
   Cmd.v
     (Cmd.info "pcc_sim" ~doc:"Simulate a workload on the adaptive coherence protocol")

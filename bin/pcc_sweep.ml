@@ -43,7 +43,7 @@ let write_json path ~app_name ~knob ~nodes ~scale ~(base : System.result) rows =
       output_string oc (Jsonl.to_string doc);
       output_char oc '\n')
 
-let run app_name knob values nodes scale jobs json_path =
+let run app_name knob values nodes scale jobs json_path metrics_path =
   match Workloads.find app_name with
   | None ->
       Printf.eprintf "unknown app %S\n" app_name;
@@ -104,6 +104,14 @@ let run app_name knob values nodes scale jobs json_path =
           | Some path ->
               write_json path ~app_name:app.name ~knob ~nodes ~scale ~base results
           | None -> ());
+          (* Aggregate registry: counters sum across every swept setting
+             (summaries skipped — they would just keep the last run). *)
+          Cli_common.write_metrics metrics_path (fun registry ->
+              List.iter
+                (fun r -> Telemetry.Registry.add_result ~summaries:false registry r)
+                (base :: List.map snd results);
+              Telemetry.Registry.gauge registry "pcc_sweep_settings"
+                (List.length results));
           if !failed then 2 else 0)
 
 let knob_arg =
@@ -123,7 +131,8 @@ let cmd =
       const run $ Cli_common.app ~default:"MG" () $ knob_arg $ values_arg
       $ Cli_common.nodes () $ Cli_common.scale ()
       $ Cli_common.jobs ~what:"settings" ()
-      $ Cli_common.json ~doc:"Write machine-readable sweep results to $(docv)." ())
+      $ Cli_common.json ~doc:"Write machine-readable sweep results to $(docv)." ()
+      $ Cli_common.metrics ())
   in
   Cmd.v (Cmd.info "pcc_sweep" ~doc:"Sweep one machine parameter over a workload") term
 

@@ -45,7 +45,22 @@ let programs_of ~bench ~nodes ~scale ~seed ~config_name =
     Oracle.Trace.programs_of_desc
       { Oracle.Trace.bench; config_name; nodes; scale; seed; fault = false }
 
-let main bench config_name nodes scale seed sample_every out_dir max_events =
+(* Post-mortem decode mode: turn a flight-recorder dump into a readable
+   timeline on stdout and a Perfetto fragment next to the dump file. *)
+let decode_flight path =
+  match Telemetry.Flight.load path with
+  | Error message ->
+      Printf.eprintf "pcc_trace --flight: %s\n" message;
+      2
+  | Ok dump ->
+      Format.printf "@[<v>%a@]@?" Telemetry.Flight.pp_timeline dump;
+      let perfetto_path = path ^ ".perfetto.json" in
+      Telemetry.Flight.write_perfetto ~path:perfetto_path dump;
+      Format.printf "wrote %s (load at https://ui.perfetto.dev)@." perfetto_path;
+      0
+
+let run_traced ~bench ~config_name ~nodes ~scale ~seed ~sample_every ~out_dir
+    ~max_events ~metrics_path =
   let config =
     Oracle.Trace.config_of_desc
       { Oracle.Trace.bench; config_name; nodes; scale; seed; fault = false }
@@ -63,6 +78,9 @@ let main bench config_name nodes scale seed sample_every out_dir max_events =
   let spans = Telemetry.Recorder.spans recorder in
   let samples = Telemetry.Recorder.samples recorder in
   let recoveries = Telemetry.Recorder.recoveries recorder in
+  Cli_common.write_metrics metrics_path (fun registry ->
+      Telemetry.Registry.add_result registry result;
+      Telemetry.Registry.add_system registry sys);
   let trace_path = Filename.concat out_dir "trace.json" in
   let metrics_path = Filename.concat out_dir "metrics.jsonl" in
   Telemetry.Perfetto.write ~recoveries ~path:trace_path spans;
@@ -86,6 +104,24 @@ let main bench config_name nodes scale seed sample_every out_dir max_events =
   end
   else if result.System.outcome <> Sim.Drained then 1
   else 0
+
+let main bench config_name nodes scale seed sample_every out_dir max_events flight
+    metrics_path =
+  match flight with
+  | Some path -> decode_flight path
+  | None ->
+      run_traced ~bench ~config_name ~nodes ~scale ~seed ~sample_every ~out_dir
+        ~max_events ~metrics_path
+
+let flight_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight" ] ~docv:"FILE"
+        ~doc:
+          "Decode a flight-recorder post-mortem dump instead of running a \
+           workload: print the retained event window as a timeline and write \
+           $(docv).perfetto.json next to it.")
 
 let bench_arg =
   Arg.(
@@ -117,7 +153,8 @@ let cmd =
       $ Cli_common.scale ~default:0.15 ~doc:"Run-length scale for app benchmarks." ()
       $ Cli_common.seed ~default:7 ()
       $ sample_arg $ out_dir_arg
-      $ Cli_common.max_events ~doc:"Event budget for the run." ())
+      $ Cli_common.max_events ~doc:"Event budget for the run." ()
+      $ flight_arg $ Cli_common.metrics ())
   in
   Cmd.v
     (Cmd.info "pcc_trace"

@@ -48,7 +48,8 @@ module Consumer = struct
 
   let insert t line home =
     match Cache.insert t line home with
-    | Cache.Inserted _ | Cache.All_ways_pinned -> ()
+    | Cache.Inserted (Some _) -> true
+    | Cache.Inserted None | Cache.All_ways_pinned -> false
 
   let remove t line = ignore (Cache.remove t line)
 

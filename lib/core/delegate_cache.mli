@@ -57,8 +57,10 @@ module Consumer : sig
   val find : t -> Types.line -> Types.node_id option
   (** The hinted delegated home, if a (possibly stale) entry exists. *)
 
-  val insert : t -> Types.line -> Types.node_id -> unit
-  (** May silently evict a random entry of the target set. *)
+  val insert : t -> Types.line -> Types.node_id -> bool
+  (** May evict a random entry of the target set; returns [true] when it
+      did (capacity pressure, counted by the node for the bench-dedup
+      soundness check). *)
 
   val remove : t -> Types.line -> unit
   (** Drop a hint discovered to be stale. *)

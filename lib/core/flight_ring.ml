@@ -1,0 +1,232 @@
+module Jsonl = Pcc_stats.Jsonl
+
+(* Packed event layout (second word):
+     bits 32..35  kind
+     bits 24..31  detail (message class / op kind / crash phase / note)
+     bits 12..23  src node
+     bits  0..11  dst node
+   Times, free-form args and line numbers (which carry the home node in
+   their upper bits and do not fit 24 bits) get their own arrays. *)
+
+let k_send = 0
+let k_recv = 1
+let k_retransmit = 2
+let k_issue = 3
+let k_commit = 4
+let k_crash = 5
+let k_note = 6
+let kind_count = 7
+
+let kind_name = function
+  | 0 -> "send"
+  | 1 -> "recv"
+  | 2 -> "retransmit"
+  | 3 -> "issue"
+  | 4 -> "commit"
+  | 5 -> "crash"
+  | 6 -> "note"
+  | _ -> "?"
+
+let n_timeout = 0
+let n_fallback = 1
+let n_delegate = 2
+let n_delegation_refused = 3
+let n_undelegate = 4
+let n_revoke = 5
+let n_predictor = 6
+let n_dir_state = 7
+let note_count = 8
+
+let note_name = function
+  | 0 -> "timeout"
+  | 1 -> "fallback"
+  | 2 -> "delegate"
+  | 3 -> "delegation-refused"
+  | 4 -> "undelegate"
+  | 5 -> "revoke"
+  | 6 -> "predictor"
+  | 7 -> "dir-state"
+  | _ -> "?"
+
+let dstate_code : Directory.dstate -> int = function
+  | Directory.Unowned -> 0
+  | Directory.Shared_s -> 1
+  | Directory.Excl -> 2
+  | Directory.Busy_shared -> 3
+  | Directory.Busy_excl -> 4
+  | Directory.Dele -> 5
+
+let dstate_name = function
+  | 0 -> "Unowned"
+  | 1 -> "Shared"
+  | 2 -> "Excl"
+  | 3 -> "BusyShared"
+  | 4 -> "BusyExcl"
+  | 5 -> "Dele"
+  | _ -> "?"
+
+type t = {
+  mask : int;
+  times : int array;
+  codes : int array;
+  args : int array;
+  lines : int array;
+  mutable head : int;  (* events ever recorded; head land mask = next slot *)
+}
+
+let rec pow2_at_least n acc = if acc >= n then acc else pow2_at_least n (acc * 2)
+
+let create ?(capacity = 4096) () =
+  let cap = pow2_at_least (max 2 capacity) 2 in
+  {
+    mask = cap - 1;
+    times = Array.make cap 0;
+    codes = Array.make cap 0;
+    args = Array.make cap 0;
+    lines = Array.make cap 0;
+    head = 0;
+  }
+
+let pack_code ~kind ~detail ~src ~dst =
+  (kind lsl 32) lor ((detail land 0xff) lsl 24)
+  lor ((src land 0xfff) lsl 12)
+  lor (dst land 0xfff)
+
+let record t ~time ~kind ~detail ~src ~dst ~line ~arg =
+  let i = t.head land t.mask in
+  t.times.(i) <- time;
+  t.codes.(i) <- pack_code ~kind ~detail ~src ~dst;
+  t.args.(i) <- arg;
+  t.lines.(i) <- line;
+  t.head <- t.head + 1
+
+let total t = t.head
+
+let capacity t = t.mask + 1
+
+type event = {
+  e_time : int;
+  e_kind : int;
+  e_detail : int;
+  e_src : int;
+  e_dst : int;
+  e_arg : int;
+  e_line : int;
+}
+
+let unpack ~time ~code ~arg ~line =
+  {
+    e_time = time;
+    e_kind = (code lsr 32) land 0xf;
+    e_detail = (code lsr 24) land 0xff;
+    e_src = (code lsr 12) land 0xfff;
+    e_dst = code land 0xfff;
+    e_arg = arg;
+    e_line = line;
+  }
+
+(* Oldest retained event first: once the ring has wrapped, the slot the
+   next record would overwrite is the oldest one retained. *)
+let fold_window t f acc =
+  let cap = t.mask + 1 in
+  let n = min t.head cap in
+  let start = t.head - n in
+  let acc = ref acc in
+  for k = start to t.head - 1 do
+    let i = k land t.mask in
+    acc :=
+      f !acc
+        (unpack ~time:t.times.(i) ~code:t.codes.(i) ~arg:t.args.(i)
+           ~line:t.lines.(i))
+  done;
+  !acc
+
+let events t = List.rev (fold_window t (fun acc e -> e :: acc) [])
+
+type dump = {
+  d_reason : string;
+  d_time : int;
+  d_nodes : int;
+  d_config : string;
+  d_recorded : int;
+  d_capacity : int;
+  d_events : event list;
+}
+
+let dump_to_json t ~reason ~time ~nodes ~config =
+  let events =
+    fold_window t
+      (fun acc e ->
+        Jsonl.List
+          [
+            Jsonl.Int e.e_time;
+            Jsonl.Int (pack_code ~kind:e.e_kind ~detail:e.e_detail ~src:e.e_src ~dst:e.e_dst);
+            Jsonl.Int e.e_arg;
+            Jsonl.Int e.e_line;
+          ]
+        :: acc)
+      []
+    |> List.rev
+  in
+  Jsonl.Obj
+    [
+      ("kind", Jsonl.String "pcc-flight");
+      ("version", Jsonl.Int 1);
+      ("reason", Jsonl.String reason);
+      ("time", Jsonl.Int time);
+      ("nodes", Jsonl.Int nodes);
+      ("config", Jsonl.String config);
+      ("recorded", Jsonl.Int t.head);
+      ("capacity", Jsonl.Int (t.mask + 1));
+      ("events", Jsonl.List events);
+    ]
+
+let dump_of_json json =
+  let ( let* ) r f = Result.bind r f in
+  let field name get =
+    match Option.bind (Jsonl.member name json) get with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "flight dump: missing or ill-typed %S" name)
+  in
+  let* kind = field "kind" Jsonl.get_string in
+  let* () =
+    if kind = "pcc-flight" then Ok ()
+    else Error (Printf.sprintf "flight dump: kind %S is not pcc-flight" kind)
+  in
+  let* version = field "version" Jsonl.get_int in
+  let* () =
+    if version = 1 then Ok ()
+    else Error (Printf.sprintf "flight dump: unsupported version %d" version)
+  in
+  let* reason = field "reason" Jsonl.get_string in
+  let* time = field "time" Jsonl.get_int in
+  let* nodes = field "nodes" Jsonl.get_int in
+  let* config = field "config" Jsonl.get_string in
+  let* recorded = field "recorded" Jsonl.get_int in
+  let* capacity = field "capacity" Jsonl.get_int in
+  let* events = field "events" Jsonl.get_list in
+  let* events =
+    List.fold_left
+      (fun acc ev ->
+        let* acc = acc in
+        match ev with
+        | Jsonl.List [ Jsonl.Int time; Jsonl.Int code; Jsonl.Int arg; Jsonl.Int line ]
+          ->
+            Ok (unpack ~time ~code ~arg ~line :: acc)
+        | _ -> Error "flight dump: event is not a [time,code,arg,line] int quad")
+      (Ok []) events
+  in
+  Ok
+    {
+      d_reason = reason;
+      d_time = time;
+      d_nodes = nodes;
+      d_config = config;
+      d_recorded = recorded;
+      d_capacity = capacity;
+      d_events = List.rev events;
+    }
+
+let write_dump t ~path ~reason ~time ~nodes ~config =
+  Pcc_stats.Atomic_file.write_string ~path
+    (Jsonl.to_string (dump_to_json t ~reason ~time ~nodes ~config) ^ "\n")

@@ -135,6 +135,20 @@ let class_name = function
   | Update_flush _ -> "update-flush"
   | Update_flush_ack _ -> "update-flush-ack"
 
+(* Keep in sync with [class_index] / [class_name] above. *)
+let class_index_names =
+  [|
+    "get-shared"; "get-exclusive"; "writeback"; "writeback-ack"; "inval";
+    "intervention"; "transfer"; "transfer-ack"; "data-shared"; "data-exclusive";
+    "inv-ack"; "shared-writeback"; "nack"; "delegate"; "new-home";
+    "fwd-get-shared"; "recall"; "recall-nack"; "undelegate"; "update";
+    "update-flush"; "update-flush-ack";
+  |]
+
+let class_index_name i =
+  if i >= 0 && i < class_count then class_index_names.(i)
+  else Printf.sprintf "class-%d" i
+
 let pp_nack_reason ppf reason =
   Format.pp_print_string ppf
     (match reason with Busy -> "busy" | Not_home -> "not-home" | Pending -> "pending")

@@ -125,4 +125,9 @@ val class_index : t -> int
 (** Dense index in [0, class_count): the allocation-free companion of
     {!class_name}, for per-class tables on the hot path. *)
 
+val class_index_name : int -> string
+(** Inverse of {!class_index}: [class_index_name (class_index m)] is
+    [class_name m].  Out-of-range indices decode as ["class-<i>"] so
+    flight-dump decoders degrade gracefully on future schema drift. *)
+
 val pp : Format.formatter -> t -> unit

@@ -110,6 +110,13 @@ type t = {
       (* cached [stats.message_classes] cells, indexed by
          [Message.class_index]; filled lazily so untouched classes never
          appear in reports, then bumped without hashing the class name *)
+  flight : Flight_ring.t;
+      (* always-on post-mortem recorder, shared machine-wide; the record
+         path is allocation-free so it stays armed in every run *)
+  mutable deledc_pressure : int;
+      (* delegate-cache capacity events (producer victims, locked-set
+         refusals, consumer-hint evictions): zero means a larger delegate
+         cache would have run identically (bench dedup) *)
   mutable next_tid : int;
   mutable pending : pending option;
   mutable alive : bool;
@@ -136,12 +143,24 @@ let on_recv t f = t.recv_hooks <- t.recv_hooks @ [ f ]
 
 let on_retransmit t f = t.retransmit_hooks <- t.retransmit_hooks @ [ f ]
 
+let op_code = function Types.Load -> 0 | Types.Store -> 1
+
+(* Flight-recorder notes: protocol decision points recorded straight into
+   the shared ring (no observer closure, no allocation). *)
+let note t ~code ~line ~arg =
+  Flight_ring.record t.flight ~time:(Sim.now t.sim) ~kind:Flight_ring.k_note
+    ~detail:code ~src:t.id ~dst:t.id ~line ~arg
+
 let notify_issue t ~kind ~line =
+  Flight_ring.record t.flight ~time:(Sim.now t.sim) ~kind:Flight_ring.k_issue
+    ~detail:(op_code kind) ~src:t.id ~dst:t.id ~line ~arg:0;
   match t.issue_hooks with
   | [] -> ()
   | fs -> List.iter (fun f -> f ~time:(Sim.now t.sim) ~kind ~line) fs
 
 let notify_commit t ~kind ~line ~value ~started ~l2_hit ~miss =
+  Flight_ring.record t.flight ~time:(Sim.now t.sim) ~kind:Flight_ring.k_commit
+    ~detail:(op_code kind) ~src:t.id ~dst:t.id ~line ~arg:value;
   match t.commit_hooks with
   | [] -> ()
   | hooks ->
@@ -162,6 +181,12 @@ let notify_commit t ~kind ~line ~value ~started ~l2_hit ~miss =
 let directory t = t.dir
 
 let home_of line = Types.Layout.home_of_line line
+
+(* Every home-directory state change funnels through here so the flight
+   recorder sees line state transitions. *)
+let set_dstate t line (entry : Directory.entry) st =
+  entry.state <- st;
+  note t ~code:Flight_ring.n_dir_state ~line ~arg:(Flight_ring.dstate_code st)
 
 let find_producer t line =
   match t.producer_table with Some table -> Producer.find table line | None -> None
@@ -204,6 +229,9 @@ let effective_intervention_delay t entry =
 (* ------------------------------------------------------------------ *)
 
 let send t ~dst msg =
+  Flight_ring.record t.flight ~time:(Sim.now t.sim) ~kind:Flight_ring.k_send
+    ~detail:(Message.class_index msg) ~src:t.id ~dst ~line:(Message.line_of msg)
+    ~arg:0;
   (match t.trace with
   | [] -> ()
   | fs -> List.iter (fun f -> f ~time:(Sim.now t.sim) ~dst msg) fs);
@@ -403,6 +431,7 @@ let undelegate_common t line entry ~pending =
   in
   t.stats.undelegations <- t.stats.undelegations + 1;
   Run_stats.note_churn t.stats ~line;
+  note t ~code:Flight_ring.n_undelegate ~line ~arg:0;
   send t ~dst:(home_of line)
     (Undelegate { line; sharers; owner = None; value = Some value; pending })
 
@@ -472,6 +501,7 @@ let force_fallback t line =
   if not (Hashtbl.mem t.fallback_lines line) then begin
     Hashtbl.replace t.fallback_lines line ();
     t.stats.fallbacks <- t.stats.fallbacks + 1;
+    note t ~code:Flight_ring.n_fallback ~line ~arg:0;
     (match t.consumer_table with
     | Some table -> Consumer.remove table line
     | None -> ());
@@ -749,7 +779,7 @@ let rec home_get_shared t ~src ~tid line =
   | Directory.Unowned | Directory.Shared_s ->
       let unique = not (Nodeset.mem entry.sharers src) in
       Predictor.record_read t.params access.predictor ~reader:src ~unique;
-      entry.state <- Directory.Shared_s;
+      set_dstate t line entry Directory.Shared_s;
       entry.sharers <- Nodeset.add entry.sharers src;
       send_after t
         ~delay:(access.latency + dram_delay t)
@@ -762,7 +792,7 @@ let rec home_get_shared t ~src ~tid line =
           (Nack { line; reason = Message.Pending; tid })
       else begin
         Predictor.record_read t.params access.predictor ~reader:src ~unique:true;
-        entry.state <- Directory.Busy_shared;
+        set_dstate t line entry Directory.Busy_shared;
         entry.requester <- src;
         entry.requester_op <- Types.Load;
         entry.requester_tid <- tid;
@@ -792,7 +822,7 @@ and home_get_exclusive t ~src ~tid line =
   match entry.state with
   | Directory.Unowned ->
       Predictor.record_write t.params access.predictor ~writer:src;
-      entry.state <- Directory.Excl;
+      set_dstate t line entry Directory.Excl;
       entry.owner <- src;
       entry.sharers <- Nodeset.empty;
       send_after t
@@ -829,12 +859,14 @@ and home_get_exclusive t ~src ~tid line =
         (* a crash-revoked line stays on the base protocol *)
         && not (Hashtbl.mem t.fallback_lines line)
       in
+      note t ~code:Flight_ring.n_predictor ~line ~arg:(if is_pc then 1 else 0);
       entry.owner <- src;
       entry.sharers <- Nodeset.empty;
       if delegate then begin
         t.stats.delegations <- t.stats.delegations + 1;
         Run_stats.note_churn t.stats ~line;
-        entry.state <- Directory.Dele;
+        note t ~code:Flight_ring.n_delegate ~line ~arg:n;
+        set_dstate t line entry Directory.Dele;
         send_after t
           ~delay:(access.latency + dram_delay t)
           ~dst:src
@@ -842,7 +874,7 @@ and home_get_exclusive t ~src ~tid line =
              { line; sharers = consumers; value = entry.mem_value; acks_expected = n; tid })
       end
       else begin
-        entry.state <- Directory.Excl;
+        set_dstate t line entry Directory.Excl;
         send_after t
           ~delay:(access.latency + dram_delay t)
           ~dst:src
@@ -861,7 +893,7 @@ and home_get_exclusive t ~src ~tid line =
           (Nack { line; reason = Message.Pending; tid })
       else begin
         Predictor.record_write t.params access.predictor ~writer:src;
-        entry.state <- Directory.Busy_excl;
+        set_dstate t line entry Directory.Busy_excl;
         entry.requester <- src;
         entry.requester_op <- Types.Store;
         entry.requester_tid <- tid;
@@ -879,7 +911,7 @@ and home_get_exclusive t ~src ~tid line =
       else begin
         (* undelegation reason 3 (§2.3.3): another node wants exclusivity *)
         Predictor.record_write t.params access.predictor ~writer:src;
-        entry.state <- Directory.Busy_excl;
+        set_dstate t line entry Directory.Busy_excl;
         entry.requester <- src;
         entry.requester_op <- Types.Store;
         entry.requester_tid <- tid;
@@ -908,14 +940,14 @@ let on_writeback t ~src line ~value =
   match entry.state with
   | Directory.Excl when entry.owner = src ->
       entry.mem_value <- value;
-      entry.state <- Directory.Unowned;
+      set_dstate t line entry Directory.Unowned;
       entry.owner <- -1
   | Directory.Busy_shared when entry.owner = src ->
       (* the intervention crossed the writeback: serve the waiting reader
          from home memory (unless that reader has died meanwhile) *)
       entry.mem_value <- value;
       if requester_current t entry then begin
-        entry.state <- Directory.Shared_s;
+        set_dstate t line entry Directory.Shared_s;
         entry.sharers <- Nodeset.singleton entry.requester;
         send_after t
           ~delay:(access.latency + dram_delay t)
@@ -923,14 +955,14 @@ let on_writeback t ~src line ~value =
           (Data_shared { line; value; source_is_home = true; tid = entry.requester_tid })
       end
       else begin
-        entry.state <- Directory.Unowned;
+        set_dstate t line entry Directory.Unowned;
         entry.owner <- -1;
         entry.sharers <- Nodeset.empty
       end
   | Directory.Busy_excl when entry.owner = src ->
       (* the transfer crossed the writeback: grant the waiting writer *)
       entry.mem_value <- value;
-      entry.state <- Directory.Unowned;
+      set_dstate t line entry Directory.Unowned;
       entry.owner <- -1;
       if requester_current t entry then
         home_service_request t
@@ -940,7 +972,7 @@ let on_writeback t ~src line ~value =
       (* the new owner wrote back before its Transfer_ack arrived: the
          transfer evidently completed, so the transaction ends here *)
       entry.mem_value <- value;
-      entry.state <- Directory.Unowned;
+      set_dstate t line entry Directory.Unowned;
       entry.owner <- -1
   | Directory.Unowned | Directory.Shared_s | Directory.Excl | Directory.Busy_shared
   | Directory.Busy_excl | Directory.Dele ->
@@ -951,7 +983,7 @@ let on_shared_writeback t ~src line ~value ~new_sharer =
   match entry.state with
   | Directory.Busy_shared when entry.owner = src ->
       entry.mem_value <- value;
-      entry.state <- Directory.Shared_s;
+      set_dstate t line entry Directory.Shared_s;
       (* the served reader joins the sharing vector only if it is still
          the incarnation that asked (its cache died with it otherwise) *)
       entry.sharers <-
@@ -976,14 +1008,14 @@ let on_transfer_ack t ~src line ~new_owner ~value =
       | Some v -> if v > entry.mem_value then entry.mem_value <- v
       | None -> ());
       if requester_current t entry then begin
-        entry.state <- Directory.Excl;
+        set_dstate t line entry Directory.Excl;
         entry.owner <- new_owner;
         entry.sharers <- Nodeset.empty
       end
       else begin
         (* the new owner died (or restarted cold) before taking the
            grant: ownership reverts to home memory *)
-        entry.state <- Directory.Unowned;
+        set_dstate t line entry Directory.Unowned;
         entry.owner <- -1;
         entry.sharers <- Nodeset.empty
       end
@@ -1002,17 +1034,17 @@ let on_undelegate t ~src line ~sharers ~owner ~value ~pending =
       Directory.reset_predictor t.dir line;
       (match owner with
       | Some node ->
-          entry.state <- Directory.Excl;
+          set_dstate t line entry Directory.Excl;
           entry.owner <- node;
           entry.sharers <- Nodeset.empty
       | None ->
           entry.owner <- -1;
           if Nodeset.is_empty sharers then begin
-            entry.state <- Directory.Unowned;
+            set_dstate t line entry Directory.Unowned;
             entry.sharers <- Nodeset.empty
           end
           else begin
-            entry.state <- Directory.Shared_s;
+            set_dstate t line entry Directory.Shared_s;
             entry.sharers <- sharers
           end);
       (match pending with
@@ -1102,6 +1134,7 @@ let on_delegate t ~src line ~sharers ~value ~acks_expected ~tid =
       let refuse () =
         t.stats.delegation_refusals <- t.stats.delegation_refusals + 1;
         Run_stats.note_churn t.stats ~line;
+        note t ~code:Flight_ring.n_delegation_refused ~line ~arg:0;
         send t ~dst:src
           (Undelegate
              { line; sharers = Nodeset.empty; owner = Some t.id; value = None; pending = None });
@@ -1136,11 +1169,13 @@ let on_delegate t ~src line ~sharers ~value ~acks_expected ~tid =
             in
             match Producer.insert table line entry with
             | Producer.Set_locked ->
+                t.deledc_pressure <- t.deledc_pressure + 1;
                 Rac.invalidate rac line;
                 refuse ()
             | Producer.Inserted victim ->
                 (match victim with
                 | Some (victim_line, victim_entry) ->
+                    t.deledc_pressure <- t.deledc_pressure + 1;
                     undelegate_victim t victim_line victim_entry
                 | None -> ());
                 Producer.lock table line;
@@ -1210,7 +1245,9 @@ let on_nack t line ~reason ~tid =
 
 let on_new_home t line ~new_home =
   match t.consumer_table with
-  | Some table when new_home <> t.id -> Consumer.insert table line new_home
+  | Some table when new_home <> t.id ->
+      if Consumer.insert table line new_home then
+        t.deledc_pressure <- t.deledc_pressure + 1
   | Some _ | None -> ()
 
 let on_inval t line ~requester =
@@ -1289,6 +1326,9 @@ let on_update_flush_ack t ~src line =
 (* ------------------------------------------------------------------ *)
 
 let handle_message t ~src (msg : Message.t) =
+  Flight_ring.record t.flight ~time:(Sim.now t.sim) ~kind:Flight_ring.k_recv
+    ~detail:(Message.class_index msg) ~src ~dst:t.id ~line:(Message.line_of msg)
+    ~arg:0;
   (match t.recv_hooks with
   | [] -> ()
   | fs -> List.iter (fun f -> f ~time:(Sim.now t.sim) ~src msg) fs);
@@ -1342,6 +1382,7 @@ let rec arm_txn_timeout t p ~delay =
       | Some q when q == p ->
           t.stats.txn_timeouts <- t.stats.txn_timeouts + 1;
           p.timeouts <- p.timeouts + 1;
+          note t ~code:Flight_ring.n_timeout ~line:p.line ~arg:p.timeouts;
           if Sim.trace_enabled t.sim then
             Sim.record t.sim ~time:(Sim.now t.sim)
               (Printf.sprintf "node %d: %s on line %d@%d timed out (strike %d)" t.id
@@ -1437,8 +1478,8 @@ let submit t ~kind ~line ~on_commit =
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let create ?alive_view ~config ~sim ~network ~id ~stats ~memcheck ~next_version ~rng
-    () =
+let create ?alive_view ?flight ~config ~sim ~network ~id ~stats ~memcheck
+    ~next_version ~rng () =
   let open Config in
   if config.speculative_updates && not config.rac_enabled then
     invalid_arg "Node.create: speculative updates require a RAC";
@@ -1446,6 +1487,9 @@ let create ?alive_view ~config ~sim ~network ~id ~stats ~memcheck ~next_version 
     invalid_arg "Node.create: delegation requires a RAC";
   let alive_view =
     match alive_view with Some a -> a | None -> Array.make config.nodes true
+  in
+  let flight =
+    match flight with Some f -> f | None -> Flight_ring.create ()
   in
   let l2 =
     L2.create ~rng:(Pcc_engine.Rng.split rng) ~lines:(Config.l2_lines config)
@@ -1512,6 +1556,8 @@ let create ?alive_view ~config ~sim ~network ~id ~stats ~memcheck ~next_version 
       strikes = Hashtbl.create 16;
       fallback_lines = Hashtbl.create 16;
       class_cells = Array.make Message.class_count None;
+      flight;
+      deledc_pressure = 0;
       next_tid = 0;
       pending = None;
       alive = true;
@@ -1526,6 +1572,8 @@ let create ?alive_view ~config ~sim ~network ~id ~stats ~memcheck ~next_version 
   handler := (fun ~src msg -> handle_message t ~src msg);
   (retransmit_notify :=
      fun ~dst ->
+       Flight_ring.record t.flight ~time:(Sim.now t.sim)
+         ~kind:Flight_ring.k_retransmit ~detail:0 ~src:t.id ~dst ~line:(-1) ~arg:0;
        match t.retransmit_hooks with
        | [] -> ()
        | fs -> List.iter (fun f -> f ~time:(Sim.now t.sim) ~dst) fs);
@@ -1545,6 +1593,12 @@ let rac_updates_consumed t =
 
 let rac_updates_wasted t =
   match t.rac with Some rac -> Rac.updates_wasted rac | None -> 0
+
+let rac_pressure t = match t.rac with Some rac -> Rac.pressure rac | None -> 0
+
+let deledc_pressure t = t.deledc_pressure
+
+let flight t = t.flight
 
 let is_delegated_producer t line = find_producer t line <> None
 
@@ -1794,7 +1848,7 @@ let recovery_invalidate t line =
    copies that match it as sharers, and drop the rest.  The Shared_s
    invariant promises every covered copy equals home memory, so stale
    survivors (pre-escape values) are invalidated. *)
-let rebuild_stable_from_survivors nodes line (entry : Directory.entry) =
+let rebuild_stable_from_survivors t nodes line (entry : Directory.entry) =
   let v_rec = surviving_value nodes line in
   entry.mem_value <- v_rec;
   let holders = ref Nodeset.empty in
@@ -1820,7 +1874,7 @@ let rebuild_stable_from_survivors nodes line (entry : Directory.entry) =
     nodes;
   entry.owner <- -1;
   entry.sharers <- !holders;
-  entry.state <-
+  set_dstate t line entry
     (if Nodeset.is_empty !holders then Directory.Unowned else Directory.Shared_s)
 
 (* The line's registered owner (exclusive holder or delegated home)
@@ -1844,7 +1898,7 @@ let rebuild_dead_owner t nodes line (entry : Directory.entry) =
     nodes;
   (match !excl_holder with
   | Some (owner, value) ->
-      entry.state <- Directory.Excl;
+      set_dstate t line entry Directory.Excl;
       entry.owner <- owner;
       entry.sharers <- Nodeset.empty;
       if value > entry.mem_value then entry.mem_value <- value;
@@ -1852,14 +1906,15 @@ let rebuild_dead_owner t nodes line (entry : Directory.entry) =
         (fun node ->
           if node.alive && node.id <> owner then recovery_invalidate node line)
         nodes
-  | None -> rebuild_stable_from_survivors nodes line entry);
+  | None -> rebuild_stable_from_survivors t nodes line entry);
   (match was with
   | Directory.Dele ->
       (* delegation revoked: demote the line to the verified base
          protocol and make the predictor re-earn any future delegation *)
       Directory.reset_predictor t.dir line;
       force_fallback t line;
-      t.stats.crash_revoked <- t.stats.crash_revoked + 1
+      t.stats.crash_revoked <- t.stats.crash_revoked + 1;
+      note t ~code:Flight_ring.n_revoke ~line ~arg:0
   | _ -> t.stats.crash_pruned <- t.stats.crash_pruned + 1);
   (* a Busy entry whose requester is still current gets re-served from
      the rebuilt state: the dead owner can no longer answer for it *)
@@ -1921,12 +1976,12 @@ let normalize_dead_home t nodes line (entry : Directory.entry) =
   match entry.state with
   | Directory.Busy_shared | Directory.Busy_excl ->
       if owner_holds_excl then begin
-        entry.state <- Directory.Excl;
+        set_dstate t line entry Directory.Excl;
         entry.sharers <- Nodeset.empty;
         t.stats.crash_pruned <- t.stats.crash_pruned + 1
       end
       else if not (resolution_in_flight nodes ~dead:t.id line) then begin
-        rebuild_stable_from_survivors nodes line entry;
+        rebuild_stable_from_survivors t nodes line entry;
         t.stats.crash_pruned <- t.stats.crash_pruned + 1
       end
   | Directory.Excl ->
@@ -1943,7 +1998,7 @@ let normalize_dead_home t nodes line (entry : Directory.entry) =
         (not owner_holds_excl) && (not owner_committing)
         && not (resolution_in_flight nodes ~dead:t.id line)
       then begin
-        rebuild_stable_from_survivors nodes line entry;
+        rebuild_stable_from_survivors t nodes line entry;
         t.stats.crash_pruned <- t.stats.crash_pruned + 1
       end
   | Directory.Unowned | Directory.Shared_s | Directory.Dele -> ()
@@ -2060,7 +2115,7 @@ let recover_after_crash nodes ~dead ~will_restart =
             entry.sharers <- Nodeset.remove entry.sharers dead;
             stats.crash_pruned <- stats.crash_pruned + 1;
             if entry.state = Directory.Shared_s && Nodeset.is_empty entry.sharers
-            then entry.state <- Directory.Unowned
+            then set_dstate home line entry Directory.Unowned
           end;
           if entry.owner = dead then (
             match entry.state with

@@ -12,6 +12,7 @@ type t
 
 val create :
   ?alive_view:bool array ->
+  ?flight:Flight_ring.t ->
   config:Config.t ->
   sim:Pcc_engine.Simulator.t ->
   network:Message.t Hub_link.frame Pcc_interconnect.Network.t ->
@@ -29,7 +30,9 @@ val create :
     [next_version] supplies globally unique store values for coherence
     checking.  [alive_view] is the machine-wide aliveness array shared
     by every node of one system (crash-capable machines; defaults to a
-    private all-alive array). *)
+    private all-alive array).  [flight] is the machine-wide always-on
+    flight recorder every protocol event is written into (defaults to a
+    private ring); the record path allocates nothing. *)
 
 val id : t -> Types.node_id
 
@@ -96,6 +99,19 @@ val rac_value : t -> Types.line -> int option
 val rac_updates_consumed : t -> int
 
 val rac_updates_wasted : t -> int
+
+val rac_pressure : t -> int
+(** RAC capacity events (evictions + pinned-set fill refusals); see
+    {!Rac.pressure}. *)
+
+val deledc_pressure : t -> int
+(** Delegate-cache capacity events: producer-table victims and
+    locked-set refusals plus consumer-hint evictions.  Zero means a
+    larger delegate cache would have run byte-identically (the bench
+    matrix collapses such configs). *)
+
+val flight : t -> Flight_ring.t
+(** The machine-wide flight recorder this node records into. *)
 
 val is_delegated_producer : t -> Types.line -> bool
 (** True when this node currently holds a producer-table entry for the

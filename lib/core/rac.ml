@@ -8,11 +8,19 @@ type t = {
   cache : entry Cache.t;
   mutable updates_consumed : int;
   mutable updates_wasted : int;
+  mutable evictions : int;
+  mutable fill_refusals : int;
 }
 
 let create ~rng ~lines ~ways () =
   assert (lines > 0 && ways > 0 && lines mod ways = 0);
-  { cache = Cache.create ~policy:Lru ~rng ~sets:(lines / ways) ~ways (); updates_consumed = 0; updates_wasted = 0 }
+  {
+    cache = Cache.create ~policy:Lru ~rng ~sets:(lines / ways) ~ways ();
+    updates_consumed = 0;
+    updates_wasted = 0;
+    evictions = 0;
+    fill_refusals = 0;
+  }
 
 let lookup t line =
   match Cache.find t.cache line with
@@ -46,9 +54,15 @@ let fill t line ~value ~origin =
       let pin = origin = Delegated in
       match Cache.insert ~pin t.cache line entry with
       | Cache.Inserted victim ->
-          (match victim with Some (_, v) -> account_lost_push t (Some v) | None -> ());
+          (match victim with
+          | Some (_, v) ->
+              t.evictions <- t.evictions + 1;
+              account_lost_push t (Some v)
+          | None -> ());
           true
-      | Cache.All_ways_pinned -> false)
+      | Cache.All_ways_pinned ->
+          t.fill_refusals <- t.fill_refusals + 1;
+          false)
 
 let write t line ~value =
   match Cache.peek t.cache line with
@@ -74,6 +88,12 @@ let capacity t = Cache.capacity t.cache
 let updates_consumed t = t.updates_consumed
 
 let updates_wasted t = t.updates_wasted
+
+let evictions t = t.evictions
+
+let fill_refusals t = t.fill_refusals
+
+let pressure t = t.evictions + t.fill_refusals
 
 let peek t line =
   match Cache.peek t.cache line with Some entry -> Some entry.value | None -> None

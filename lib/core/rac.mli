@@ -51,6 +51,18 @@ val updates_consumed : t -> int
 val updates_wasted : t -> int
 (** Pushed updates invalidated or evicted before any local read. *)
 
+val evictions : t -> int
+(** Valid entries displaced by a capacity fill. *)
+
+val fill_refusals : t -> int
+(** Fills refused because every way of the set was pinned. *)
+
+val pressure : t -> int
+(** [evictions + fill_refusals] — zero exactly when this RAC never felt
+    capacity pressure, in which case a larger RAC (same associativity,
+    set count a multiple of this one's) would have behaved identically.
+    The bench matrix uses this to collapse redundant size configs. *)
+
 val peek : t -> Types.line -> int option
 (** Value without recency or consumption side effects. *)
 

@@ -38,13 +38,24 @@ let json_of_result ~key (r : System.result) =
 
 let to_string ~key r = Jsonl.to_string (json_of_result ~key r)
 
-let document ~nodes ~scale runs =
+let document ?(dedup = []) ~nodes ~scale runs =
   let runs = List.sort (fun (a, _) (b, _) -> compare a b) runs in
+  let dedup_field =
+    match dedup with
+    | [] -> []
+    | pairs ->
+        let pairs = List.sort compare pairs in
+        [
+          ( "dedup",
+            Jsonl.Obj (List.map (fun (key, donor) -> (key, Jsonl.String donor)) pairs) );
+        ]
+  in
   Jsonl.Obj
-    [
-      ("nodes", Jsonl.Int nodes);
-      ("scale", Jsonl.Float scale);
-      ("runs", Jsonl.List (List.map (fun (k, r) -> json_of_result ~key:k r) runs));
-    ]
+    ([
+       ("nodes", Jsonl.Int nodes);
+       ("scale", Jsonl.Float scale);
+       ("runs", Jsonl.List (List.map (fun (k, r) -> json_of_result ~key:k r) runs));
+     ]
+    @ dedup_field)
 
 let delegation_expected (r : System.result) = r.System.config.Config.delegation_enabled

@@ -14,9 +14,16 @@ val to_string : key:string -> System.result -> string
     the determinism tests compare. *)
 
 val document :
-  nodes:int -> scale:float -> (string * System.result) list -> Pcc_stats.Jsonl.t
+  ?dedup:(string * string) list ->
+  nodes:int ->
+  scale:float ->
+  (string * System.result) list ->
+  Pcc_stats.Jsonl.t
 (** Whole-artifact document: runs are sorted by key so the byte output
-    is independent of evaluation order. *)
+    is independent of evaluation order.  [dedup] (collapsed key, donor
+    key) pairs record rows that reused another run's result because the
+    donor's capacity-pressure counters proved the two bit-identical;
+    when non-empty they appear as a ["dedup"] object sorted by key. *)
 
 val delegation_expected : System.result -> bool
 (** True when the run's configuration enables delegation, i.e. a

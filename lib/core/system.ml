@@ -31,12 +31,51 @@ type t = {
     (time:int -> node:Types.node_id -> phase:crash_phase -> unit) list;
   mutable last_finish : int;
   mutable commits : int;  (* watchdog progress counter (hardened mode) *)
+  flight : Flight_ring.t;  (* always-on machine-wide flight recorder *)
+  mutable flight_dump : string option;
+      (* armed post-mortem path: stalls, crashes, and uncaught exceptions
+         (oracle violations included) dump the flight window here *)
 }
 
 let on_crash t f = t.crash_hooks <- t.crash_hooks @ [ f ]
 
+let flight t = t.flight
+
+let arm_flight_dump t ~path = t.flight_dump <- Some path
+
+let flight_dump_path t = t.flight_dump
+
+(* Write the retained flight window to the armed path (atomic temp +
+   rename); a no-op when no dump path is armed, so byte-diff CI runs see
+   no extra artifacts unless a CLI asked for them. *)
+let dump_flight t ~reason =
+  match t.flight_dump with
+  | None -> None
+  | Some path ->
+      Flight_ring.write_dump t.flight ~path ~reason ~time:(Sim.now t.sim)
+        ~nodes:t.config.nodes ~config:(Config.describe t.config);
+      Some path
+
+let crash_phase_code = function
+  | Crash_down -> 0
+  | Crash_detected -> 1
+  | Crash_restarted -> 2
+
+let crash_phase_name = function
+  | Crash_down -> "down"
+  | Crash_detected -> "detected"
+  | Crash_restarted -> "restarted"
+
 let fire_crash_hooks t ~node ~phase =
   let time = Sim.now t.sim in
+  Flight_ring.record t.flight ~time ~kind:Flight_ring.k_crash
+    ~detail:(crash_phase_code phase) ~src:node ~dst:node ~line:(-1) ~arg:0;
+  (match
+     dump_flight t
+       ~reason:
+         (Printf.sprintf "crash: node %d %s" node (crash_phase_name phase))
+   with
+  | Some _ | None -> ());
   List.iter (fun f -> f ~time ~node ~phase) t.crash_hooks
 
 (* A barrier releases every processor [barrier_latency] cycles after the
@@ -143,9 +182,10 @@ let create ~(config : Config.t) () =
   in
   let rng = Pcc_engine.Rng.create ~seed:config.seed in
   let alive_view = Array.make config.nodes true in
+  let flight = Flight_ring.create () in
   let nodes =
     Array.init config.nodes (fun id ->
-        Node.create ~alive_view ~config ~sim ~network ~id ~stats ~memcheck
+        Node.create ~alive_view ~flight ~config ~sim ~network ~id ~stats ~memcheck
           ~next_version
           ~rng:(Pcc_engine.Rng.split rng)
           ())
@@ -165,6 +205,8 @@ let create ~(config : Config.t) () =
       crash_hooks = [];
       last_finish = 0;
       commits = 0;
+      flight;
+      flight_dump = None;
     }
   in
   (match config.net_faults with
@@ -299,6 +341,7 @@ type stall_report = {
   stall_unfinished : int;
   stall_in_flight : in_flight list;
   stall_recent : (int * string) list;
+  stall_flight_dump : string option;
 }
 
 type result = {
@@ -312,6 +355,8 @@ type result = {
   invariant_errors : string list;
   updates_consumed : int;
   updates_wasted : int;
+  rac_pressure : int;
+  deledc_pressure : int;
   hot_lines : (Types.line * Run_stats.line_activity) list;
   stall : stall_report option;
 }
@@ -333,6 +378,12 @@ let pp_stall_report ppf r =
   | events ->
       Format.fprintf ppf "@,recent events:";
       List.iter (fun (time, label) -> Format.fprintf ppf "@,  [%d] %s" time label) events);
+  (match r.stall_flight_dump with
+  | None -> ()
+  | Some path ->
+      Format.fprintf ppf
+        "@,post-mortem flight dump: %s (decode with pcc_trace --flight %s)" path
+        path);
   Format.fprintf ppf "@]"
 
 let run_programs ?max_events (t : t) programs =
@@ -407,7 +458,18 @@ let run_programs ?max_events (t : t) programs =
                program; the run can still drain without it *)
             if Nodeset.mem t.dead_forever node then finish node ()
         | Crash_restarted -> resume_stepper.(node) ());
-  let outcome = Sim.run ?max_events t.sim in
+  let outcome =
+    try Sim.run ?max_events t.sim
+    with exn ->
+      (* oracle violations and other observer exceptions abort the run:
+         leave a post-mortem behind before propagating *)
+      let bt = Printexc.get_raw_backtrace () in
+      (match
+         dump_flight t ~reason:("uncaught exception: " ^ Printexc.to_string exn)
+       with
+      | Some _ | None -> ());
+      Printexc.raise_with_backtrace exn bt
+  in
   let invariant_errors =
     if !remaining = 0 && outcome = Sim.Drained then Node.check_invariants t.nodes
     else
@@ -423,6 +485,12 @@ let run_programs ?max_events (t : t) programs =
   let updates_wasted =
     Array.fold_left (fun acc node -> acc + Node.rac_updates_wasted node) 0 t.nodes
   in
+  let rac_pressure =
+    Array.fold_left (fun acc node -> acc + Node.rac_pressure node) 0 t.nodes
+  in
+  let deledc_pressure =
+    Array.fold_left (fun acc node -> acc + Node.deledc_pressure node) 0 t.nodes
+  in
   let stall =
     if outcome = Sim.Drained && !remaining = 0 then None
     else
@@ -430,6 +498,11 @@ let run_programs ?max_events (t : t) programs =
         {
           stall_outcome = outcome;
           stall_unfinished = !remaining;
+          stall_flight_dump =
+            dump_flight t
+              ~reason:
+                (Format.asprintf "run ended %a with %d processor(s) unfinished"
+                   Sim.pp_outcome outcome !remaining);
           stall_in_flight =
             Array.to_list t.nodes
             |> List.filter_map (fun node ->
@@ -457,6 +530,8 @@ let run_programs ?max_events (t : t) programs =
     invariant_errors;
     updates_consumed;
     updates_wasted;
+    rac_pressure;
+    deledc_pressure;
     hot_lines = Run_stats.top_lines t.stats ~n:10;
     stall;
   }

@@ -45,6 +45,23 @@ val check_invariants : t -> string list
 (** Run the machine-wide structural invariants; call on a quiesced
     system. *)
 
+(** {2 Flight recorder (always-on post-mortem)} *)
+
+val flight : t -> Flight_ring.t
+(** The machine-wide flight recorder.  Always running: every message
+    send/receive/retransmission, issue, commit, directory state change,
+    protocol decision note and crash phase lands in its ring, with an
+    allocation-free record path. *)
+
+val arm_flight_dump : t -> path:string -> unit
+(** Arm a post-mortem dump path.  When armed, the retained flight window
+    is written there (atomic temp+rename, one JSON line) on a stalled or
+    unfinished run, on every crash phase, and on an uncaught exception
+    escaping the simulation loop (oracle violations included).  Decode
+    with [pcc_trace --flight].  Unarmed systems never write files. *)
+
+val flight_dump_path : t -> string option
+
 (** {2 Observer hooks (online auditors)} *)
 
 val on_post_event : t -> (unit -> unit) -> unit
@@ -145,6 +162,9 @@ type stall_report = {
   stall_recent : (int * string) list;
       (** bounded recent-event trace (time, label), oldest first; empty
           unless the watchdog armed it (hardened mode) *)
+  stall_flight_dump : string option;
+      (** where the flight-recorder post-mortem was written, when
+          {!arm_flight_dump} armed one — the artifact to open first *)
 }
 
 val pp_stall_report : Format.formatter -> stall_report -> unit
@@ -161,6 +181,12 @@ type result = {
   invariant_errors : string list;
   updates_consumed : int;  (** pushed updates later read by a consumer *)
   updates_wasted : int;
+  rac_pressure : int;
+      (** machine-wide RAC capacity events (evictions + pinned-set fill
+          refusals); zero means a larger RAC would have run identically *)
+  deledc_pressure : int;
+      (** machine-wide delegate-cache capacity events; zero means a
+          larger delegate cache would have run identically *)
   hot_lines : (Types.line * Run_stats.line_activity) list;
       (** the 10 busiest lines by misses + invalidations + delegation
           churn, busiest first *)

@@ -28,6 +28,30 @@ let jobs_from_env () =
 let default_jobs () =
   match jobs_from_env () with Some n -> n | None -> available_cores ()
 
+(* Process-wide job accounting for the metrics registry.  Attempts are
+   bumped from worker domains (hence atomics); completed/failed are
+   tallied at collection time in the submitting domain, so the totals
+   are identical at any pool size (jobs-1-vs-N byte-identity of metric
+   exports).  With wall-clock timeouts in play attempt counts can vary
+   between runs — that nondeterminism is the timeout's, not the pool's. *)
+let jobs_completed = Atomic.make 0
+let jobs_failed = Atomic.make 0
+let job_attempts = Atomic.make 0
+
+type stats = { completed : int; failed : int; attempts : int }
+
+let stats () =
+  {
+    completed = Atomic.get jobs_completed;
+    failed = Atomic.get jobs_failed;
+    attempts = Atomic.get job_attempts;
+  }
+
+let reset_stats () =
+  Atomic.set jobs_completed 0;
+  Atomic.set jobs_failed 0;
+  Atomic.set job_attempts 0
+
 (* Outcome of one job, stored at its submission index. *)
 type 'a outcome =
   | Ok of 'a
@@ -75,6 +99,7 @@ let run_job ~timeout ~retries ~backoff key thunk =
     | Some seconds -> attempt_under_timeout ~seconds key thunk
   in
   let rec go n delay =
+    Atomic.incr job_attempts;
     match attempt () with
     | Ok _ as ok -> ok
     | Failed f ->
@@ -88,6 +113,11 @@ let run_job ~timeout ~retries ~backoff key thunk =
 
 (* Collect in submission order; the earliest failure wins. *)
 let collect outcomes =
+  Array.iter
+    (function
+      | Ok _ -> Atomic.incr jobs_completed
+      | Failed _ -> Atomic.incr jobs_failed)
+    outcomes;
   Array.to_list outcomes
   |> List.map (function
        | Ok v -> v

@@ -38,6 +38,20 @@ val jobs_from_env : unit -> int option
 val default_jobs : unit -> int
 (** [PCC_JOBS] if set, else {!available_cores}. *)
 
+(** {2 Job accounting (metrics registry)} *)
+
+type stats = { completed : int; failed : int; attempts : int }
+
+val stats : unit -> stats
+(** Process-wide pool totals since start (or the last {!reset_stats}):
+    jobs that returned a value, jobs that exhausted their attempts, and
+    every attempt made.  Identical at any pool size — failure and
+    completion tallies happen at collection time in the submitting
+    domain — so metric exports stay byte-identical at [--jobs] 1 vs N.
+    (Attempt counts can vary only when wall-clock [?timeout]s fire.) *)
+
+val reset_stats : unit -> unit
+
 val run_keyed :
   ?timeout:float ->
   ?retries:int ->

@@ -1,0 +1,35 @@
+(** Flight-recorder post-mortem decoding.
+
+    {!Pcc_core.Flight_ring} owns the hot recording path and the raw dump
+    format; this module is the presentation side: load a dump file,
+    render the retained window as a human-readable timeline, and emit a
+    Perfetto fragment so the same window can be inspected next to a full
+    [pcc_trace] capture.  Entry point: [pcc_trace --flight FILE]. *)
+
+type dump = Pcc_core.Flight_ring.dump
+
+type event = Pcc_core.Flight_ring.event
+
+val load : string -> (dump, string) result
+(** Read and decode a one-line JSON flight dump written by
+    {!Pcc_core.System.arm_flight_dump}. *)
+
+val describe : event -> string
+(** One human-readable line for one event (no timestamp), e.g.
+    ["send get-shared 3->0 line 5@0"] or ["dir-state line 5@0 -> Dele"]. *)
+
+val pp_event : Format.formatter -> event -> unit
+(** ["[%8d] %s"] — timestamp column plus {!describe}. *)
+
+val pp_timeline : Format.formatter -> dump -> unit
+(** Dump header (reason, config, window coverage) followed by every
+    retained event, oldest first. *)
+
+val perfetto_json : dump -> Pcc_stats.Jsonl.t
+(** The retained window as a Perfetto [traceEvents] object: one instant
+    event per flight record on the source node's track (pid 0, tid =
+    node id, sim cycles as microseconds — the same conventions as
+    {!Perfetto}). *)
+
+val write_perfetto : path:string -> dump -> unit
+(** Atomic write of {!perfetto_json} (one line). *)

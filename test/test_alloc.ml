@@ -61,8 +61,32 @@ let check_checker budget () =
        canonicalization or expansion added allocation"
       per_state budget
 
+(* The flight recorder's whole value proposition is that it can stay on
+   for every run: the record path must store its four ints and touch the
+   minor heap not at all.  The tiny slack absorbs Gc accounting, not
+   per-event allocation (100k events would turn one boxed word into
+   100k). *)
+let check_flight_record () =
+  let ring = Flight_ring.create ~capacity:1024 () in
+  let events = 100_000 in
+  Gc.full_major ();
+  let before = Gc.minor_words () in
+  for i = 0 to events - 1 do
+    Flight_ring.record ring ~time:i ~kind:Flight_ring.k_send ~detail:(i land 0xff)
+      ~src:(i land 7)
+      ~dst:((i + 1) land 7)
+      ~line:i ~arg:(2 * i)
+  done;
+  let words = Gc.minor_words () -. before in
+  if words > 256.0 then
+    Alcotest.failf
+      "flight record path allocated %.0f minor words over %d events — the \
+       always-on recorder must stay allocation-free"
+      words events
+
 let suite =
   [
+    Alcotest.test_case "flight record path allocation-free" `Quick check_flight_record;
     Alcotest.test_case "base protocol under budget" `Quick
       (check "base" 500.0 (Config.base ~nodes ()));
     Alcotest.test_case "model checker under budget" `Quick (check_checker 5_000.0);

@@ -122,7 +122,7 @@ let test_producer_table_locking () =
 
 let test_consumer_table_hints () =
   let t = Delegate_cache.Consumer.create ~rng:(rng ()) ~entries:8 ~ways:4 () in
-  Delegate_cache.Consumer.insert t 42 7;
+  Alcotest.(check bool) "no eviction" false (Delegate_cache.Consumer.insert t 42 7);
   Alcotest.(check (option int)) "hint" (Some 7) (Delegate_cache.Consumer.find t 42);
   Delegate_cache.Consumer.remove t 42;
   Alcotest.(check (option int)) "stale removed" None (Delegate_cache.Consumer.find t 42)

@@ -23,5 +23,6 @@ let () =
       ("parallel", Test_parallel.suite);
       ("determinism", Test_determinism.suite);
       ("bench-activation", Test_bench_activation.suite);
+      ("observability", Test_observability.suite);
       ("alloc", Test_alloc.suite);
     ]
