@@ -6,10 +6,14 @@
      dune exec bench/main.exe                 # all experiments
      dune exec bench/main.exe -- fig7 fig9    # a subset
      dune exec bench/main.exe -- micro        # Bechamel micro-benchmarks
+     dune exec bench/main.exe -- protocols    # backend head-to-head
+     dune exec bench/main.exe -- fig10 --protocol msi   # rerun on a backend
 
    Environment: PCC_SCALE (default 0.5) stretches run lengths; PCC_JOBS
    (or --jobs N) fans independent simulations out across that many
-   domains.  Results are bit-identical at every jobs level: each
+   domains.  --protocol adaptive/msi/mesi selects the coherence backend
+   every simulated configuration runs on (unknown names are rejected,
+   never silently defaulted).  Results are bit-identical at every jobs level: each
    simulation is self-contained, workers never print, and the --json
    artifact is sorted by run key. *)
 
@@ -25,6 +29,21 @@ let nodes = 16
 
 let scale =
   match Sys.getenv_opt "PCC_SCALE" with Some s -> float_of_string s | None -> 0.5
+
+(* Coherence backend for every simulated configuration (--protocol).
+   Adaptive, the default, reproduces the paper and keeps every artifact
+   byte-identical to the committed goldens; msi / mesi rerun the matrix
+   on the snooping backend so the same tables become head-to-head
+   protocol comparisons.  Configurations that already name a snooping
+   backend (the [protocols] experiment) are left alone, so that
+   experiment always spans every backend. *)
+let protocol = ref Types.Adaptive
+
+let apply_protocol config =
+  match !protocol with
+  | Types.Adaptive -> config
+  | p when config.Config.protocol = Types.Adaptive -> { config with Config.protocol = p }
+  | _ -> config
 
 (* ------------------------------------------------------------------ *)
 (* Run cache: many experiments share the same (app, config) runs        *)
@@ -57,6 +76,7 @@ let record_run key r =
   Hashtbl.add run_cache key r
 
 let run ?(tag = "") app config =
+  let config = apply_protocol config in
   let key = run_key app config tag in
   match Hashtbl.find_opt run_cache key with
   | Some r -> r
@@ -72,7 +92,7 @@ let run ?(tag = "") app config =
    computing it in the main domain — it only costs parallelism. *)
 type cell = string * Apps.app * Config.t
 
-let cell ?(tag = "") app config : cell = (tag, app, config)
+let cell ?(tag = "") app config : cell = (tag, app, apply_protocol config)
 
 (* ------------------------------------------------------------------ *)
 (* Capacity dedup                                                       *)
@@ -775,6 +795,55 @@ let adaptive () =
     "the adaptive mechanism tracks each line's write-burst span (EWMA) per Sec. 5\n"
 
 (* ------------------------------------------------------------------ *)
+(* Backend head-to-head: the paper's protocol vs classic bus snooping   *)
+(* ------------------------------------------------------------------ *)
+
+let protocols_variants () =
+  [
+    ("directory base", Config.base ~nodes ());
+    ("adaptive 32/32K", Config.small_full ~nodes ());
+    ("MSI snoop", Config.snoop ~nodes Types.Msi ());
+    ("MESI snoop", Config.snoop ~nodes Types.Mesi ());
+  ]
+
+let protocols_cells () =
+  List.concat_map
+    (fun app ->
+      List.map (fun (_, config) -> cell app config) (protocols_variants ()))
+    Apps.all
+
+let protocols () =
+  let t =
+    Table.create
+      ~title:
+        "Backend head-to-head: speedup, messages, remote misses (normalized to \
+         directory base)"
+      ~columns:[ "app"; "backend"; "speedup"; "msgs"; "remote misses" ]
+  in
+  List.iter
+    (fun app ->
+      let base = run app (Config.base ~nodes ()) in
+      List.iter
+        (fun (name, config) ->
+          let r = run app config in
+          Table.add_row t
+            [
+              Table.String app.Apps.name;
+              Table.String name;
+              Table.Float (speedup ~base r);
+              Table.Float (msg_ratio ~base r);
+              Table.Float (miss_ratio ~base r);
+            ])
+        (protocols_variants ());
+      Table.add_separator t)
+    Apps.all;
+  Table.print t;
+  print_endline
+    "the paper's adaptive directory protocol vs bus snooping on the same workloads;\n\
+     the serialized bus pays arbitration on every miss, the directory pays 3-hop\n\
+     forwarding only on remote ones\n"
+
+(* ------------------------------------------------------------------ *)
 (* Hardware cost summary (§3.3.1)                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -925,6 +994,7 @@ let experiments =
     ("model", model_cells, model);
     ("predictor", predictor_cells, predictor_ablation);
     ("adaptive", adaptive_cells, adaptive);
+    ("protocols", protocols_cells, protocols);
     ("hwcost", no_cells, hw_cost);
     ("micro", no_cells, micro);
   ]
@@ -941,7 +1011,19 @@ let () =
   in
   let args = List.tl (Array.to_list Sys.argv) in
   let json_path, args = split_opt "--json" [] args in
+  let protocol_arg, args = split_opt "--protocol" [] args in
   let jobs_arg, names = split_opt "--jobs" [] args in
+  (* Reject unknown backend names loudly: a silent fallback to the
+     default would masquerade as an adaptive run (and trip the
+     zero-delegation warning for the wrong reason). *)
+  (match protocol_arg with
+  | None -> ()
+  | Some name -> (
+      match Protocol.of_string name with
+      | Ok p -> protocol := p
+      | Error message ->
+          Format.eprintf "--protocol: %s@." message;
+          exit 2));
   let jobs =
     match jobs_arg with
     | Some s -> (
@@ -959,7 +1041,11 @@ let () =
      byte-identical across every jobs level. *)
   Format.eprintf "running with %d job(s) (set --jobs or PCC_JOBS to change)@." jobs;
   Format.printf
-    "Reproduction harness: %d nodes, scale %.2f (set PCC_SCALE to change)@.@." nodes scale;
+    "Reproduction harness: %d nodes, scale %.2f (set PCC_SCALE to change)%s@.@." nodes
+    scale
+    (match !protocol with
+    | Types.Adaptive -> ""
+    | p -> Printf.sprintf ", %s backend" (Protocol.to_string p));
   let selected =
     List.filter_map
       (fun name ->

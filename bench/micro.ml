@@ -18,7 +18,13 @@
 
      dune exec bench/micro.exe
      dune exec bench/micro.exe -- --json /tmp/micro.json
-     dune exec bench/micro.exe -- --repeat 3        # best-of-3 timing *)
+     dune exec bench/micro.exe -- --repeat 3        # best-of-3 timing
+     dune exec bench/micro.exe -- --protocol msi    # snooping hot path
+
+   --protocol adaptive/msi/mesi reruns every cell on that coherence
+   backend (unknown names are rejected, never silently defaulted — a
+   fallback would masquerade as an adaptive run and void the golden and
+   history comparisons).  The committed goldens assume the default. *)
 
 open Pcc
 module Apps = Pcc.Workloads
@@ -277,6 +283,7 @@ let () =
   let check_history_flag, args = split_flag "--check-history" args in
   let repeat_arg, args = split_opt "--repeat" [] args in
   let scale_arg, args = split_opt "--scale" [] args in
+  let protocol_arg, args = split_opt "--protocol" [] args in
   if check_history_flag && history_path = None then begin
     Printf.eprintf "--check-history requires --history FILE\n";
     exit 2
@@ -306,9 +313,30 @@ let () =
             Printf.eprintf "--scale %s: expected a positive number\n" s;
             exit 2)
   in
-  Printf.printf "hot-path micro-harness: %d nodes, scale %.2f, best of %d run(s)\n%!"
-    nodes scale repeat;
-  let measurements = List.map (run_cell ~repeat ~scale) (cells ()) in
+  let protocol =
+    match protocol_arg with
+    | None -> Types.Adaptive
+    | Some name -> (
+        match Protocol.of_string name with
+        | Ok p -> p
+        | Error message ->
+            Printf.eprintf "--protocol: %s\n" message;
+            exit 2)
+  in
+  let cells =
+    match protocol with
+    | Types.Adaptive -> cells ()
+    | p ->
+        List.map
+          (fun (key, app, config) -> (key, app, { config with Config.protocol = p }))
+          (cells ())
+  in
+  Printf.printf "hot-path micro-harness: %d nodes, scale %.2f, best of %d run(s)%s\n%!"
+    nodes scale repeat
+    (match protocol with
+    | Types.Adaptive -> ""
+    | p -> Printf.sprintf ", %s backend" (Protocol.to_string p));
+  let measurements = List.map (run_cell ~repeat ~scale) cells in
   Printf.printf "%-12s %12s %12s %14s %14s %14s\n" "workload" "events" "commits"
     "events/sec" "minor w/event" "minor w/commit";
   let total_events = ref 0 and total_seconds = ref 0.0 and total_minor = ref 0.0 in

@@ -29,6 +29,21 @@ let config ?(names = [ "m"; "machine" ]) ?(default = "full")
     ?(doc = "Machine configuration: base, rac, delegation, small/full, large.") () =
   Arg.(value & opt string default & info names ~docv:"MACHINE" ~doc)
 
+(* Backend selection.  The converter rejects unknown names loudly (usage
+   error, exit 124) instead of silently falling back to a default — a
+   typo like --protocol mosi must never masquerade as an adaptive run. *)
+let protocol_conv =
+  let parse s =
+    match Pcc.Protocol.of_string s with Ok p -> Ok p | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Pcc.Protocol.to_string p))
+
+let protocol
+    ?(doc =
+      "Coherence backend: $(b,adaptive) (the paper's directory protocol), $(b,msi) or \
+       $(b,mesi) (bus snooping).") () =
+  Arg.(value & opt protocol_conv Pcc.Protocol.Adaptive & info [ "protocol" ] ~docv:"PROTO" ~doc)
+
 (* [what] names the unit of concurrency in the docstring ("settings",
    "chaotic runs", ...). *)
 let jobs ?(what = "runs") () =

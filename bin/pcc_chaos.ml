@@ -130,9 +130,9 @@ let crash_schedule_for ~chaos_seed ~nodes ~crash_victims ~crash_nodes ~restart_a
     | [] -> sched
     | explicit -> List.map2 (fun (c : Fault.crash) victim -> { c with victim }) sched explicit
 
-let run_one ~bench ~config_name ~nodes ~scale ~seed ~profile_name ~txn_timeout
-    ~fallback_threshold ~max_events ~crash_victims ~crash_nodes ~restart_after
-    ~flight_dir =
+let run_one ~bench ~config_name ~protocol ~nodes ~scale ~seed ~profile_name
+    ~txn_timeout ~fallback_threshold ~max_events ~crash_victims ~crash_nodes
+    ~restart_after ~flight_dir =
   let desc =
     { Oracle.Trace.bench; config_name; nodes; scale; seed; fault = false }
   in
@@ -158,7 +158,8 @@ let run_one ~bench ~config_name ~nodes ~scale ~seed ~profile_name ~txn_timeout
   let config =
     {
       (Oracle.Trace.config_of_desc desc) with
-      Config.net_faults = Some profile;
+      Config.protocol;
+      net_faults = Some profile;
       txn_timeout;
       fallback_threshold;
     }
@@ -175,7 +176,9 @@ let run_one ~bench ~config_name ~nodes ~scale ~seed ~profile_name ~txn_timeout
         ~path:
           (Filename.concat dir
              (Printf.sprintf "seed%d-%s-%s.flight.json" seed profile_name bench)));
-  let _audit = Oracle.Audit.attach sys in
+  (* the directory-state auditor reads adaptive internals; the snooping
+     backends are covered by the memory checker and quiescence invariants *)
+  if protocol = Types.Adaptive then ignore (Oracle.Audit.attach sys);
   let committed = ref 0 in
   System.on_commit sys (fun _ -> incr committed);
   let report =
@@ -315,10 +318,16 @@ let write_json path t reports =
       output_string oc (Jsonl.to_string doc);
       output_char oc '\n')
 
-let main seeds nodes scale profile_filter txn_timeout fallback_threshold max_events
-    jobs json_path verbose crash_victims crash_nodes restart_after flight_dir
-    metrics_path =
-  if nodes < 2 then begin
+let main seeds protocol nodes scale profile_filter txn_timeout fallback_threshold
+    max_events jobs json_path verbose crash_victims crash_nodes restart_after
+    flight_dir metrics_path =
+  if protocol <> Types.Adaptive && (crash_victims > 0 || crash_nodes <> []) then begin
+    Printf.eprintf
+      "pcc_chaos: fail-stop crashes need the adaptive backend (--protocol %s given)\n"
+      (Protocol.to_string protocol);
+    2
+  end
+  else if nodes < 2 then begin
     Printf.eprintf "pcc_chaos: --nodes must be at least 2 (got %d)\n" nodes;
     2
   end
@@ -380,9 +389,9 @@ let main seeds nodes scale profile_filter txn_timeout fallback_threshold max_eve
         (fun (seed, profile_name, bench) ->
           ( Printf.sprintf "seed=%d/%s/%s" seed profile_name bench,
             fun () ->
-              run_one ~bench ~config_name:"full" ~nodes ~scale ~seed ~profile_name
-                ~txn_timeout ~fallback_threshold ~max_events ~crash_victims
-                ~crash_nodes ~restart_after ~flight_dir ))
+              run_one ~bench ~config_name:"full" ~protocol ~nodes ~scale ~seed
+                ~profile_name ~txn_timeout ~fallback_threshold ~max_events
+                ~crash_victims ~crash_nodes ~restart_after ~flight_dir ))
         cells
     in
     let reports = Pool.run_keyed ~jobs tasks in
@@ -505,6 +514,7 @@ let cmd =
       const main
       $ Cli_common.seeds ~default:34
           ~doc:"Seeds per fault profile (each seed runs 2 benchmarks)." ()
+      $ Cli_common.protocol ()
       $ Cli_common.nodes ~default:6 ()
       $ Cli_common.scale ~default:0.15 ~doc:"Run-length scale for app benchmarks." ()
       $ profile_arg $ txn_timeout_arg $ fallback_arg

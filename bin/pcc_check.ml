@@ -33,47 +33,85 @@ let checker_metrics registry (stats : Pcc.Checker.stats) ~violations ~deadlocks 
   R.counter registry "pcc_check_invariant_violations" violations;
   R.counter registry "pcc_check_deadlocks" deadlocks
 
-let run_model_check nodes lines ops workload delegation updates bug max_states jobs spill
-    por metrics_path =
-  match (bug_of_string bug, workload_of_string workload) with
-  | Error message, _ | _, Error message ->
-      prerr_endline message;
-      1
-  | Ok bug, Ok workload ->
-      let params =
-        {
-          Model.default_params with
-          Model.nodes;
-          lines;
-          workload;
-          max_ops_per_node = ops;
-          enable_delegation = delegation;
-          enable_updates = updates;
-          bug;
-        }
-      in
-      let (module M) = Model.make ~por params in
-      let outcome = Checker.run (module M) ~max_states ~jobs ?spill () in
-      Format.printf "%a@." (Checker.pp_outcome M.pp) outcome;
-      Cli_common.write_metrics metrics_path (fun registry ->
-          match outcome with
-          | Checker.Ok stats -> checker_metrics registry stats ~violations:0 ~deadlocks:0
-          | Checker.Invariant_violation { stats; _ } ->
-              checker_metrics registry stats ~violations:1 ~deadlocks:0
-          | Checker.Deadlock { stats; _ } ->
-              checker_metrics registry stats ~violations:0 ~deadlocks:1);
-      (match outcome with Checker.Ok _ -> 0 | _ -> 2)
+let snoop_bug_of_string = function
+  | "" -> Ok None
+  | "upgr-skips-invals" -> Ok (Some Pcc.Snoop_model.Upgr_skips_invals)
+  | other ->
+      Error
+        (Printf.sprintf "unknown snooping bug %S (expected upgr-skips-invals)" other)
 
-let run_litmus jobs mutate metrics_path =
+let report_outcome pp outcome metrics_path =
+  Format.printf "%a@." (Checker.pp_outcome pp) outcome;
+  Cli_common.write_metrics metrics_path (fun registry ->
+      match outcome with
+      | Checker.Ok stats -> checker_metrics registry stats ~violations:0 ~deadlocks:0
+      | Checker.Invariant_violation { stats; _ } ->
+          checker_metrics registry stats ~violations:1 ~deadlocks:0
+      | Checker.Deadlock { stats; _ } ->
+          checker_metrics registry stats ~violations:0 ~deadlocks:1);
+  match outcome with Checker.Ok _ -> 0 | _ -> 2
+
+let run_model_check protocol nodes lines ops workload delegation updates bug max_states
+    jobs spill por metrics_path =
+  match protocol with
+  | Pcc.Types.Msi | Pcc.Types.Mesi -> (
+      match snoop_bug_of_string bug with
+      | Error message ->
+          prerr_endline message;
+          1
+      | Ok bug ->
+          let params =
+            {
+              Pcc.Snoop_model.nodes;
+              lines;
+              variant = protocol;
+              max_ops_per_node = ops;
+              bug;
+            }
+          in
+          let (module M) = Pcc.Snoop_model.make ~por params in
+          let outcome = Checker.run (module M) ~max_states ~jobs ?spill () in
+          report_outcome M.pp outcome metrics_path)
+  | Pcc.Types.Adaptive -> (
+      match (bug_of_string bug, workload_of_string workload) with
+      | Error message, _ | _, Error message ->
+          prerr_endline message;
+          1
+      | Ok bug, Ok workload ->
+          let params =
+            {
+              Model.default_params with
+              Model.nodes;
+              lines;
+              workload;
+              max_ops_per_node = ops;
+              enable_delegation = delegation;
+              enable_updates = updates;
+              bug;
+            }
+          in
+          let (module M) = Model.make ~por params in
+          let outcome = Checker.run (module M) ~max_states ~jobs ?spill () in
+          report_outcome M.pp outcome metrics_path)
+
+let run_litmus jobs mutate protocol metrics_path =
   let results =
     if mutate then
       (* detection sanity check: the corpus must fail against the broken
-         machine *)
-      Litmus.run_matrix ~jobs
-        ~configs:[ ("mutated-updates", Litmus.mutation_config) ]
+         machine — the adaptive fault or the snooping one *)
+      let configs =
+        match protocol with
+        | Pcc.Types.Adaptive -> [ ("mutated-updates", Litmus.mutation_config) ]
+        | Pcc.Types.Msi | Pcc.Types.Mesi ->
+            [ ("mutated-msi-snoop", Litmus.snoop_mutation_config) ]
+      in
+      Litmus.run_matrix ~jobs ~configs
         ~profiles:[ ("reliable", fun ~seed:_ -> None) ]
         ~seeds:[ 1 ] Litmus.corpus
-    else Litmus.run_matrix ~jobs Litmus.corpus
+    else
+      match protocol with
+      | Pcc.Types.Adaptive -> Litmus.run_matrix ~jobs Litmus.corpus
+      | p -> Litmus.run_matrix ~jobs ~configs:(Litmus.snoop_configs p) Litmus.corpus
   in
   List.iter (fun r -> Format.printf "%a@." Litmus.pp_result r) results;
   let failed = Litmus.failures results in
@@ -96,12 +134,12 @@ let run_litmus jobs mutate metrics_path =
     if failed = [] then 0 else 2
   end
 
-let run litmus mutate nodes lines ops workload delegation updates bug max_states jobs
-    spill por metrics_path =
-  if litmus || mutate then run_litmus jobs mutate metrics_path
+let run litmus mutate protocol nodes lines ops workload delegation updates bug
+    max_states jobs spill por metrics_path =
+  if litmus || mutate then run_litmus jobs mutate protocol metrics_path
   else
-    run_model_check nodes lines ops workload delegation updates bug max_states jobs spill
-      por metrics_path
+    run_model_check protocol nodes lines ops workload delegation updates bug max_states
+      jobs spill por metrics_path
 
 let nodes_arg = Cli_common.nodes ~default:3 ~doc:"Nodes in the model." ()
 
@@ -180,11 +218,18 @@ let mutate_arg =
 let cmd =
   let term =
     Term.(
-      const run $ litmus_arg $ mutate_arg $ nodes_arg $ lines_arg $ ops_arg
+      const run $ litmus_arg $ mutate_arg
+      $ Cli_common.protocol
+          ~doc:
+            "Which backend to verify: $(b,adaptive) checks the directory-protocol \
+             model (or the full litmus matrix, every backend included); $(b,msi) / \
+             $(b,mesi) check the atomic-bus snooping model (bug: \
+             $(b,upgr-skips-invals)) or restrict the litmus matrix to that backend." ()
+      $ nodes_arg $ lines_arg $ ops_arg
       $ workload_arg $ delegation_arg $ updates_arg $ bug_arg $ max_states_arg
       $ jobs_arg $ spill_arg $ por_arg $ Cli_common.metrics ())
   in
   Cmd.v
-    (Cmd.info "pcc_check" ~doc:"Verify the adaptive coherence protocol") term
+    (Cmd.info "pcc_check" ~doc:"Verify the coherence protocol backends") term
 
 let () = exit (Cmd.eval' cmd)

@@ -13,9 +13,10 @@ let bench_rotation = [| "random"; "barnes"; "ocean"; "em3d"; "lu"; "cg"; "mg"; "
 
 let configs = [ "base"; "full" ]
 
-let descs_for_seed ~nodes ~scale seed : Oracle.Trace.run_desc list =
+let descs_for_seed ~configs ~nodes ~scale seed : Oracle.Trace.run_desc list =
   (* every seed runs the random workload plus one rotating app benchmark,
-     each under both the baseline and the fully adaptive machine *)
+     each under both the baseline and the fully adaptive machine (or the
+     selected snooping backend) *)
   let benches =
     [ "random"; bench_rotation.(1 + ((seed - 1) mod (Array.length bench_rotation - 1))) ]
   in
@@ -41,7 +42,12 @@ let report_failure ~trace ~artifact_written (report : Oracle.Runner.report) =
     Printf.printf "  trace written to %s\n" trace
   end
 
-let run_sweep ~seeds ~nodes ~scale ~max_lines ~trace ~metrics_path =
+let run_sweep ~seeds ~protocol ~nodes ~scale ~max_lines ~trace ~metrics_path =
+  let configs =
+    match protocol with
+    | Types.Adaptive -> configs
+    | p -> [ Protocol.to_string p ]
+  in
   let failures = ref 0 in
   let runs = ref 0 in
   let ops = ref 0 in
@@ -65,7 +71,7 @@ let run_sweep ~seeds ~nodes ~scale ~max_lines ~trace ~metrics_path =
           incr failures;
           report_failure ~trace ~artifact_written report
         end)
-      (descs_for_seed ~nodes ~scale seed)
+      (descs_for_seed ~configs ~nodes ~scale seed)
   done;
   Printf.printf "%d runs, %d failures; %d ops replayed through the model (%d steps)\n"
     !runs !failures !ops !steps;
@@ -152,7 +158,8 @@ let run_golden ~nodes ~scale ~seed =
     configs;
   0
 
-let main seeds nodes scale max_lines trace replay inject_fault golden metrics_path =
+let main seeds protocol nodes scale max_lines trace replay inject_fault golden
+    metrics_path =
   if nodes < 2 then begin
     Printf.eprintf "pcc_oracle: --nodes must be at least 2 (got %d)\n" nodes;
     2
@@ -163,7 +170,7 @@ let main seeds nodes scale max_lines trace replay inject_fault golden metrics_pa
     | Some path -> run_replay ~max_lines ~path
     | None ->
         if inject_fault then run_fault ~nodes ~scale ~trace
-        else run_sweep ~seeds ~nodes ~scale ~max_lines ~trace ~metrics_path
+        else run_sweep ~seeds ~protocol ~nodes ~scale ~max_lines ~trace ~metrics_path
 
 let max_lines_arg =
   Arg.(
@@ -197,6 +204,11 @@ let cmd =
   let term =
     Term.(
       const main $ Cli_common.seeds ()
+      $ Cli_common.protocol
+          ~doc:
+            "Coherence backend for the sweep: $(b,adaptive) audits base+full with \
+             the differential replay, $(b,msi)/$(b,mesi) run the order tracker and \
+             statistics identities over the snooping machine." ()
       $ Cli_common.nodes ~default:6 ()
       $ Cli_common.scale ~default:0.15 ~doc:"Run-length scale for app benchmarks." ()
       $ max_lines_arg $ trace_arg $ replay_arg $ fault_arg $ golden_arg

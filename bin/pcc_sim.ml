@@ -14,8 +14,8 @@ let machine_of_string nodes = function
   | "large" -> Ok (Config.large_full ~nodes ())
   | other -> Error (Printf.sprintf "unknown machine %S" other)
 
-let run app_name machine nodes scale seed delegate_entries rac_kb intervention_delay
-    hop_latency verbose metrics_path flight_dump =
+let run app_name machine protocol nodes scale seed delegate_entries rac_kb
+    intervention_delay hop_latency verbose metrics_path flight_dump =
   match Workloads.find app_name with
   | None ->
       Printf.eprintf "unknown app %S (try: %s)\n" app_name
@@ -27,6 +27,7 @@ let run app_name machine nodes scale seed delegate_entries rac_kb intervention_d
           prerr_endline message;
           1
       | Ok config ->
+          let config = { config with Config.protocol } in
           let config =
             {
               config with
@@ -107,14 +108,15 @@ let flight_dump_arg =
 let cmd =
   let term =
     Term.(
-      const run $ Cli_common.app () $ Cli_common.config () $ Cli_common.nodes ()
+      const run $ Cli_common.app () $ Cli_common.config () $ Cli_common.protocol ()
+      $ Cli_common.nodes ()
       $ Cli_common.scale () $ Cli_common.seed () $ delegate_arg $ rac_arg $ delay_arg
       $ hop_arg
       $ Cli_common.verbose ~doc:"Print per-class message counters." ()
       $ Cli_common.metrics () $ flight_dump_arg)
   in
   Cmd.v
-    (Cmd.info "pcc_sim" ~doc:"Simulate a workload on the adaptive coherence protocol")
+    (Cmd.info "pcc_sim" ~doc:"Simulate a workload on a selectable coherence backend")
     term
 
 let () = exit (Cmd.eval' cmd)

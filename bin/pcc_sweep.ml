@@ -15,7 +15,7 @@ let apply_knob config knob value =
   | "hop" -> Ok (Config.with_hop_latency config value)
   | other -> Error (Printf.sprintf "unknown knob %S (delegate, rac-kb, delay, hop)" other)
 
-let write_json path ~app_name ~knob ~nodes ~scale ~(base : System.result) rows =
+let write_json path ~app_name ~knob ~protocol ~nodes ~scale ~(base : System.result) rows =
   let row (value, (r : System.result)) =
     Jsonl.Obj
       [
@@ -33,6 +33,7 @@ let write_json path ~app_name ~knob ~nodes ~scale ~(base : System.result) rows =
       [
         ("app", Jsonl.String app_name);
         ("knob", Jsonl.String knob);
+        ("protocol", Jsonl.String (Protocol.to_string protocol));
         ("nodes", Jsonl.Int nodes);
         ("scale", Jsonl.Float scale);
         ("base_cycles", Jsonl.Int base.System.cycles);
@@ -43,17 +44,15 @@ let write_json path ~app_name ~knob ~nodes ~scale ~(base : System.result) rows =
       output_string oc (Jsonl.to_string doc);
       output_char oc '\n')
 
-let run app_name knob values nodes scale jobs json_path metrics_path =
+let run app_name knob values protocol nodes scale jobs json_path metrics_path =
   match Workloads.find app_name with
   | None ->
       Printf.eprintf "unknown app %S\n" app_name;
       1
   | Some app -> (
       (* Validate every setting before spending any simulation time. *)
-      let configs =
-        List.map (fun value -> (value, apply_knob (Config.small_full ~nodes ()) knob value))
-          values
-      in
+      let swept = { (Config.small_full ~nodes ()) with Config.protocol } in
+      let configs = List.map (fun value -> (value, apply_knob swept knob value)) values in
       match
         List.filter_map (function _, Error m -> Some m | _, Ok _ -> None) configs
       with
@@ -66,8 +65,9 @@ let run app_name knob values nodes scale jobs json_path metrics_path =
           in
           let programs = Workloads.programs app ~scale ~nodes () in
           (* The baseline rides in the pool with the swept settings. *)
+          let baseline = { (Config.base ~nodes ()) with Config.protocol } in
           let tasks =
-            ("base", fun () -> System.run ~config:(Config.base ~nodes ()) ~programs ())
+            ("base", fun () -> System.run ~config:baseline ~programs ())
             :: List.map
                  (fun (value, config) ->
                    (string_of_int value, fun () -> System.run ~config ~programs ()))
@@ -102,7 +102,8 @@ let run app_name knob values nodes scale jobs json_path metrics_path =
           Table.print table;
           (match json_path with
           | Some path ->
-              write_json path ~app_name:app.name ~knob ~nodes ~scale ~base results
+              write_json path ~app_name:app.name ~knob ~protocol ~nodes ~scale ~base
+                results
           | None -> ());
           (* Aggregate registry: counters sum across every swept setting
              (summaries skipped — they would just keep the last run). *)
@@ -129,6 +130,7 @@ let cmd =
   let term =
     Term.(
       const run $ Cli_common.app ~default:"MG" () $ knob_arg $ values_arg
+      $ Cli_common.protocol ()
       $ Cli_common.nodes () $ Cli_common.scale ()
       $ Cli_common.jobs ~what:"settings" ()
       $ Cli_common.json ~doc:"Write machine-readable sweep results to $(docv)." ()

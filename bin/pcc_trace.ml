@@ -148,7 +148,9 @@ let cmd =
     Term.(
       const main $ bench_arg
       $ Cli_common.config ~names:[ "c"; "config" ]
-          ~doc:"Protocol configuration: base, rac, delegation, or full." ()
+          ~doc:
+            "Protocol configuration: base, rac, delegation, full, or a snooping \
+             backend (msi, mesi)." ()
       $ Cli_common.nodes ~default:8 ()
       $ Cli_common.scale ~default:0.15 ~doc:"Run-length scale for app benchmarks." ()
       $ Cli_common.seed ~default:7 ()

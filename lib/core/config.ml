@@ -1,7 +1,8 @@
-type fault = Stale_update_no_resharing
+type fault = Stale_update_no_resharing | Snoop_upgr_skips_invals
 
 type t = {
   nodes : int;
+  protocol : Types.protocol;
   l2_bytes : int;
   l2_ways : int;
   l2_hit_latency : int;
@@ -48,6 +49,7 @@ let mib n = n * 1024 * 1024
 let base ?(nodes = 16) () =
   {
     nodes;
+    protocol = Types.Adaptive;
     l2_bytes = mib 2;
     l2_ways = 4;
     l2_hit_latency = 10;
@@ -112,6 +114,12 @@ let full ?nodes ?(rac_bytes = kib 32) ?(delegate_entries = 32) () =
 
 let small_full ?nodes () = full ?nodes ~rac_bytes:(kib 32) ~delegate_entries:32 ()
 
+(* A snooping machine: the adaptive extensions are inert, so disable them
+   to keep [describe] honest about what the run exercised. *)
+let snoop ?nodes protocol () =
+  assert (protocol <> Types.Adaptive);
+  { (base ?nodes ()) with protocol }
+
 let large_full ?nodes () = full ?nodes ~rac_bytes:(mib 1) ~delegate_entries:1024 ()
 
 let with_hop_latency t hop_latency = { t with network = { t.network with hop_latency } }
@@ -134,6 +142,10 @@ let size_label bytes =
   else Printf.sprintf "%dK" (bytes / kib 1)
 
 let describe t =
+  match t.protocol with
+  | Types.Msi -> "MSI snoop"
+  | Types.Mesi -> "MESI snoop"
+  | Types.Adaptive ->
   if not t.rac_enabled then "Base"
   else if not t.delegation_enabled then Printf.sprintf "%s RAC" (size_label t.rac_bytes)
   else

@@ -6,15 +6,24 @@
     (RAC, delegation, speculative updates) correspond to the machine
     variants evaluated in §3. *)
 
-type fault = Stale_update_no_resharing
+type fault =
+  | Stale_update_no_resharing
       (** pushed consumers are not re-added to the producer's sharing
           vector, so the next upgrade skips their invalidations and a
           stale pushed copy survives — the simulator twin of the model
           checker's [Updates_without_resharing] bug, used to prove the
           runtime oracle detects real protocol errors *)
+  | Snoop_upgr_skips_invals
+      (** snoopers ignore BUS_UPGR commands, so an S->M upgrade leaves
+          stale shared copies alive — the snooping backend's twin of the
+          model checker's [Upgr_skips_invals] bug, used to prove the
+          litmus harness detects a broken bus protocol *)
 
 type t = {
   nodes : int;
+  protocol : Types.protocol;
+      (** which backend {!Pcc_core.System.create} instantiates; the
+          adaptive-extension fields below only apply to [Adaptive] *)
   (* Processor-side caches *)
   l2_bytes : int;
   l2_ways : int;
@@ -108,6 +117,10 @@ val full : ?nodes:int -> ?rac_bytes:int -> ?delegate_entries:int -> unit -> t
 
 val small_full : ?nodes:int -> unit -> t
 (** 32-entry delegate tables + 32 KB RAC, delegation + updates. *)
+
+val snoop : ?nodes:int -> Types.protocol -> unit -> t
+(** A bus-snooping machine ([Msi] or [Mesi]; [Adaptive] is rejected).
+    Baseline timing parameters, adaptive extensions off. *)
 
 val large_full : ?nodes:int -> unit -> t
 (** 1K-entry delegate tables + 1 MB RAC, delegation + updates. *)

@@ -42,6 +42,31 @@ type t =
   | Update of { line : Types.line; value : int }
   | Update_flush of { line : Types.line }
   | Update_flush_ack of { line : Types.line }
+  (* Bus-snooping backend (MSI/MESI).  The "bus" is the serialized hub
+     link of the arbitration owner; commands are broadcast point-to-point
+     to every snooper, which each answer with a snoop response. *)
+  | Bus_rd of { line : Types.line; tid : int }
+  | Bus_rdx of { line : Types.line; tid : int }
+  | Bus_upgr of { line : Types.line; tid : int }
+  | Bus_flush of {
+      line : Types.line;
+      value : int;
+      tid : int;
+      requester : Types.node_id;
+      dirty : bool;
+          (* dirty flushes also update home memory; the home confirms with
+             [Bus_wb_ack] before the transaction releases the bus *)
+    }
+  | Snoop_resp of {
+      line : Types.line;
+      tid : int;
+      shared : bool;  (* snooper keeps (or kept) a copy *)
+      owner : bool;  (* snooper held M/E and is supplying the data *)
+      flushed_home : bool;  (* snooper's flush was dirty: wait for home ack *)
+      mem_value : int option;  (* home's memory word, on the home's resp *)
+    }
+  | Bus_wb of { line : Types.line; value : int }
+  | Bus_wb_ack of { line : Types.line; tid : int }
 
 let line_of = function
   | Get_shared { line; _ }
@@ -65,7 +90,14 @@ let line_of = function
   | Undelegate { line; _ }
   | Update { line; _ }
   | Update_flush { line }
-  | Update_flush_ack { line } ->
+  | Update_flush_ack { line }
+  | Bus_rd { line; _ }
+  | Bus_rdx { line; _ }
+  | Bus_upgr { line; _ }
+  | Bus_flush { line; _ }
+  | Snoop_resp { line; _ }
+  | Bus_wb { line; _ }
+  | Bus_wb_ack { line; _ } ->
       line
 
 let header_bytes = 16
@@ -84,8 +116,12 @@ let wire_bytes ~line_bytes = function
   | Delegate _ -> header_bytes + line_bytes + dir_state_bytes
   | Undelegate { value; _ } ->
       header_bytes + dir_state_bytes + (match value with Some _ -> line_bytes | None -> 0)
+  | Bus_rd _ | Bus_rdx _ | Bus_upgr _ | Bus_wb_ack _ -> header_bytes
+  | Bus_flush _ | Bus_wb _ -> header_bytes + line_bytes
+  | Snoop_resp { mem_value; _ } ->
+      header_bytes + (match mem_value with Some _ -> line_bytes | None -> 0)
 
-let class_count = 22
+let class_count = 29
 
 let class_index = function
   | Get_shared _ -> 0
@@ -110,6 +146,13 @@ let class_index = function
   | Update _ -> 19
   | Update_flush _ -> 20
   | Update_flush_ack _ -> 21
+  | Bus_rd _ -> 22
+  | Bus_rdx _ -> 23
+  | Bus_upgr _ -> 24
+  | Bus_flush _ -> 25
+  | Snoop_resp _ -> 26
+  | Bus_wb _ -> 27
+  | Bus_wb_ack _ -> 28
 
 let class_name = function
   | Get_shared _ -> "get-shared"
@@ -134,6 +177,13 @@ let class_name = function
   | Update _ -> "update"
   | Update_flush _ -> "update-flush"
   | Update_flush_ack _ -> "update-flush-ack"
+  | Bus_rd _ -> "bus-rd"
+  | Bus_rdx _ -> "bus-rdx"
+  | Bus_upgr _ -> "bus-upgr"
+  | Bus_flush _ -> "bus-flush"
+  | Snoop_resp _ -> "snoop-resp"
+  | Bus_wb _ -> "bus-wb"
+  | Bus_wb_ack _ -> "bus-wb-ack"
 
 (* Keep in sync with [class_index] / [class_name] above. *)
 let class_index_names =
@@ -142,7 +192,8 @@ let class_index_names =
     "intervention"; "transfer"; "transfer-ack"; "data-shared"; "data-exclusive";
     "inv-ack"; "shared-writeback"; "nack"; "delegate"; "new-home";
     "fwd-get-shared"; "recall"; "recall-nack"; "undelegate"; "update";
-    "update-flush"; "update-flush-ack";
+    "update-flush"; "update-flush-ack"; "bus-rd"; "bus-rdx"; "bus-upgr";
+    "bus-flush"; "snoop-resp"; "bus-wb"; "bus-wb-ack";
   |]
 
 let class_index_name i =
@@ -173,4 +224,11 @@ let pp ppf message =
       Format.fprintf ppf "new-home(%d@%d -> %d)" line home new_home
   | Fwd_get_shared { requester; _ } ->
       Format.fprintf ppf "fwd-get-shared(%d@%d, for %d)" line home requester
+  | Bus_flush { requester; dirty; _ } ->
+      Format.fprintf ppf "bus-flush(%d@%d, for %d%s)" line home requester
+        (if dirty then ", dirty" else "")
+  | Snoop_resp { shared; owner; _ } ->
+      Format.fprintf ppf "snoop-resp(%d@%d%s%s)" line home
+        (if shared then ", shared" else "")
+        (if owner then ", owner" else "")
   | other -> Format.fprintf ppf "%s(%d@%d)" (class_name other) line home

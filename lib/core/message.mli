@@ -103,6 +103,47 @@ type t =
           writer's invalidations. *)
   | Update_flush_ack of { line : Types.line }
       (** consumer -> producer: the flush marker arrived *)
+  (* Bus-snooping backend (MSI/MESI).  The "bus" is modeled as a single
+     machine-wide round-robin grant plus the serialized hub links:
+     commands are broadcast point-to-point to every snooper, and each
+     snooper answers with a {!Snoop_resp} so the requester can assemble
+     the bus-wide OR of the shared/owner wires. *)
+  | Bus_rd of { line : Types.line; tid : int }
+      (** read miss: every snooper with an M/E copy flushes and
+          downgrades to S; the home supplies memory data as fallback *)
+  | Bus_rdx of { line : Types.line; tid : int }
+      (** write miss: snoopers flush/invalidate; requester installs M *)
+  | Bus_upgr of { line : Types.line; tid : int }
+      (** S->M upgrade: no data transfer, snoopers just invalidate.  If
+          the requester's S copy was evicted while it waited for the bus,
+          the command is reissued as a {!Bus_rdx}. *)
+  | Bus_flush of {
+      line : Types.line;
+      value : int;
+      tid : int;
+      requester : Types.node_id;
+      dirty : bool;
+    }
+      (** owner -> requester cache-to-cache data (and, when [dirty],
+          owner -> home memory update; the home then confirms with
+          {!Bus_wb_ack} so the bus is held until memory is current) *)
+  | Snoop_resp of {
+      line : Types.line;
+      tid : int;
+      shared : bool;  (** snooper keeps (or kept) a copy: fill in S *)
+      owner : bool;  (** snooper held M/E and is supplying the data *)
+      flushed_home : bool;
+          (** the snooper's flush was dirty; the requester must also wait
+              for the home's {!Bus_wb_ack} before releasing the bus *)
+      mem_value : int option;
+          (** carried on the home node's response: the memory word after
+              [Config.dram_latency], the data source when no cache owns
+              the line *)
+    }
+  | Bus_wb of { line : Types.line; value : int }
+      (** dirty-victim eviction to home memory (fill-triggered) *)
+  | Bus_wb_ack of { line : Types.line; tid : int }
+      (** home -> writer: the memory update landed *)
 
 val line_of : t -> Types.line
 

@@ -357,7 +357,8 @@ let downgrade_and_push t line entry ~exclude =
        vector so the next write invalidates their RACs *)
     (match t.config.inject_fault with
     | Some Config.Stale_update_no_resharing -> ()
-    | None -> entry.psharers <- Nodeset.union entry.psharers targets);
+    | Some Config.Snoop_upgr_skips_invals | None ->
+        entry.psharers <- Nodeset.union entry.psharers targets);
     if not (Nodeset.is_empty targets) then begin
       entry.unflushed <- Nodeset.union entry.unflushed targets;
       entry.last_push <- Sim.now t.sim
@@ -1365,6 +1366,10 @@ let handle_message t ~src (msg : Message.t) =
   | Update { line; value } -> on_update t ~src line ~value
   | Update_flush { line } -> send t ~dst:src (Update_flush_ack { line })
   | Update_flush_ack { line } -> on_update_flush_ack t ~src line
+  | Bus_rd _ | Bus_rdx _ | Bus_upgr _ | Bus_flush _ | Snoop_resp _ | Bus_wb _
+  | Bus_wb_ack _ ->
+      (* snooping-backend traffic; never addressed to an adaptive node *)
+      invalid_arg "Node.handle: bus-snoop message on the adaptive backend"
 
 (* ------------------------------------------------------------------ *)
 (* Processor interface                                                 *)

@@ -58,4 +58,6 @@ let document ?(dedup = []) ~nodes ~scale runs =
      ]
     @ dedup_field)
 
-let delegation_expected (r : System.result) = r.System.config.Config.delegation_enabled
+let delegation_expected (r : System.result) =
+  r.System.config.Config.delegation_enabled
+  && r.System.config.Config.protocol = Types.Adaptive

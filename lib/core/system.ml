@@ -18,7 +18,13 @@ type t = {
   config : Config.t;
   sim : Sim.t;
   network : Message.t Hub_link.frame Network.t;
-  nodes : Node.t array;
+  backend : Protocol.packed;
+      (* the protocol backend: every generic operation (submission,
+         observer fan-out, gauges, invariants) goes through this pack *)
+  adaptive_nodes : Node.t array option;
+      (* the same nodes, concretely typed, when the backend is the
+         adaptive protocol: the crash machinery and the adaptive-only
+         oracle layers (Audit, Diff) need the full Node surface *)
   stats : Run_stats.t;
   memcheck : Memory_check.t;
   alive_view : bool array;  (* shared with every node; flipped by crashes *)
@@ -38,6 +44,14 @@ type t = {
 }
 
 let on_crash t f = t.crash_hooks <- t.crash_hooks @ [ f ]
+
+let adaptive_exn t =
+  match t.adaptive_nodes with
+  | Some nodes -> nodes
+  | None ->
+      invalid_arg
+        (Printf.sprintf "System: adaptive backend required (running %s)"
+           (Config.describe t.config))
 
 let flight t = t.flight
 
@@ -135,6 +149,7 @@ let barrier_forget t ~dead =
    event counts as watchdog progress: a machine busy recovering is not
    livelocked. *)
 let schedule_crashes t (crashes : Fault.crash list) =
+  let nodes = adaptive_exn t in
   List.iter
     (fun (c : Fault.crash) ->
       let victim = c.victim in
@@ -143,15 +158,15 @@ let schedule_crashes t (crashes : Fault.crash list) =
       let detect_at = c.crash_at + t.config.crash_detect_delay in
       Sim.schedule t.sim ~delay:c.crash_at (fun () ->
           Network.mark_down t.network ~node:victim;
-          Node.crash t.nodes.(victim);
+          Node.crash nodes.(victim);
           t.commits <- t.commits + 1;
           fire_crash_hooks t ~node:victim ~phase:Crash_down);
       Sim.schedule t.sim ~delay:detect_at (fun () ->
           let will_restart = c.restart_after <> None in
           Network.bump_epoch t.network ~node:victim;
-          Node.recover_after_crash t.nodes ~dead:victim ~will_restart;
+          Node.recover_after_crash nodes ~dead:victim ~will_restart;
           Memory_check.crash_forget t.memcheck ~dead:victim
-            ~surviving:(fun line -> Node.surviving_value t.nodes line);
+            ~surviving:(fun line -> Node.surviving_value nodes line);
           if not will_restart then
             t.dead_forever <- Nodeset.add t.dead_forever victim;
           barrier_forget t ~dead:victim;
@@ -164,7 +179,7 @@ let schedule_crashes t (crashes : Fault.crash list) =
           let restart_at = max (c.crash_at + d) (detect_at + 1) in
           Sim.schedule t.sim ~delay:restart_at (fun () ->
               Network.mark_up t.network ~node:victim;
-              Node.restart t.nodes.(victim);
+              Node.restart nodes.(victim);
               t.commits <- t.commits + 1;
               fire_crash_hooks t ~node:victim ~phase:Crash_restarted))
     crashes
@@ -183,19 +198,31 @@ let create ~(config : Config.t) () =
   let rng = Pcc_engine.Rng.create ~seed:config.seed in
   let alive_view = Array.make config.nodes true in
   let flight = Flight_ring.create () in
-  let nodes =
-    Array.init config.nodes (fun id ->
-        Node.create ~alive_view ~flight ~config ~sim ~network ~id ~stats ~memcheck
-          ~next_version
-          ~rng:(Pcc_engine.Rng.split rng)
-          ())
+  let backend, adaptive_nodes =
+    match config.protocol with
+    | Types.Adaptive ->
+        let nodes =
+          Array.init config.nodes (fun id ->
+              Node.create ~alive_view ~flight ~config ~sim ~network ~id ~stats
+                ~memcheck ~next_version
+                ~rng:(Pcc_engine.Rng.split rng)
+                ())
+        in
+        (Protocol.Pack ((module Protocol.Adaptive_backend), nodes), Some nodes)
+    | Types.Msi | Types.Mesi ->
+        let nodes =
+          Snoop.create_machine ~alive_view ~flight ~config ~sim ~network ~stats
+            ~memcheck ~next_version ~rng ()
+        in
+        (Protocol.Pack ((module Snoop.Backend), nodes), None)
   in
   let t =
     {
       config;
       sim;
       network;
-      nodes;
+      backend;
+      adaptive_nodes;
       stats;
       memcheck;
       alive_view;
@@ -219,19 +246,23 @@ let create ~(config : Config.t) () =
     Sim.set_watchdog sim ~interval:config.watchdog_interval
       ~stall_checks:config.watchdog_checks
       ~progress:(fun () -> t.commits);
-    Array.iter
-      (fun node ->
-        Node.on_commit node (fun (e : Node.commit_event) ->
-            t.commits <- t.commits + 1;
-            Sim.record sim ~time:e.c_time
-              (Printf.sprintf "node %d commits %s" e.c_node
-                 (match e.c_kind with Types.Load -> "load" | Types.Store -> "store")));
-        Node.set_trace node (fun ~time ~dst msg ->
-            if Sim.trace_enabled sim then
-              Sim.record sim ~time
-                (Printf.sprintf "%d->%d %s" (Node.id node) dst
-                   (Message.class_name msg))))
-      nodes
+    match t.backend with
+    | Protocol.Pack ((module P), arr) ->
+        Array.iter
+          (fun node ->
+            P.on_commit node (fun (e : Node.commit_event) ->
+                t.commits <- t.commits + 1;
+                Sim.record sim ~time:e.c_time
+                  (Printf.sprintf "node %d commits %s" e.c_node
+                     (match e.c_kind with
+                     | Types.Load -> "load"
+                     | Types.Store -> "store")));
+            P.set_trace node (fun ~time ~dst msg ->
+                if Sim.trace_enabled sim then
+                  Sim.record sim ~time
+                    (Printf.sprintf "%d->%d %s" (P.id node) dst
+                       (Message.class_name msg))))
+          arr
   end;
   t
 
@@ -239,11 +270,22 @@ let sim t = t.sim
 
 let config t = t.config
 
-let node t id = t.nodes.(id)
+let protocol t = t.config.Config.protocol
 
-let nodes t = t.nodes
+let node t id = (adaptive_exn t).(id)
+
+let nodes t = adaptive_exn t
 
 let node_alive t id = t.alive_view.(id)
+
+(* Backend-agnostic cache-state inspection (conformance and differential
+   tests; side-effect-free). *)
+
+let l2_entry t ~node:id ~line =
+  match t.backend with Protocol.Pack ((module P), arr) -> P.l2_state arr.(id) line
+
+let iter_l2 t ~node:id f =
+  match t.backend with Protocol.Pack ((module P), arr) -> P.iter_l2 arr.(id) f
 
 let stats t = t.stats
 
@@ -254,13 +296,15 @@ let network_bytes t = Network.bytes_sent t.network
 let fault_stats t = Network.fault_stats t.network
 
 let submit t ~node ~kind ~line ~on_commit =
-  Node.submit t.nodes.(node) ~kind ~line ~on_commit
+  match t.backend with
+  | Protocol.Pack ((module P), arr) -> P.submit arr.(node) ~kind ~line ~on_commit
 
 let violations t = Memory_check.violations t.memcheck
 
 let violation_report t = Memory_check.violation_report t.memcheck
 
-let check_invariants t = Node.check_invariants t.nodes
+let check_invariants t =
+  match t.backend with Protocol.Pack ((module P), arr) -> P.check_invariants arr
 
 (* Observer hooks for online auditors (the coherence oracle): post-event
    callbacks from the simulator, plus machine-wide commit and message
@@ -268,64 +312,88 @@ let check_invariants t = Node.check_invariants t.nodes
 
 let on_post_event t f = Sim.on_event t.sim f
 
-let on_commit t f = Array.iter (fun node -> Node.on_commit node f) t.nodes
+let on_commit t f =
+  match t.backend with
+  | Protocol.Pack ((module P), arr) -> Array.iter (fun node -> P.on_commit node f) arr
 
 let on_message t f =
-  Array.iter
-    (fun node ->
-      let src = Node.id node in
-      Node.set_trace node (fun ~time ~dst msg -> f ~time ~src ~dst msg))
-    t.nodes
+  match t.backend with
+  | Protocol.Pack ((module P), arr) ->
+      Array.iter
+        (fun node ->
+          let src = P.id node in
+          P.set_trace node (fun ~time ~dst msg -> f ~time ~src ~dst msg))
+        arr
 
 let on_issue t f =
-  Array.iter
-    (fun node ->
-      let n = Node.id node in
-      Node.on_issue node (fun ~time ~kind ~line -> f ~time ~node:n ~kind ~line))
-    t.nodes
+  match t.backend with
+  | Protocol.Pack ((module P), arr) ->
+      Array.iter
+        (fun node ->
+          let n = P.id node in
+          P.on_issue node (fun ~time ~kind ~line -> f ~time ~node:n ~kind ~line))
+        arr
 
 let on_recv t f =
-  Array.iter
-    (fun node ->
-      let dst = Node.id node in
-      Node.on_recv node (fun ~time ~src msg -> f ~time ~src ~dst msg))
-    t.nodes
+  match t.backend with
+  | Protocol.Pack ((module P), arr) ->
+      Array.iter
+        (fun node ->
+          let dst = P.id node in
+          P.on_recv node (fun ~time ~src msg -> f ~time ~src ~dst msg))
+        arr
 
 let on_retransmit t f =
-  Array.iter
-    (fun node ->
-      let src = Node.id node in
-      Node.on_retransmit node (fun ~time ~dst -> f ~time ~src ~dst))
-    t.nodes
+  match t.backend with
+  | Protocol.Pack ((module P), arr) ->
+      Array.iter
+        (fun node ->
+          let src = P.id node in
+          P.on_retransmit node (fun ~time ~dst -> f ~time ~src ~dst))
+        arr
 
 (* Live occupancy gauges for telemetry samplers. *)
 
 let in_flight_txns t =
-  Array.fold_left
-    (fun acc node -> acc + if Node.pending_op node <> None then 1 else 0)
-    0 t.nodes
+  match t.backend with
+  | Protocol.Pack ((module P), arr) ->
+      Array.fold_left
+        (fun acc node -> acc + if P.pending_op node <> None then 1 else 0)
+        0 arr
 
 let delegated_lines t =
-  Array.fold_left (fun acc node -> acc + Node.delegated_line_count node) 0 t.nodes
+  match t.backend with
+  | Protocol.Pack ((module P), arr) ->
+      Array.fold_left (fun acc node -> acc + P.delegated_line_count node) 0 arr
 
 let rac_occupancy t =
-  Array.fold_left (fun acc node -> acc + Node.rac_occupancy node) 0 t.nodes
+  match t.backend with
+  | Protocol.Pack ((module P), arr) ->
+      Array.fold_left (fun acc node -> acc + P.rac_occupancy node) 0 arr
 
 let rac_capacity t =
-  Array.fold_left (fun acc node -> acc + Node.rac_capacity node) 0 t.nodes
+  match t.backend with
+  | Protocol.Pack ((module P), arr) ->
+      Array.fold_left (fun acc node -> acc + P.rac_capacity node) 0 arr
 
 let link_in_flight t =
-  Array.fold_left (fun acc node -> acc + Node.hub_in_flight node) 0 t.nodes
+  match t.backend with
+  | Protocol.Pack ((module P), arr) ->
+      Array.fold_left (fun acc node -> acc + P.hub_in_flight node) 0 arr
 
 let network_in_flight t = Network.in_flight t.network
 
 let event_queue_depth t = Sim.pending_events t.sim
 
 let retransmits_by_link t =
-  Array.to_list t.nodes
-  |> List.concat_map (fun node ->
-         let src = Node.id node in
-         List.map (fun (dst, count) -> (src, dst, count)) (Node.link_retransmits node))
+  match t.backend with
+  | Protocol.Pack ((module P), arr) ->
+      Array.to_list arr
+      |> List.concat_map (fun node ->
+             let src = P.id node in
+             List.map
+               (fun (dst, count) -> (src, dst, count))
+               (P.link_retransmits node))
 
 (* One transaction still outstanding when a run failed to drain. *)
 type in_flight = {
@@ -389,6 +457,8 @@ let pp_stall_report ppf r =
 let run_programs ?max_events (t : t) programs =
   if Array.length programs <> t.config.nodes then
     invalid_arg "System.run_programs: one program per node required";
+  match t.backend with
+  | Protocol.Pack ((module P), arr) ->
   let crashable = Config.crash_capable t.config in
   let remaining = ref t.config.nodes in
   let finished = Array.make t.config.nodes false in
@@ -409,7 +479,7 @@ let run_programs ?max_events (t : t) programs =
   let guard node_id k =
     if not crashable then k
     else begin
-      let node = t.nodes.(node_id) in
+      let node = (adaptive_exn t).(node_id) in
       let epoch = Node.node_epoch node in
       fun () -> if Node.alive node && Node.node_epoch node = epoch then k ()
     end
@@ -418,7 +488,7 @@ let run_programs ?max_events (t : t) programs =
     (fun node_id program ->
       let ops = Array.of_list program in
       let count = Array.length ops in
-      let node = t.nodes.(node_id) in
+      let node = arr.(node_id) in
       (* one stepper closure per node, advancing a mutable index: each
          processor has at most one continuation outstanding, so the index
          is read exactly once per op and no per-op closure is built *)
@@ -433,7 +503,7 @@ let run_programs ?max_events (t : t) programs =
           match op with
           | Types.Compute cycles ->
               Sim.schedule t.sim ~delay:(max 0 cycles) (guard node_id step)
-          | Types.Access (kind, line) -> Node.submit node ~kind ~line ~on_commit:resume
+          | Types.Access (kind, line) -> P.submit node ~kind ~line ~on_commit:resume
           | Types.Barrier id -> barrier_arrive t node_id id (guard node_id step)
         end
       and resume () =
@@ -471,7 +541,7 @@ let run_programs ?max_events (t : t) programs =
       Printexc.raise_with_backtrace exn bt
   in
   let invariant_errors =
-    if !remaining = 0 && outcome = Sim.Drained then Node.check_invariants t.nodes
+    if !remaining = 0 && outcome = Sim.Drained then P.check_invariants arr
     else
       [
         Printf.sprintf "run did not quiesce: %d processors unfinished (outcome %s)"
@@ -480,16 +550,16 @@ let run_programs ?max_events (t : t) programs =
       ]
   in
   let updates_consumed =
-    Array.fold_left (fun acc node -> acc + Node.rac_updates_consumed node) 0 t.nodes
+    Array.fold_left (fun acc node -> acc + P.rac_updates_consumed node) 0 arr
   in
   let updates_wasted =
-    Array.fold_left (fun acc node -> acc + Node.rac_updates_wasted node) 0 t.nodes
+    Array.fold_left (fun acc node -> acc + P.rac_updates_wasted node) 0 arr
   in
   let rac_pressure =
-    Array.fold_left (fun acc node -> acc + Node.rac_pressure node) 0 t.nodes
+    Array.fold_left (fun acc node -> acc + P.rac_pressure node) 0 arr
   in
   let deledc_pressure =
-    Array.fold_left (fun acc node -> acc + Node.deledc_pressure node) 0 t.nodes
+    Array.fold_left (fun acc node -> acc + P.deledc_pressure node) 0 arr
   in
   let stall =
     if outcome = Sim.Drained && !remaining = 0 then None
@@ -504,18 +574,18 @@ let run_programs ?max_events (t : t) programs =
                 (Format.asprintf "run ended %a with %d processor(s) unfinished"
                    Sim.pp_outcome outcome !remaining);
           stall_in_flight =
-            Array.to_list t.nodes
+            Array.to_list arr
             |> List.filter_map (fun node ->
                    Option.map
                      (fun (kind, line, started, timeouts) ->
                        {
-                         stalled_node = Node.id node;
+                         stalled_node = P.id node;
                          stalled_kind = kind;
                          stalled_line = line;
                          stalled_since = started;
                          stalled_timeouts = timeouts;
                        })
-                     (Node.pending_info node));
+                     (P.pending_info node));
           stall_recent = Sim.recent_events t.sim;
         }
   in

@@ -3,19 +3,42 @@
     Builds N nodes over a fat-tree interconnect, drives one program (a
     list of {!Types.op}) per processor to completion, and gathers the
     run-level results the evaluation reports: execution cycles, remote
-    misses, network messages and bytes, and coherence-check outcomes. *)
+    misses, network messages and bytes, and coherence-check outcomes.
+
+    The coherence state machine itself is pluggable: [Config.protocol]
+    selects a {!Protocol} backend (the paper's adaptive directory
+    protocol, or bus-snooping MSI/MESI), and everything in this module —
+    the run loop, barriers, watchdog, observer hooks, gauges, flight
+    recorder, stall reports — works identically over any backend.  Only
+    the fail-stop crash machinery and the [Node]-typed accessors are
+    adaptive-specific. *)
 
 type t
 
 val create : config:Config.t -> unit -> t
+(** Raises [Invalid_argument] for a crash-capable fault profile on a
+    snooping backend (crash recovery is directory-protocol machinery). *)
 
 val sim : t -> Pcc_engine.Simulator.t
 
 val config : t -> Config.t
 
+val protocol : t -> Types.protocol
+(** Which backend this machine runs. *)
+
 val node : t -> Types.node_id -> Node.t
+(** Adaptive backend only (raises [Invalid_argument] otherwise): the
+    concrete node for adaptive-specific auditing ({!Pcc_oracle}). *)
 
 val nodes : t -> Node.t array
+(** Adaptive backend only, like {!node}. *)
+
+val l2_entry : t -> node:Types.node_id -> line:Types.line -> L2.entry option
+(** Backend-agnostic, side-effect-free cache-state peek: M/E map to
+    [Exclusive] (dirty/clean), S to [Shared], I to [None]. *)
+
+val iter_l2 : t -> node:Types.node_id -> (Types.line -> L2.entry -> unit) -> unit
+(** Visit every resident line of one node's cache (differential tests). *)
 
 val node_alive : t -> Types.node_id -> bool
 (** False while a node is fail-stopped (between a scheduled crash and its

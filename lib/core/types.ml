@@ -6,6 +6,8 @@ type op_kind = Load | Store
 
 type op = Compute of int | Access of op_kind * line | Barrier of int
 
+type protocol = Adaptive | Msi | Mesi
+
 type miss_class = Rac_hit | Local_mem | Remote_2hop | Remote_3hop
 
 let miss_class_name = function

@@ -16,6 +16,13 @@ type op =
   | Access of op_kind * line
   | Barrier of int  (** synchronize with all other processors on an id *)
 
+(** Which coherence state machine drives the caches.  [Adaptive] is the
+    paper's directory protocol with delegation and speculative updates;
+    [Msi]/[Mesi] are the classic bus-snooping protocols used as
+    head-to-head baselines.  Lives here (not in {!Protocol}) so
+    {!Config.t} can carry the selection without a dependency cycle. *)
+type protocol = Adaptive | Msi | Mesi
+
 (** How a completed miss was ultimately serviced; drives the remote-miss
     accounting of the evaluation. *)
 type miss_class =

@@ -233,7 +233,14 @@ let standard_configs =
     ( "adaptive",
       fun ~nodes ~seed ->
         { (Config.full ~nodes ()) with Config.adaptive_intervention = true; seed } );
+    ("msi", fun ~nodes ~seed -> { (Config.snoop ~nodes Types.Msi ()) with Config.seed });
+    ("mesi", fun ~nodes ~seed -> { (Config.snoop ~nodes Types.Mesi ()) with Config.seed });
   ]
+
+(* The snooping slice of the matrix, for backend-focused sweeps. *)
+let snoop_configs protocol =
+  List.filter (fun (name, _) -> name = Pcc_core.Protocol.to_string protocol)
+    standard_configs
 
 let standard_profiles =
   [
@@ -246,6 +253,13 @@ let mutation_config ~nodes ~seed =
   {
     (Config.full ~nodes ()) with
     Config.inject_fault = Some Config.Stale_update_no_resharing;
+    seed;
+  }
+
+let snoop_mutation_config ~nodes ~seed =
+  {
+    (Config.snoop ~nodes Types.Msi ()) with
+    Config.inject_fault = Some Config.Snoop_upgr_skips_invals;
     seed;
   }
 

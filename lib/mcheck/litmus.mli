@@ -70,7 +70,13 @@ val corpus : test list
     forbidden stale-read outcome. *)
 
 val standard_configs : (string * (nodes:int -> seed:int -> Config.t)) list
-(** base, delegation, updates, adaptive — the four machines of §3. *)
+(** base, delegation, updates, adaptive — the four machines of §3 —
+    plus the two snooping backends, msi and mesi: the whole corpus runs
+    against every coherence backend by default. *)
+
+val snoop_configs : Types.protocol -> (string * (nodes:int -> seed:int -> Config.t)) list
+(** The slice of {!standard_configs} for one snooping backend, for
+    backend-focused sweeps ([pcc_check --litmus --protocol msi]). *)
 
 val standard_profiles : (string * (seed:int -> Pcc_interconnect.Fault.profile option)) list
 (** reliable, drops, storm. *)
@@ -79,6 +85,12 @@ val mutation_config : nodes:int -> seed:int -> Config.t
 (** The updates machine with [inject_fault = Stale_update_no_resharing]:
     running {!corpus} against it must produce at least one [Fail] —
     the harness's own detection sanity check. *)
+
+val snoop_mutation_config : nodes:int -> seed:int -> Config.t
+(** The MSI machine with [inject_fault = Snoop_upgr_skips_invals]
+    (snoopers ignore BUS_UPGR): the harness must catch the stale shared
+    copies this leaves behind — the snooping twin of
+    {!mutation_config}. *)
 
 val run_test : config:Config.t -> ?max_events:int -> test -> outcome
 (** One simulator run; [config.seed] and [config.net_faults] choose the

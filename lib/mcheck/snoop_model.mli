@@ -1,0 +1,49 @@
+(** Abstract model of the bus-snooping MSI/MESI backend for exhaustive
+    checking.
+
+    The shared bus serializes transactions, so the model abstracts each
+    bus transaction to one atomic step — the standard reduction for
+    snooping protocols: a miss invalidates/downgrades every other copy,
+    moves dirty data, and fills the requester in a single transition.
+    Nondeterminism comes from each node's choice of operation, target
+    line, and spontaneous evictions.
+
+    Under that atomicity the protocol's contracts become plain state
+    invariants, checked in every reachable state (prefixed ["L<l>:"]
+    when [lines > 1]):
+    - {e single writer}: at most one M/E copy of a line, and an M/E copy
+      excludes every other copy;
+    - {e latest value materialized}: the newest store version lives in
+      the M/E copy when one exists, in home memory otherwise;
+    - {e shared matches memory}: every S copy equals home memory;
+    - {e MSI has no E}: the MSI variant never holds an exclusive-clean
+      copy.
+
+    [bug] injects the same deliberate protocol error the simulator's
+    fault hook ({!Pcc_core.Config.Snoop_upgr_skips_invals}) injects, so
+    tests can prove the checker and the litmus harness detect a broken
+    bus protocol. *)
+
+type bug =
+  | Upgr_skips_invals
+      (** BUS_UPGR does not invalidate the other shared copies, so an
+          S->M upgrade leaves stale sharers alive *)
+
+type params = {
+  nodes : int;  (** 2..5 is practical *)
+  lines : int;  (** independent lines; the state space is the product *)
+  variant : Pcc_core.Types.protocol;  (** [Msi] or [Mesi] *)
+  max_ops_per_node : int;  (** per line *)
+  bug : bug option;
+}
+
+val default_params : params
+(** 3 nodes, 1 line, MSI, 2 ops each, no bug. *)
+
+val make : ?por:bool -> params -> (module Checker.MODEL)
+(** [por] (default true) exposes per-line transition groups for
+    partial-order reduction; it only has an effect when
+    [params.lines > 1].
+
+    @raise Invalid_argument when [nodes] is outside 2..5, [lines < 1],
+    or [variant] is [Adaptive]. *)

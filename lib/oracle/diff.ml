@@ -76,7 +76,7 @@ let replay_line ~rng ~chaos ~step_budget ~(config : Config.t) ~sys ~order ~line
       bug =
         (match config.inject_fault with
         | Some Config.Stale_update_no_resharing -> Some Model.Updates_without_resharing
-        | None -> None);
+        | Some Config.Snoop_upgr_skips_invals | None -> None);
     }
   in
   (* globally unique simulator store versions -> the model's dense 1..k *)

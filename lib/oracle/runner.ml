@@ -8,10 +8,46 @@ type report = {
   diff : Diff.outcome option;
 }
 
+(* Backend-agnostic audit layer for the snooping protocols: the
+   directory-state auditor and the model-checker replay read adaptive
+   internals, so a non-adaptive run keeps the per-address order tracker,
+   the memory checker, the quiescence invariants and the statistics
+   identities, and skips the adaptive-only passes. *)
+let run_generic ~sys ~config:_ ~programs desc =
+  let order = Order.create ~keep_history:false () in
+  System.on_commit sys (fun ev ->
+      match ev.Node.c_kind with
+      | Types.Store ->
+          Order.record_store order ~node:ev.Node.c_node ~line:ev.Node.c_line
+            ~value:ev.Node.c_value ~time:ev.Node.c_time
+      | Types.Load ->
+          Order.record_load order ~node:ev.Node.c_node ~line:ev.Node.c_line
+            ~value:ev.Node.c_value ~started:ev.Node.c_started ~time:ev.Node.c_time);
+  match System.run_programs sys programs with
+  | exception Order.Violation message ->
+      {
+        desc;
+        result = None;
+        violations = [ "order: " ^ message ];
+        events = [];
+        diff = None;
+      }
+  | result ->
+      let violations = ref [] in
+      if result.System.violations > 0 then
+        violations :=
+          List.map (fun v -> "memory check: " ^ v) (System.violation_report sys);
+      violations := !violations @ result.System.invariant_errors;
+      violations :=
+        !violations @ List.map (fun v -> "stats: " ^ v) (Stats_check.check sys result);
+      { desc; result = Some result; violations = !violations; events = []; diff = None }
+
 let run ?(diff = true) ?(max_lines = 400) (desc : Trace.run_desc) =
   let config = Trace.config_of_desc desc in
   let programs = Trace.programs_of_desc desc in
   let sys = System.create ~config () in
+  if config.Config.protocol <> Types.Adaptive then run_generic ~sys ~config ~programs desc
+  else
   let audit = Audit.attach sys in
   match System.run_programs sys programs with
   | exception Audit.Violation { message; time; events } ->

@@ -22,11 +22,7 @@ let check sys (result : System.result) =
     if stats.delegation_refusals > 0 then
       err "delegation disabled but %d refusals recorded" stats.delegation_refusals
   end;
-  let live_delegated =
-    Array.fold_left
-      (fun acc node -> acc + Node.delegated_line_count node)
-      0 (System.nodes sys)
-  in
+  let live_delegated = System.delegated_lines sys in
   let accounted =
     stats.undelegations + stats.delegation_refusals + live_delegated
     + stats.crash_revoked

@@ -62,6 +62,8 @@ let config_of_desc desc =
     | "rac" -> Config.rac_only ~nodes:desc.nodes ()
     | "delegation" -> Config.delegation_only ~nodes:desc.nodes ()
     | "full" -> Config.full ~nodes:desc.nodes ()
+    | "msi" -> Config.snoop ~nodes:desc.nodes Types.Msi ()
+    | "mesi" -> Config.snoop ~nodes:desc.nodes Types.Mesi ()
     | other -> invalid_arg (Printf.sprintf "Trace.config_of_desc: unknown config %S" other)
   in
   {

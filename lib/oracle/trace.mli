@@ -16,7 +16,9 @@ open Pcc_core
 
 type run_desc = {
   bench : string;  (** an {!Pcc_workload.Apps} name, or ["random"] *)
-  config_name : string;  (** ["base"], ["rac"], ["delegation"], or ["full"] *)
+  config_name : string;
+      (** ["base"], ["rac"], ["delegation"], ["full"], or a snooping
+          backend: ["msi"], ["mesi"] *)
   nodes : int;
   scale : float;  (** epoch-count multiplier for app benchmarks *)
   seed : int;

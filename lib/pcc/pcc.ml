@@ -15,6 +15,13 @@ module Config = Pcc_core.Config
 (** Whole-machine simulation: build, run, measure. *)
 module System = Pcc_core.System
 
+(** Pluggable coherence backends: the interface every state machine
+    implements, plus backend-name parsing for CLIs. *)
+module Protocol = Pcc_core.Protocol
+
+(** Bus-snooping MSI/MESI backend. *)
+module Snoop = Pcc_core.Snoop
+
 (** Memory operations, line layout, miss classification. *)
 module Types = Pcc_core.Types
 
@@ -89,6 +96,9 @@ module Checker = Pcc_mcheck.Checker
 
 (** Abstract protocol model for verification. *)
 module Protocol_model = Pcc_mcheck.Protocol_model
+
+(** Abstract atomic-bus model of the snooping backends. *)
+module Snoop_model = Pcc_mcheck.Snoop_model
 
 (** Litmus tests: per-location SC axioms checked against real simulator
     runs across configs, chaos profiles, and seeds. *)

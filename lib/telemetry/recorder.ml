@@ -128,9 +128,19 @@ let on_send t ~time ~src ~dst (msg : Message.t) =
       | Some o when requester = src && o.o_kind = Types.Store ->
           set_phase o ~time Span.Ack_collect
       | Some _ | None -> ())
+  | Bus_rd { line; _ } | Bus_rdx { line; _ } | Bus_upgr { line; _ } -> (
+      (* bus command leaving the arbitration winner *)
+      match matching t src line with
+      | Some o -> set_phase o ~time Span.Req_net
+      | None -> ())
+  | Bus_flush { line; requester; _ } -> (
+      (* cache-to-cache data heading back to the requester *)
+      match matching t requester line with
+      | Some o -> set_phase o ~time Span.Reply_net
+      | None -> ())
   | Fwd_get_shared _ | New_home _ | Writeback _ | Writeback_ack _ | Inv_ack _
   | Shared_writeback _ | Transfer_ack _ | Recall_nack _ | Undelegate _
-  | Update_flush _ | Update_flush_ack _ ->
+  | Update_flush _ | Update_flush_ack _ | Snoop_resp _ | Bus_wb _ | Bus_wb_ack _ ->
       ()
 
 (* Receive-side transitions: the request reaching its server, the reply
@@ -155,9 +165,19 @@ let on_recv t ~time ~src ~dst (msg : Message.t) =
       | Some _ | None -> ())
   (* a Data_shared/Update reply commits its load within the same event:
      Reply_net runs to the commit *)
+  | Bus_rd { line; _ } | Bus_rdx { line; _ } | Bus_upgr { line; _ } -> (
+      (* the command reaching a snooper: servicing has begun *)
+      match matching t src line with
+      | Some o -> set_phase o ~time Span.Dir_service
+      | None -> ())
+  | Snoop_resp { line; _ } -> (
+      match matching t dst line with
+      | Some o -> set_phase o ~time Span.Ack_collect
+      | None -> ())
   | Data_shared _ | Update _ | Intervention _ | Transfer _ | Inval _ | New_home _
   | Writeback _ | Writeback_ack _ | Shared_writeback _ | Transfer_ack _ | Recall _
-  | Recall_nack _ | Undelegate _ | Update_flush _ | Update_flush_ack _ ->
+  | Recall_nack _ | Undelegate _ | Update_flush _ | Update_flush_ack _
+  | Bus_flush _ | Bus_wb _ | Bus_wb_ack _ ->
       ()
 
 let on_retransmit t ~time:_ ~src ~dst:_ =

@@ -17,12 +17,15 @@ let check_all_pass name results =
   | [] -> ()
   | fs -> Alcotest.failf "%s: %s" name (describe_failures fs)
 
-(* the full committed matrix: 5 tests x 4 configs x 3 profiles x 3 seeds *)
+(* the full committed matrix: 5 tests x 6 configs (4 adaptive machines +
+   msi + mesi) x 3 profiles x 3 seeds *)
 let test_corpus_passes () =
   let results = Litmus.run_matrix ~jobs:2 Litmus.corpus in
   Alcotest.(check int) "matrix size"
-    (List.length Litmus.corpus * 4 * 3 * 3)
+    (List.length Litmus.corpus * List.length Litmus.standard_configs * 3 * 3)
     (List.length results);
+  Alcotest.(check int) "all six machines in the matrix" 6
+    (List.length Litmus.standard_configs);
   check_all_pass "corpus" results
 
 (* forbidden final observations must stay unreachable beyond the default
@@ -66,6 +69,19 @@ let test_mutation_detected () =
   | [] -> Alcotest.fail "mutated machine passed the whole corpus"
   | _ :: _ -> ()
 
+(* same sanity check for the snooping twin: a machine whose snoopers
+   ignore BUS_UPGR must be caught by the corpus *)
+let test_snoop_mutation_detected () =
+  let results =
+    Litmus.run_matrix
+      ~configs:[ ("mutated-msi-snoop", Litmus.snoop_mutation_config) ]
+      ~profiles:[ ("reliable", fun ~seed:_ -> None) ]
+      ~seeds:[ 1 ] Litmus.corpus
+  in
+  match Litmus.failures results with
+  | [] -> Alcotest.fail "mutated snooping machine passed the whole corpus"
+  | _ :: _ -> ()
+
 (* run_matrix is deterministic at every jobs setting *)
 let test_matrix_deterministic () =
   let show results =
@@ -83,6 +99,8 @@ let suite =
       test_forbidden_unreachable;
     Alcotest.test_case "forbidden predicate fires" `Quick test_forbidden_predicate_fires;
     Alcotest.test_case "mutated machine detected" `Quick test_mutation_detected;
+    Alcotest.test_case "mutated snooping machine detected" `Quick
+      test_snoop_mutation_detected;
     Alcotest.test_case "matrix deterministic across jobs" `Quick
       test_matrix_deterministic;
   ]

@@ -9,6 +9,7 @@ let () =
       ("interconnect", Test_interconnect.suite);
       ("core-units", Test_core_units.suite);
       ("protocol", Test_protocol.suite);
+      ("backends", Test_backends.suite);
       ("delegation", Test_delegation.suite);
       ("updates", Test_updates.suite);
       ("workload", Test_workload.suite);

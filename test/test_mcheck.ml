@@ -70,13 +70,20 @@ type summary =
   | S_violation of string * int  (* invariant name, trace length *)
   | S_deadlock of int
 
-let run_model ?(max_states = 3_000_000) params =
-  let (module M) = Protocol_model.make params in
-  match Checker.run (module M) ~max_states () with
+let summarize outcome =
+  match outcome with
   | Checker.Ok stats -> S_ok stats
   | Checker.Invariant_violation { invariant; trace; _ } ->
       S_violation (invariant, List.length trace)
   | Checker.Deadlock { trace; _ } -> S_deadlock (List.length trace)
+
+let run_model ?(max_states = 3_000_000) params =
+  let (module M) = Protocol_model.make params in
+  summarize (Checker.run (module M) ~max_states ())
+
+let run_snoop_model ?(max_states = 3_000_000) params =
+  let (module M) = Pcc_mcheck.Snoop_model.make params in
+  summarize (Checker.run (module M) ~max_states ())
 
 let check_ok name outcome =
   match outcome with
@@ -161,6 +168,35 @@ let test_bug_no_resharing_detected () =
        {
          Protocol_model.default_params with
          bug = Some Protocol_model.Updates_without_resharing;
+       })
+
+(* ---- the snooping backends' atomic-bus model ---- *)
+
+let test_snoop_msi_verified () =
+  (* the CI gate: an exhaustive MSI exploration of >= 10k states with
+     zero counterexamples *)
+  match
+    run_snoop_model { Pcc_mcheck.Snoop_model.default_params with nodes = 4; variant = Pcc_core.Types.Msi }
+  with
+  | S_ok stats ->
+      Alcotest.(check bool) "msi 4n >= 10k states" true
+        (stats.Checker.states_explored >= 10_000);
+      Alcotest.(check bool) "msi 4n exhaustive" true stats.Checker.complete
+  | S_violation (invariant, steps) ->
+      Alcotest.failf "msi 4n: invariant '%s' violated (%d-step trace)" invariant steps
+  | S_deadlock steps -> Alcotest.failf "msi 4n: deadlock (%d-step trace)" steps
+
+let test_snoop_mesi_verified () =
+  check_ok "mesi 3n 2-line"
+    (run_snoop_model
+       { Pcc_mcheck.Snoop_model.default_params with lines = 2; variant = Pcc_core.Types.Mesi })
+
+let test_snoop_bug_detected () =
+  expect_violation "snoop upgr-skips-invals"
+    (run_snoop_model
+       {
+         Pcc_mcheck.Snoop_model.default_params with
+         bug = Some Pcc_mcheck.Snoop_model.Upgr_skips_invals;
        })
 
 (* ---------------- canonical hashing properties (qcheck) ---------------- *)
@@ -373,6 +409,11 @@ let suite =
     Alcotest.test_case "seeded bug: skip invals" `Quick test_bug_skip_invals_detected;
     Alcotest.test_case "seeded bug: no poison" `Slow test_bug_no_poison_detected;
     Alcotest.test_case "seeded bug: no resharing" `Slow test_bug_no_resharing_detected;
+    Alcotest.test_case "snoop msi 4n exhaustive (>=10k states)" `Quick
+      test_snoop_msi_verified;
+    Alcotest.test_case "snoop mesi 3n 2-line exhaustive" `Slow test_snoop_mesi_verified;
+    Alcotest.test_case "snoop seeded bug: upgr skips invals" `Quick
+      test_snoop_bug_detected;
     Alcotest.test_case "golden: minimal canonical counterexample" `Quick
       test_golden_counterexample;
     Alcotest.test_case "verdict byte-stable across jobs" `Quick
