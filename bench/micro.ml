@@ -20,11 +20,20 @@
      dune exec bench/micro.exe -- --json /tmp/micro.json
      dune exec bench/micro.exe -- --repeat 3        # best-of-3 timing
      dune exec bench/micro.exe -- --protocol msi    # snooping hot path
+     dune exec bench/micro.exe -- --workload kv:events=500000   # ad-hoc cell
 
    --protocol adaptive/msi/mesi reruns every cell on that coherence
    backend (unknown names are rejected, never silently defaulted — a
    fallback would masquerade as an adaptive run and void the golden and
-   history comparisons).  The committed goldens assume the default. *)
+   history comparisons).  --workload SPEC replaces the fixed cells with
+   one registry workload under the base and fully adaptive machines, for
+   ad-hoc hot-path timing of any workload (including the streaming
+   generators).  The committed goldens assume the defaults: no
+   --workload, adaptive backend.
+
+   Every cell — app or generator — is fed through the streaming
+   [System.run_stream] pull path, so minor w/event here is the number the
+   allocation-budget test pins. *)
 
 open Pcc
 module Apps = Pcc.Workloads
@@ -60,8 +69,7 @@ type measurement = {
   minor_words : float;
 }
 
-let run_cell ~repeat ~scale (key, app, config) =
-  let programs = Apps.programs app ~scale ~nodes () in
+let run_cell ~repeat (key, feed, config) =
   (* repeated runs re-simulate from scratch; keep the fastest wall time
      (least scheduler noise) — the simulated result is identical anyway *)
   let best = ref None in
@@ -73,7 +81,7 @@ let run_cell ~repeat ~scale (key, app, config) =
     Gc.full_major ();
     let minor_before = Gc.minor_words () in
     let wall_start = Unix.gettimeofday () in
-    let result = System.run_programs sys programs in
+    let result = System.run_stream sys (feed ()) in
     let seconds = Unix.gettimeofday () -. wall_start in
     let minor_words = Gc.minor_words () -. minor_before in
     let m =
@@ -284,6 +292,7 @@ let () =
   let repeat_arg, args = split_opt "--repeat" [] args in
   let scale_arg, args = split_opt "--scale" [] args in
   let protocol_arg, args = split_opt "--protocol" [] args in
+  let workload_arg, args = split_opt "--workload" [] args in
   if check_history_flag && history_path = None then begin
     Printf.eprintf "--check-history requires --history FILE\n";
     exit 2
@@ -324,19 +333,44 @@ let () =
             exit 2)
   in
   let cells =
+    match workload_arg with
+    | None ->
+        (* the fixed app cells; programs materialize once per cell, the
+           feed rewinds per repeat *)
+        List.map
+          (fun (key, app, config) ->
+            let programs = Apps.programs app ~scale ~nodes () in
+            (key, (fun () -> Op_stream.of_programs programs), config))
+          (cells ())
+    | Some spec -> (
+        (* ad-hoc override: one registry workload, streamed, under the
+           base and fully adaptive machines *)
+        match Workload.of_spec ~nodes ~scale ~seed:7 spec with
+        | Error message ->
+            Printf.eprintf "--workload: %s\n" message;
+            exit 2
+        | Ok w ->
+            let wnodes = Workload.nodes w in
+            let feed () = Workload.stream w in
+            [
+              (Workload.name w ^ "/base", feed, Config.base ~nodes:wnodes ());
+              (Workload.name w ^ "/full", feed, Config.small_full ~nodes:wnodes ());
+            ])
+  in
+  let cells =
     match protocol with
-    | Types.Adaptive -> cells ()
+    | Types.Adaptive -> cells
     | p ->
         List.map
-          (fun (key, app, config) -> (key, app, { config with Config.protocol = p }))
-          (cells ())
+          (fun (key, feed, config) -> (key, feed, { config with Config.protocol = p }))
+          cells
   in
   Printf.printf "hot-path micro-harness: %d nodes, scale %.2f, best of %d run(s)%s\n%!"
     nodes scale repeat
     (match protocol with
     | Types.Adaptive -> ""
     | p -> Printf.sprintf ", %s backend" (Protocol.to_string p));
-  let measurements = List.map (run_cell ~repeat ~scale) cells in
+  let measurements = List.map (run_cell ~repeat) cells in
   Printf.printf "%-12s %12s %12s %14s %14s %14s\n" "workload" "events" "commits"
     "events/sec" "minor w/event" "minor w/commit";
   let total_events = ref 0 and total_seconds = ref 0.0 and total_minor = ref 0.0 in

@@ -20,8 +20,49 @@ let seed ?(default = 1) ?(doc = "Workload seed.") () =
 let seeds ?(default = 50) ?(doc = "Number of seeds to sweep.") () =
   Arg.(value & opt int default & info [ "seeds" ] ~docv:"N" ~doc)
 
-let app ?(default = "Em3D") () =
-  Arg.(value & opt string default & info [ "a"; "app" ] ~docv:"APP" ~doc:"Workload name.")
+(* Workload selection: the [--workload NAME[:k=v,...]] spec grammar over
+   the Workload registry, with [--app NAME] kept as a warning-emitting
+   alias for one release.  Parsing to a Workload.packed happens in
+   [resolve_workload] (not an Arg.conv) so unknown names and keys exit 2
+   with a suggestion list, mirroring the --protocol loud-rejection
+   contract. *)
+let workload ?(default = "em3d") () =
+  let workload_arg =
+    let doc =
+      Printf.sprintf
+        "Workload spec: $(i,NAME) or $(i,NAME:key=value,...).  Names: %s.  Unknown \
+         names and keys are rejected (exit 2)."
+        (String.concat ", " (Pcc.Workload.names ()))
+    in
+    Arg.(value & opt (some string) None & info [ "w"; "workload" ] ~docv:"SPEC" ~doc)
+  in
+  let app_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "a"; "app" ] ~docv:"APP"
+          ~doc:"Deprecated alias for $(b,--workload); emits a warning.")
+  in
+  let combine w a =
+    match (w, a) with
+    | Some spec, None -> spec
+    | Some spec, Some _ ->
+        prerr_endline "warning: --app ignored because --workload was given";
+        spec
+    | None, Some name ->
+        prerr_endline
+          "warning: --app is deprecated; use --workload NAME[:key=value,...] instead";
+        name
+    | None, None -> default
+  in
+  Term.(const combine $ workload_arg $ app_arg)
+
+let resolve_workload ~tool ~nodes ~scale ~seed spec =
+  match Pcc.Workload.of_spec ~nodes ~scale ~seed spec with
+  | Ok w -> w
+  | Error message ->
+      Printf.eprintf "%s: %s\n" tool message;
+      exit 2
 
 (* Config/machine selection: pcc_sim calls it --machine, the trace tool
    --config; both mean the same names. *)

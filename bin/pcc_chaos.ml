@@ -91,6 +91,9 @@ type run_report = {
   rr_seed : int;
   rr_profile : string;
   rr_bench : string;
+  rr_workload : string;
+      (* resolved workload description (registry describe string) for the
+         --json artifact *)
   rr_config : string;
   rr_total_ops : int;
   rr_problems : string list;
@@ -164,7 +167,14 @@ let run_one ~bench ~config_name ~protocol ~nodes ~scale ~seed ~profile_name
       fallback_threshold;
     }
   in
-  let programs = Oracle.Trace.programs_of_desc desc in
+  (* resolve through the workload registry: [bench] is a full spec string
+     (validated up front in [main], so failure here is a program error) *)
+  let workload =
+    match Workload.of_spec ~nodes ~scale ~seed bench with
+    | Ok w -> w
+    | Error message -> invalid_arg ("pcc_chaos: " ^ message)
+  in
+  let programs = Workload.programs workload in
   let total_ops = count_accesses programs in
   let sys = System.create ~config () in
   (* Deterministic per-run artifact path: a function of the run's own
@@ -186,6 +196,7 @@ let run_one ~bench ~config_name ~protocol ~nodes ~scale ~seed ~profile_name
       rr_seed = seed;
       rr_profile = profile_name;
       rr_bench = bench;
+      rr_workload = Workload.describe workload;
       rr_config = config_name;
       rr_total_ops = total_ops;
       rr_problems = [];
@@ -272,6 +283,7 @@ let json_of_report (r : run_report) =
       ("seed", Jsonl.Int r.rr_seed);
       ("profile", Jsonl.String r.rr_profile);
       ("bench", Jsonl.String r.rr_bench);
+      ("workload", Jsonl.String r.rr_workload);
       ("config", Jsonl.String r.rr_config);
       ("total_ops", Jsonl.Int r.rr_total_ops);
       ("problems", Jsonl.List (List.map (fun p -> Jsonl.String p) r.rr_problems));
@@ -318,9 +330,24 @@ let write_json path t reports =
       output_string oc (Jsonl.to_string doc);
       output_char oc '\n')
 
-let main seeds protocol nodes scale profile_filter txn_timeout fallback_threshold
-    max_events jobs json_path verbose crash_victims crash_nodes restart_after
-    flight_dir metrics_path =
+let main workload_pin seeds protocol nodes scale profile_filter txn_timeout
+    fallback_threshold max_events jobs json_path verbose crash_victims crash_nodes
+    restart_after flight_dir metrics_path =
+  let pin_error =
+    (* validate the pinned spec loudly up front — workers must never be the
+       first place an unknown workload name is noticed *)
+    match workload_pin with
+    | None -> None
+    | Some spec -> (
+        match Workload.of_spec ~nodes ~scale ~seed:1 spec with
+        | Ok _ -> None
+        | Error message -> Some message)
+  in
+  match pin_error with
+  | Some message ->
+      Printf.eprintf "pcc_chaos: %s\n" message;
+      2
+  | None ->
   if protocol <> Types.Adaptive && (crash_victims > 0 || crash_nodes <> []) then begin
     Printf.eprintf
       "pcc_chaos: fail-stop crashes need the adaptive backend (--protocol %s given)\n"
@@ -376,7 +403,10 @@ let main seeds protocol nodes scale profile_filter txn_timeout fallback_threshol
       List.concat_map
         (fun seed ->
           let benches =
-            [ "random"; bench_rotation.((seed - 1) mod Array.length bench_rotation) ]
+            match workload_pin with
+            | Some spec -> [ spec ]
+            | None ->
+                [ "random"; bench_rotation.((seed - 1) mod Array.length bench_rotation) ]
           in
           List.concat_map
             (fun profile_name ->
@@ -508,10 +538,20 @@ let flight_dir_arg =
            the retained event window lands at that path and the failure \
            report names it (decode with $(b,pcc_trace --flight)).")
 
+let workload_pin_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "w"; "workload" ] ~docv:"SPEC"
+        ~doc:
+          "Pin every chaotic run to one workload spec \
+           ($(i,NAME) or $(i,NAME:key=value,...)) instead of the \
+           random + rotating-benchmark pair per seed.")
+
 let cmd =
   let term =
     Term.(
-      const main
+      const main $ workload_pin_arg
       $ Cli_common.seeds ~default:34
           ~doc:"Seeds per fault profile (each seed runs 2 benchmarks)." ()
       $ Cli_common.protocol ()

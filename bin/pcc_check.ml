@@ -21,7 +21,14 @@ let bug_of_string = function
 let workload_of_string = function
   | "symmetric" -> Ok Model.Symmetric
   | "pc" | "producer-consumer" -> Ok Model.Producer_consumer
-  | other -> Error (Printf.sprintf "unknown workload %S" other)
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown model workload %S; valid patterns: symmetric, pc \
+            (producer-consumer).  pcc_check verifies abstract access patterns — \
+            simulator workload specs (em3d, kv:skew=1.2, ...) belong to pcc_sim \
+            and friends."
+           other)
 
 (* Checker counters for --metrics: every outcome carries stats. *)
 let checker_metrics registry (stats : Pcc.Checker.stats) ~violations ~deadlocks =
@@ -76,7 +83,7 @@ let run_model_check protocol nodes lines ops workload delegation updates bug max
       match (bug_of_string bug, workload_of_string workload) with
       | Error message, _ | _, Error message ->
           prerr_endline message;
-          1
+          2
       | Ok bug, Ok workload ->
           let params =
             {
@@ -161,7 +168,8 @@ let workload_arg =
     & opt string "symmetric"
     & info [ "workload" ] ~docv:"KIND"
         ~doc:
-          "Access pattern: $(b,symmetric) (every node loads and stores) or $(b,pc) \
+          "Abstract access pattern for the model (not a simulator workload \
+           spec): $(b,symmetric) (every node loads and stores) or $(b,pc) \
            (producer-consumer: one designated writer per line, everyone else reads — \
            the paper's pattern; much smaller per-line spaces).")
 

@@ -13,12 +13,19 @@ let bench_rotation = [| "random"; "barnes"; "ocean"; "em3d"; "lu"; "cg"; "mg"; "
 
 let configs = [ "base"; "full" ]
 
-let descs_for_seed ~configs ~nodes ~scale seed : Oracle.Trace.run_desc list =
+let descs_for_seed ~workload_pin ~configs ~nodes ~scale seed :
+    Oracle.Trace.run_desc list =
   (* every seed runs the random workload plus one rotating app benchmark,
      each under both the baseline and the fully adaptive machine (or the
-     selected snooping backend) *)
+     selected snooping backend); --workload pins a single spec instead *)
   let benches =
-    [ "random"; bench_rotation.(1 + ((seed - 1) mod (Array.length bench_rotation - 1))) ]
+    match workload_pin with
+    | Some spec -> [ spec ]
+    | None ->
+        [
+          "random";
+          bench_rotation.(1 + ((seed - 1) mod (Array.length bench_rotation - 1)));
+        ]
   in
   List.concat_map
     (fun bench ->
@@ -42,7 +49,8 @@ let report_failure ~trace ~artifact_written (report : Oracle.Runner.report) =
     Printf.printf "  trace written to %s\n" trace
   end
 
-let run_sweep ~seeds ~protocol ~nodes ~scale ~max_lines ~trace ~metrics_path =
+let run_sweep ~workload_pin ~seeds ~protocol ~nodes ~scale ~max_lines ~trace
+    ~metrics_path =
   let configs =
     match protocol with
     | Types.Adaptive -> configs
@@ -71,7 +79,7 @@ let run_sweep ~seeds ~protocol ~nodes ~scale ~max_lines ~trace ~metrics_path =
           incr failures;
           report_failure ~trace ~artifact_written report
         end)
-      (descs_for_seed ~configs ~nodes ~scale seed)
+      (descs_for_seed ~workload_pin ~configs ~nodes ~scale seed)
   done;
   Printf.printf "%d runs, %d failures; %d ops replayed through the model (%d steps)\n"
     !runs !failures !ops !steps;
@@ -158,19 +166,34 @@ let run_golden ~nodes ~scale ~seed =
     configs;
   0
 
-let main seeds protocol nodes scale max_lines trace replay inject_fault golden
-    metrics_path =
-  if nodes < 2 then begin
-    Printf.eprintf "pcc_oracle: --nodes must be at least 2 (got %d)\n" nodes;
-    2
-  end
-  else if golden then run_golden ~nodes:8 ~scale ~seed:7
-  else
-    match replay with
-    | Some path -> run_replay ~max_lines ~path
-    | None ->
-        if inject_fault then run_fault ~nodes ~scale ~trace
-        else run_sweep ~seeds ~protocol ~nodes ~scale ~max_lines ~trace ~metrics_path
+let main workload_pin seeds protocol nodes scale max_lines trace replay
+    inject_fault golden metrics_path =
+  let pin_error =
+    match workload_pin with
+    | None -> None
+    | Some spec -> (
+        match Workload.of_spec ~nodes ~scale ~seed:1 spec with
+        | Ok _ -> None
+        | Error message -> Some message)
+  in
+  match pin_error with
+  | Some message ->
+      Printf.eprintf "pcc_oracle: %s\n" message;
+      2
+  | None ->
+      if nodes < 2 then begin
+        Printf.eprintf "pcc_oracle: --nodes must be at least 2 (got %d)\n" nodes;
+        2
+      end
+      else if golden then run_golden ~nodes:8 ~scale ~seed:7
+      else (
+        match replay with
+        | Some path -> run_replay ~max_lines ~path
+        | None ->
+            if inject_fault then run_fault ~nodes ~scale ~trace
+            else
+              run_sweep ~workload_pin ~seeds ~protocol ~nodes ~scale ~max_lines
+                ~trace ~metrics_path)
 
 let max_lines_arg =
   Arg.(
@@ -200,10 +223,20 @@ let golden_arg =
     value & flag
     & info [ "golden" ] ~doc:"Print the golden-statistics table for test_golden.ml.")
 
+let workload_pin_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "w"; "workload" ] ~docv:"SPEC"
+        ~doc:
+          "Pin every sweep run to one workload spec \
+           ($(i,NAME) or $(i,NAME:key=value,...)) instead of the \
+           random + rotating-benchmark pair per seed.")
+
 let cmd =
   let term =
     Term.(
-      const main $ Cli_common.seeds ()
+      const main $ workload_pin_arg $ Cli_common.seeds ()
       $ Cli_common.protocol
           ~doc:
             "Coherence backend for the sweep: $(b,adaptive) audits base+full with \

@@ -1,7 +1,9 @@
 (* Command-line simulator driver: run one workload under one machine
    configuration and print the run statistics.
 
-     dune exec bin/pcc_sim.exe -- --app em3d --machine full --scale 0.5 *)
+     dune exec bin/pcc_sim.exe -- --workload em3d --machine full --scale 0.5
+     dune exec bin/pcc_sim.exe -- --workload kv:skew=1.2,events=1000000
+     dune exec bin/pcc_sim.exe -- --workload trace:file=run.pcct  # replay *)
 
 open Pcc
 open Cmdliner
@@ -14,65 +16,97 @@ let machine_of_string nodes = function
   | "large" -> Ok (Config.large_full ~nodes ())
   | other -> Error (Printf.sprintf "unknown machine %S" other)
 
-let run app_name machine protocol nodes scale seed delegate_entries rac_kb
-    intervention_delay hop_latency verbose metrics_path flight_dump =
-  match Workloads.find app_name with
-  | None ->
-      Printf.eprintf "unknown app %S (try: %s)\n" app_name
-        (String.concat ", " (List.map (fun a -> a.Workloads.name) Workloads.all));
+let run workload_spec machine protocol nodes scale seed delegate_entries rac_kb
+    intervention_delay hop_latency max_events verbose metrics_path flight_dump
+    record_path json_path =
+  let workload =
+    Cli_common.resolve_workload ~tool:"pcc_sim" ~nodes ~scale ~seed workload_spec
+  in
+  (* a trace replay carries its own node count; generators were built at
+     the requested one *)
+  let nodes = Workload.nodes workload in
+  match machine_of_string nodes machine with
+  | Error message ->
+      prerr_endline message;
       1
-  | Some app -> (
-      match machine_of_string nodes machine with
-      | Error message ->
-          prerr_endline message;
-          1
-      | Ok config ->
-          let config = { config with Config.protocol } in
-          let config =
-            {
-              config with
-              Config.delegate_entries =
-                Option.value delegate_entries ~default:config.Config.delegate_entries;
-              rac_bytes =
-                (match rac_kb with
-                | Some kb -> kb * 1024
-                | None -> config.Config.rac_bytes);
-              intervention_delay =
-                Option.value intervention_delay ~default:config.Config.intervention_delay;
-            }
-          in
-          let config =
-            match hop_latency with
-            | Some hop -> Config.with_hop_latency config hop
-            | None -> config
-          in
-          let programs = Workloads.programs app ~scale ~seed ~nodes () in
-          Format.printf "app=%s machine=%s nodes=%d scale=%.2f ops=%d@." app.name
-            (Config.describe config) nodes scale
-            (Workload_gen.total_ops programs);
-          let sys = System.create ~config () in
-          (match flight_dump with
-          | Some path -> System.arm_flight_dump sys ~path
-          | None -> ());
-          let result = System.run_programs sys programs in
-          Cli_common.write_metrics metrics_path (fun registry ->
-              Telemetry.Registry.add_result registry result;
-              Telemetry.Registry.add_system registry sys);
-          Format.printf "cycles            %d@." result.System.cycles;
-          Format.printf "network messages  %d (%d KB)@." result.System.network_messages
-            (result.System.network_bytes / 1024);
-          Format.printf "remote misses     %d@." (Run_stats.remote_misses result.System.stats);
-          Format.printf "%a@." Run_stats.pp result.System.stats;
-          Format.printf "updates consumed  %d, wasted %d@." result.System.updates_consumed
-            result.System.updates_wasted;
-          Format.printf "violations        %d@." result.System.violations;
-          List.iter (Format.printf "INVARIANT ERROR: %s@.") result.System.invariant_errors;
-          if verbose then begin
-            Format.printf "@.per-class network messages:@.";
-            Format.printf "%a@." Counter.pp result.System.stats.Run_stats.message_classes
-          end;
-          if result.System.violations = 0 && result.System.invariant_errors = [] then 0
-          else 2)
+  | Ok config ->
+      let config = { config with Config.protocol } in
+      let config =
+        {
+          config with
+          Config.delegate_entries =
+            Option.value delegate_entries ~default:config.Config.delegate_entries;
+          rac_bytes =
+            (match rac_kb with
+            | Some kb -> kb * 1024
+            | None -> config.Config.rac_bytes);
+          intervention_delay =
+            Option.value intervention_delay ~default:config.Config.intervention_delay;
+        }
+      in
+      let config =
+        match hop_latency with
+        | Some hop -> Config.with_hop_latency config hop
+        | None -> config
+      in
+      Format.printf "workload=%s machine=%s nodes=%d%s@."
+        (Workload.describe workload)
+        (Config.describe config) nodes
+        (match Workload.total_accesses workload with
+        | Some ops -> Printf.sprintf " ops=%d" ops
+        | None -> "");
+      let sys = System.create ~config () in
+      (match flight_dump with
+      | Some path -> System.arm_flight_dump sys ~path
+      | None -> ());
+      let stream = Workload.stream workload in
+      let writer =
+        Option.map (fun path -> Btrace.Writer.create ~path ~nodes ()) record_path
+      in
+      let stream =
+        match writer with Some w -> Btrace.recording w stream | None -> stream
+      in
+      let result =
+        match System.run_stream ?max_events sys stream with
+        | result ->
+            Option.iter Btrace.Writer.close writer;
+            result
+        | exception e ->
+            Option.iter Btrace.Writer.abort writer;
+            raise e
+      in
+      (match (writer, record_path) with
+      | Some _, Some path -> Format.printf "recorded binary trace: %s@." path
+      | _ -> ());
+      Cli_common.write_metrics metrics_path (fun registry ->
+          Telemetry.Registry.add_result registry result;
+          Telemetry.Registry.add_system registry sys);
+      (match json_path with
+      | Some path ->
+          Atomic_file.write_string ~path
+            (Run_export.to_string
+               ~workload:(Workload.describe workload)
+               ~key:(Config.describe config) result
+            ^ "\n")
+      | None -> ());
+      Format.printf "cycles            %d@." result.System.cycles;
+      Format.printf "network messages  %d (%d KB)@." result.System.network_messages
+        (result.System.network_bytes / 1024);
+      Format.printf "remote misses     %d@." (Run_stats.remote_misses result.System.stats);
+      Format.printf "%a@." Run_stats.pp result.System.stats;
+      Format.printf "updates consumed  %d, wasted %d@." result.System.updates_consumed
+        result.System.updates_wasted;
+      Format.printf "violations        %d@." result.System.violations;
+      List.iter (Format.printf "INVARIANT ERROR: %s@.") result.System.invariant_errors;
+      (match result.System.stall with
+      | Some stall -> Format.printf "%a@." System.pp_stall_report stall
+      | None -> ());
+      if verbose then begin
+        Format.printf "@.per-class network messages:@.";
+        Format.printf "%a@." Counter.pp result.System.stats.Run_stats.message_classes
+      end;
+      if result.System.violations = 0 && result.System.invariant_errors = [] then 0
+      else 2
 
 let delegate_arg =
   Arg.(
@@ -95,6 +129,13 @@ let hop_arg =
     & opt (some int) None
     & info [ "hop-latency" ] ~docv:"CYCLES" ~doc:"Override network hop latency.")
 
+let max_events_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-events" ] ~docv:"N"
+        ~doc:"Event budget for the run (default: unbounded).")
+
 let flight_dump_arg =
   Arg.(
     value
@@ -105,15 +146,34 @@ let flight_dump_arg =
            or uncaught exception the retained event window is dumped to \
            $(docv) (decode with $(b,pcc_trace --flight)).")
 
+let record_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "record" ] ~docv:"PATH"
+        ~doc:
+          "Record the executed op stream to $(docv) as a compact binary trace \
+           (atomic temp+rename); re-feed it with \
+           $(b,--workload trace:file=)$(docv).")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"PATH"
+        ~doc:
+          "Write the canonical machine-readable result row (Run_export) to \
+           $(docv).")
+
 let cmd =
   let term =
     Term.(
-      const run $ Cli_common.app () $ Cli_common.config () $ Cli_common.protocol ()
+      const run $ Cli_common.workload () $ Cli_common.config () $ Cli_common.protocol ()
       $ Cli_common.nodes ()
       $ Cli_common.scale () $ Cli_common.seed () $ delegate_arg $ rac_arg $ delay_arg
-      $ hop_arg
+      $ hop_arg $ max_events_arg
       $ Cli_common.verbose ~doc:"Print per-class message counters." ()
-      $ Cli_common.metrics () $ flight_dump_arg)
+      $ Cli_common.metrics () $ flight_dump_arg $ record_arg $ json_arg)
   in
   Cmd.v
     (Cmd.info "pcc_sim" ~doc:"Simulate a workload on a selectable coherence backend")

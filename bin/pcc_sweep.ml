@@ -2,7 +2,7 @@
    print a row per setting.  Settings are independent simulations, so the
    sweep fans out across domains (--jobs N / PCC_JOBS; 1 = sequential).
 
-     dune exec bin/pcc_sweep.exe -- --app MG --knob delegate --values 32,64,128,1024 *)
+     dune exec bin/pcc_sweep.exe -- --workload mg --knob delegate --values 32,64,128,1024 *)
 
 open Pcc
 open Cmdliner
@@ -15,7 +15,8 @@ let apply_knob config knob value =
   | "hop" -> Ok (Config.with_hop_latency config value)
   | other -> Error (Printf.sprintf "unknown knob %S (delegate, rac-kb, delay, hop)" other)
 
-let write_json path ~app_name ~knob ~protocol ~nodes ~scale ~(base : System.result) rows =
+let write_json path ~app_name ~workload ~knob ~protocol ~nodes ~scale
+    ~(base : System.result) rows =
   let row (value, (r : System.result)) =
     Jsonl.Obj
       [
@@ -32,6 +33,7 @@ let write_json path ~app_name ~knob ~protocol ~nodes ~scale ~(base : System.resu
     Jsonl.Obj
       [
         ("app", Jsonl.String app_name);
+        ("workload", Jsonl.String workload);
         ("knob", Jsonl.String knob);
         ("protocol", Jsonl.String (Protocol.to_string protocol));
         ("nodes", Jsonl.Int nodes);
@@ -44,12 +46,12 @@ let write_json path ~app_name ~knob ~protocol ~nodes ~scale ~(base : System.resu
       output_string oc (Jsonl.to_string doc);
       output_char oc '\n')
 
-let run app_name knob values protocol nodes scale jobs json_path metrics_path =
-  match Workloads.find app_name with
-  | None ->
-      Printf.eprintf "unknown app %S\n" app_name;
-      1
-  | Some app -> (
+let run workload_spec knob values protocol nodes scale seed jobs json_path metrics_path =
+  let workload =
+    Cli_common.resolve_workload ~tool:"pcc_sweep" ~nodes ~scale ~seed workload_spec
+  in
+  let nodes = Workload.nodes workload in
+  (
       (* Validate every setting before spending any simulation time. *)
       let swept = { (Config.small_full ~nodes ()) with Config.protocol } in
       let configs = List.map (fun value -> (value, apply_knob swept knob value)) values in
@@ -63,7 +65,10 @@ let run app_name knob values protocol nodes scale jobs json_path metrics_path =
           let configs =
             List.map (function v, Ok c -> (v, c) | _, Error _ -> assert false) configs
           in
-          let programs = Workloads.programs app ~scale ~nodes () in
+          (* Materialize once, outside the pool: every swept setting runs
+             the same program array (and lazy workloads are forced in the
+             main domain, not raced from workers). *)
+          let programs = Workload.programs workload in
           (* The baseline rides in the pool with the swept settings. *)
           let baseline = { (Config.base ~nodes ()) with Config.protocol } in
           let tasks =
@@ -80,8 +85,8 @@ let run app_name knob values protocol nodes scale jobs json_path metrics_path =
           in
           let table =
             Table.create
-              ~title:(Printf.sprintf "%s: sweep of %s (baseline %d cycles)" app.name knob
-                        base.System.cycles)
+              ~title:(Printf.sprintf "%s: sweep of %s (baseline %d cycles)"
+                        (Workload.name workload) knob base.System.cycles)
               ~columns:[ knob; "cycles"; "speedup"; "net msgs"; "remote misses"; "violations" ]
           in
           let failed = ref false in
@@ -102,8 +107,9 @@ let run app_name knob values protocol nodes scale jobs json_path metrics_path =
           Table.print table;
           (match json_path with
           | Some path ->
-              write_json path ~app_name:app.name ~knob ~protocol ~nodes ~scale ~base
-                results
+              write_json path ~app_name:(Workload.name workload)
+                ~workload:(Workload.describe workload) ~knob ~protocol ~nodes ~scale
+                ~base results
           | None -> ());
           (* Aggregate registry: counters sum across every swept setting
              (summaries skipped — they would just keep the last run). *)
@@ -114,6 +120,8 @@ let run app_name knob values protocol nodes scale jobs json_path metrics_path =
               Telemetry.Registry.gauge registry "pcc_sweep_settings"
                 (List.length results));
           if !failed then 2 else 0)
+
+let seed_arg = Cli_common.seed ()
 
 let knob_arg =
   Arg.(
@@ -129,9 +137,9 @@ let values_arg =
 let cmd =
   let term =
     Term.(
-      const run $ Cli_common.app ~default:"MG" () $ knob_arg $ values_arg
+      const run $ Cli_common.workload ~default:"mg" () $ knob_arg $ values_arg
       $ Cli_common.protocol ()
-      $ Cli_common.nodes () $ Cli_common.scale ()
+      $ Cli_common.nodes () $ Cli_common.scale () $ seed_arg
       $ Cli_common.jobs ~what:"settings" ()
       $ Cli_common.json ~doc:"Write machine-readable sweep results to $(docv)." ()
       $ Cli_common.metrics ())

@@ -4,46 +4,13 @@
    a self-profiler of the simulator (events/sec, peak queue depth).
 
      dune exec bin/pcc_trace.exe -- --out-dir /tmp/pcc
-     dune exec bin/pcc_trace.exe -- --bench em3d --config full --sample-every 200
+     dune exec bin/pcc_trace.exe -- --workload em3d --config full --sample-every 200
 
    Load trace.json at https://ui.perfetto.dev or chrome://tracing. *)
 
 open Cmdliner
 open Pcc
 module Sim = Pcc.Simulator
-module Gen = Pcc.Workload_gen
-
-(* A distilled producer-consumer microbenchmark (the paper's target
-   pattern): node 0 writes a handful of lines each epoch, every other
-   node reads them, barrier, repeat.  Kept here rather than in Apps —
-   it is a telemetry demo, not an evaluation benchmark. *)
-let prodcons_spec ~nodes ~scale ~seed =
-  {
-    Gen.name = "prodcons";
-    nodes;
-    phases = 2;
-    epochs_per_phase = max 2 (int_of_float (20.0 *. scale /. 0.15));
-    lines =
-      List.init 4 (fun i ->
-          {
-            Gen.line = Gen.shared_line ~home:0 i;
-            producer_of_phase = (fun _ -> 0);
-            consumers_of_phase = (fun _ -> List.init (nodes - 1) (fun c -> c + 1));
-            writes_per_epoch = 4;
-            reads_per_epoch = 2;
-          });
-    private_lines_per_node = 4;
-    private_accesses_per_epoch = 6;
-    private_write_fraction = 0.4;
-    compute_per_epoch = 60;
-    seed;
-  }
-
-let programs_of ~bench ~nodes ~scale ~seed ~config_name =
-  if bench = "prodcons" then Gen.programs (prodcons_spec ~nodes ~scale ~seed)
-  else
-    Oracle.Trace.programs_of_desc
-      { Oracle.Trace.bench; config_name; nodes; scale; seed; fault = false }
 
 (* Post-mortem decode mode: turn a flight-recorder dump into a readable
    timeline on stdout and a Perfetto fragment next to the dump file. *)
@@ -59,17 +26,27 @@ let decode_flight path =
       Format.printf "wrote %s (load at https://ui.perfetto.dev)@." perfetto_path;
       0
 
-let run_traced ~bench ~config_name ~nodes ~scale ~seed ~sample_every ~out_dir
+let run_traced ~workload_spec ~config_name ~nodes ~scale ~seed ~sample_every ~out_dir
     ~max_events ~metrics_path =
+  let workload =
+    Cli_common.resolve_workload ~tool:"pcc_trace" ~nodes ~scale ~seed workload_spec
+  in
+  let nodes = Workload.nodes workload in
   let config =
     Oracle.Trace.config_of_desc
-      { Oracle.Trace.bench; config_name; nodes; scale; seed; fault = false }
+      {
+        Oracle.Trace.bench = Workload.name workload;
+        config_name;
+        nodes;
+        scale;
+        seed;
+        fault = false;
+      }
   in
-  let programs = programs_of ~bench ~nodes ~scale ~seed ~config_name in
   let sys = System.create ~config () in
   let recorder = Telemetry.Recorder.attach ~sample_every sys in
   let wall_start = Unix.gettimeofday () in
-  let result = System.run_programs ~max_events sys programs in
+  let result = System.run_stream ~max_events sys (Workload.stream workload) in
   let wall = Unix.gettimeofday () -. wall_start in
   let sim = System.sim sys in
   (match Unix.mkdir out_dir 0o755 with
@@ -105,13 +82,13 @@ let run_traced ~bench ~config_name ~nodes ~scale ~seed ~sample_every ~out_dir
   else if result.System.outcome <> Sim.Drained then 1
   else 0
 
-let main bench config_name nodes scale seed sample_every out_dir max_events flight
-    metrics_path =
+let main workload_spec config_name nodes scale seed sample_every out_dir max_events
+    flight metrics_path =
   match flight with
   | Some path -> decode_flight path
   | None ->
-      run_traced ~bench ~config_name ~nodes ~scale ~seed ~sample_every ~out_dir
-        ~max_events ~metrics_path
+      run_traced ~workload_spec ~config_name ~nodes ~scale ~seed ~sample_every
+        ~out_dir ~max_events ~metrics_path
 
 let flight_arg =
   Arg.(
@@ -123,19 +100,45 @@ let flight_arg =
            workload: print the retained event window as a timeline and write \
            $(docv).perfetto.json next to it.")
 
-let bench_arg =
-  Arg.(
-    value & opt string "prodcons"
-    & info [ "b"; "bench" ] ~docv:"NAME"
-        ~doc:
-          "Workload: prodcons (built-in producer-consumer microbenchmark), random, \
-           or an app benchmark (barnes, ocean, em3d, lu, cg, mg, appbt).")
+(* --workload with --bench kept as this tool's historical alias. *)
+let workload_arg =
+  let workload =
+    let doc =
+      Printf.sprintf
+        "Workload spec: $(i,NAME) or $(i,NAME:key=value,...).  Names: %s."
+        (String.concat ", " (Pcc.Workload.names ()))
+    in
+    Arg.(value & opt (some string) None & info [ "w"; "workload" ] ~docv:"SPEC" ~doc)
+  in
+  let bench =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "b"; "bench" ] ~docv:"NAME"
+          ~doc:"Deprecated alias for $(b,--workload); emits a warning.")
+  in
+  let combine w b =
+    match (w, b) with
+    | Some spec, None -> spec
+    | Some spec, Some _ ->
+        prerr_endline "warning: --bench ignored because --workload was given";
+        spec
+    | None, Some spec ->
+        prerr_endline
+          "warning: --bench is deprecated; use --workload NAME[:key=value,...] instead";
+        spec
+    | None, None -> "prodcons"
+  in
+  Term.(const combine $ workload $ bench)
 
 let sample_arg =
   Arg.(
     value & opt int 500
     & info [ "sample-every" ] ~docv:"CYCLES"
-        ~doc:"Time-series sampling cadence in simulated cycles (0 disables).")
+        ~doc:
+          "Time-series sampling cadence in simulated cycles (0 disables).  The \
+           retained series is bounded: past the cap the recorder decimates and \
+           doubles its cadence, so artifacts stay small at any run length.")
 
 let out_dir_arg =
   Arg.(
@@ -146,11 +149,12 @@ let out_dir_arg =
 let cmd =
   let term =
     Term.(
-      const main $ bench_arg
+      const main $ workload_arg
       $ Cli_common.config ~names:[ "c"; "config" ]
           ~doc:
             "Protocol configuration: base, rac, delegation, full, or a snooping \
-             backend (msi, mesi)." ()
+             backend (msi, mesi)."
+          ()
       $ Cli_common.nodes ~default:8 ()
       $ Cli_common.scale ~default:0.15 ~doc:"Run-length scale for app benchmarks." ()
       $ Cli_common.seed ~default:7 ()

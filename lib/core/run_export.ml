@@ -1,7 +1,7 @@
 module Jsonl = Pcc_stats.Jsonl
 module Histogram = Pcc_stats.Histogram
 
-let json_of_result ~key (r : System.result) =
+let json_of_result ?workload ~key (r : System.result) =
   let stats = r.System.stats in
   let latency =
     List.filter_map
@@ -22,8 +22,11 @@ let json_of_result ~key (r : System.result) =
                 ] ))
       Types.miss_classes
   in
+  let workload_field =
+    match workload with None -> [] | Some w -> [ ("workload", Jsonl.String w) ]
+  in
   Jsonl.Obj
-    [
+    ([
       ("key", Jsonl.String key);
       ("cycles", Jsonl.Int r.System.cycles);
       ("network_messages", Jsonl.Int r.System.network_messages);
@@ -35,10 +38,11 @@ let json_of_result ~key (r : System.result) =
       ("delegations", Jsonl.Int stats.Run_stats.delegations);
       ("latency", Jsonl.Obj latency);
     ]
+    @ workload_field)
 
-let to_string ~key r = Jsonl.to_string (json_of_result ~key r)
+let to_string ?workload ~key r = Jsonl.to_string (json_of_result ?workload ~key r)
 
-let document ?(dedup = []) ~nodes ~scale runs =
+let document ?(dedup = []) ?workload_of ~nodes ~scale runs =
   let runs = List.sort (fun (a, _) (b, _) -> compare a b) runs in
   let dedup_field =
     match dedup with
@@ -54,7 +58,13 @@ let document ?(dedup = []) ~nodes ~scale runs =
     ([
        ("nodes", Jsonl.Int nodes);
        ("scale", Jsonl.Float scale);
-       ("runs", Jsonl.List (List.map (fun (k, r) -> json_of_result ~key:k r) runs));
+       ( "runs",
+         Jsonl.List
+           (List.map
+              (fun (k, r) ->
+                let workload = Option.bind workload_of (fun f -> f k) in
+                json_of_result ?workload ~key:k r)
+              runs) );
      ]
     @ dedup_field)
 

@@ -5,16 +5,20 @@
     bit-identity between a parallel and a sequential run is asserted on
     exactly these bytes. *)
 
-val json_of_result : key:string -> System.result -> Pcc_stats.Jsonl.t
+val json_of_result : ?workload:string -> key:string -> System.result -> Pcc_stats.Jsonl.t
 (** Cycles, traffic, miss mix, delegation/update activity, and per-class
-    latency percentiles of one run, tagged with [key]. *)
+    latency percentiles of one run, tagged with [key].  [workload]
+    (the resolved workload spec) makes multi-workload artifacts
+    self-describing; it lands as a ["workload"] field after the fixed
+    columns. *)
 
-val to_string : key:string -> System.result -> string
+val to_string : ?workload:string -> key:string -> System.result -> string
 (** [Jsonl.to_string] of {!json_of_result} — the canonical byte string
     the determinism tests compare. *)
 
 val document :
   ?dedup:(string * string) list ->
+  ?workload_of:(string -> string option) ->
   nodes:int ->
   scale:float ->
   (string * System.result) list ->
@@ -23,7 +27,9 @@ val document :
     is independent of evaluation order.  [dedup] (collapsed key, donor
     key) pairs record rows that reused another run's result because the
     donor's capacity-pressure counters proved the two bit-identical;
-    when non-empty they appear as a ["dedup"] object sorted by key. *)
+    when non-empty they appear as a ["dedup"] object sorted by key.
+    [workload_of] maps a run key to the workload name recorded on its
+    row (rows with [None] omit the field). *)
 
 val delegation_expected : System.result -> bool
 (** True when the run's configuration enables delegation, i.e. a

@@ -454,9 +454,9 @@ let pp_stall_report ppf r =
         path);
   Format.fprintf ppf "@]"
 
-let run_programs ?max_events (t : t) programs =
-  if Array.length programs <> t.config.nodes then
-    invalid_arg "System.run_programs: one program per node required";
+let run_stream ?max_events (t : t) (feed : Op_stream.t) =
+  if feed.Op_stream.nodes <> t.config.nodes then
+    invalid_arg "System.run_stream: one program per node required";
   match t.backend with
   | Protocol.Pack ((module P), arr) ->
   let crashable = Config.crash_capable t.config in
@@ -473,8 +473,12 @@ let run_programs ?max_events (t : t) programs =
      Every stepper continuation is guarded by the incarnation epoch it was
      created under — the crash bump silently retires continuations of the
      previous life — and the op in flight at the crash is re-dispatched
-     cold when the node restarts. *)
+     cold when the node restarts.  The feed is pulled exactly once per op;
+     the last pulled op is kept in [cur] so a restart can replay it
+     without asking the feed to rewind. *)
   let in_flight_op = Array.make t.config.nodes false in
+  let cur = Array.make t.config.nodes Op_stream.end_of_stream in
+  let redo = Array.make t.config.nodes false in
   let resume_stepper = Array.make t.config.nodes (fun () -> ()) in
   let guard node_id k =
     if not crashable then k
@@ -484,41 +488,46 @@ let run_programs ?max_events (t : t) programs =
       fun () -> if Node.alive node && Node.node_epoch node = epoch then k ()
     end
   in
-  Array.iteri
-    (fun node_id program ->
-      let ops = Array.of_list program in
-      let count = Array.length ops in
-      let node = arr.(node_id) in
-      (* one stepper closure per node, advancing a mutable index: each
-         processor has at most one continuation outstanding, so the index
-         is read exactly once per op and no per-op closure is built *)
-      let idx = ref 0 in
-      let rec step () =
-        in_flight_op.(node_id) <- false;
-        if !idx >= count then finish node_id ()
-        else begin
-          let op = ops.(!idx) in
-          incr idx;
-          in_flight_op.(node_id) <- true;
-          match op with
-          | Types.Compute cycles ->
-              Sim.schedule t.sim ~delay:(max 0 cycles) (guard node_id step)
-          | Types.Access (kind, line) -> P.submit node ~kind ~line ~on_commit:resume
-          | Types.Barrier id -> barrier_arrive t node_id id (guard node_id step)
+  for node_id = 0 to t.config.nodes - 1 do
+    let node = arr.(node_id) in
+    (* one stepper closure per node, pulling one packed op per step: each
+       processor has at most one continuation outstanding, so the feed is
+       consulted exactly once per op and no per-op closure is built *)
+    let rec step () =
+      in_flight_op.(node_id) <- false;
+      let packed =
+        if redo.(node_id) then begin
+          redo.(node_id) <- false;
+          cur.(node_id)
         end
-      and resume () =
-        in_flight_op.(node_id) <- false;
-        Sim.schedule t.sim ~delay:1 (guard node_id step)
+        else feed.Op_stream.next node_id
       in
-      if crashable then
-        resume_stepper.(node_id) <-
-          (fun () ->
-            (* the interrupted op never committed: rewind and retry it
-               under the new incarnation *)
-            if in_flight_op.(node_id) && !idx > 0 then decr idx;
-            Sim.schedule t.sim ~delay:1 (guard node_id step));
-      Sim.schedule t.sim ~delay:0 step)
-    programs;
+      if packed = Op_stream.end_of_stream then finish node_id ()
+      else begin
+        cur.(node_id) <- packed;
+        in_flight_op.(node_id) <- true;
+        let payload = packed asr 2 in
+        match packed land 3 with
+        | 0 (* compute *) ->
+            Sim.schedule t.sim ~delay:(max 0 payload) (guard node_id step)
+        | 3 (* barrier *) -> barrier_arrive t node_id payload (guard node_id step)
+        | tag (* load/store *) ->
+            let kind = if tag = 1 then Types.Load else Types.Store in
+            P.submit node ~kind ~line:payload ~on_commit:resume
+      end
+    and resume () =
+      in_flight_op.(node_id) <- false;
+      Sim.schedule t.sim ~delay:1 (guard node_id step)
+    in
+    if crashable then
+      resume_stepper.(node_id) <-
+        (fun () ->
+          (* the interrupted op never committed: replay it under the new
+             incarnation *)
+          if in_flight_op.(node_id) then redo.(node_id) <- true;
+          Sim.schedule t.sim ~delay:1 (guard node_id step));
+    Sim.schedule t.sim ~delay:0 step
+  done;
   if crashable then
     on_crash t (fun ~time:_ ~node ~phase ->
         match phase with
@@ -605,6 +614,11 @@ let run_programs ?max_events (t : t) programs =
     hot_lines = Run_stats.top_lines t.stats ~n:10;
     stall;
   }
+
+let run_programs ?max_events (t : t) programs =
+  if Array.length programs <> t.config.nodes then
+    invalid_arg "System.run_programs: one program per node required";
+  run_stream ?max_events t (Op_stream.of_programs programs)
 
 let run ?max_events ~config ~programs () =
   let t = create ~config () in

@@ -218,6 +218,16 @@ type result = {
           [Drained] or a processor never finished) *)
 }
 
+val run_stream : ?max_events:int -> t -> Op_stream.t -> result
+(** Execute one streaming program per node from a packed-op feed (the
+    feed's node count must equal the machine's) until every processor
+    finishes and the system drains.  This is the primitive run loop:
+    {!run_programs} is a thin wrapper over it, and trace-fed or
+    generator-fed runs of 10^8+ events ride it allocation-free per op.
+    The feed is pulled exactly once per op in program order; crash
+    recovery replays the interrupted op from the run loop's own copy,
+    never by rewinding the feed. *)
+
 val run_programs : ?max_events:int -> t -> Types.op list array -> result
 (** Execute one program per node (the array length must equal the node
     count) until every processor finishes and the system drains.

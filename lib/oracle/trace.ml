@@ -73,16 +73,12 @@ let config_of_desc desc =
   }
 
 let programs_of_desc desc =
-  if desc.bench = "random" then
-    Pcc_workload.Gen.programs
-      (Pcc_workload.Gen.random_spec ~nodes:desc.nodes ~seed:desc.seed)
-  else
-    match Pcc_workload.Apps.find desc.bench with
-    | Some app ->
-        Pcc_workload.Apps.programs app ~scale:desc.scale ~seed:desc.seed
-          ~nodes:desc.nodes ()
-    | None ->
-        invalid_arg (Printf.sprintf "Trace.programs_of_desc: unknown bench %S" desc.bench)
+  match
+    Pcc_workload.Workload.of_spec ~nodes:desc.nodes ~scale:desc.scale
+      ~seed:desc.seed desc.bench
+  with
+  | Ok workload -> Pcc_workload.Workload.programs workload
+  | Error message -> invalid_arg (Printf.sprintf "Trace.programs_of_desc: %s" message)
 
 (* ------------------------------------------------------------------ *)
 (* JSONL encoding                                                      *)

@@ -15,7 +15,7 @@
 open Pcc_core
 
 type run_desc = {
-  bench : string;  (** an {!Pcc_workload.Apps} name, or ["random"] *)
+  bench : string;  (** a {!Pcc_workload.Workload.of_spec} workload spec *)
   config_name : string;
       (** ["base"], ["rac"], ["delegation"], ["full"], or a snooping
           backend: ["msi"], ["mesi"] *)
@@ -55,8 +55,8 @@ val config_of_desc : run_desc -> Config.t
     [Invalid_argument] on an unknown [config_name]. *)
 
 val programs_of_desc : run_desc -> Types.op list array
-(** Regenerate the workload.  Raises [Invalid_argument] on an unknown
-    benchmark name. *)
+(** Regenerate the workload via {!Pcc_workload.Workload.of_spec}.  Raises
+    [Invalid_argument] on a spec the registry rejects. *)
 
 val write :
   path:string -> desc:run_desc -> violations:string list -> events:event list -> unit

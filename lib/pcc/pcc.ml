@@ -85,6 +85,23 @@ module Fault = Pcc_interconnect.Fault
 (** The seven evaluation workloads (Table 2) and their generators. *)
 module Workloads = Pcc_workload.Apps
 
+(** First-class workloads: the streaming interface every workload
+    implements, and the registry behind the [--workload] spec
+    grammar. *)
+module Workload = Pcc_workload.Workload
+
+(** Streaming datacenter-shaped workload generators (sharded KV,
+    pub/sub fan-out, work stealing, MPSC log ingestion). *)
+module Dcgen = Pcc_workload.Dcgen
+
+(** Compact binary program traces: atomic writer, seekable chunked
+    streaming reader, record/replay. *)
+module Btrace = Pcc_workload.Btrace
+
+(** Packed streaming operation feeds (the input side of
+    {!System.run_stream}). *)
+module Op_stream = Pcc_core.Op_stream
+
 (** Build-your-own workload machinery. *)
 module Workload_gen = Pcc_workload.Gen
 

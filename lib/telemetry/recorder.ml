@@ -43,8 +43,10 @@ type t = {
   mutable recoveries : recovery list;  (* newest first *)
   mutable aborted_spans : int;
   mutable samples : sample list;  (* newest first *)
+  mutable sample_count : int;
   mutable next_sample_at : int;
-  sample_every : int;
+  mutable sample_every : int;  (* doubles on decimation *)
+  max_samples : int;
 }
 
 let spans t = List.rev t.closed
@@ -56,6 +58,23 @@ let recoveries t = List.rev t.recoveries
 let aborted_span_count t = t.aborted_spans
 
 let samples t = List.rev t.samples
+
+let sample_cadence t = t.sample_every
+
+(* Halve the retained series, keeping the oldest-aligned every-other
+   sample, and double the cadence: the series stays a uniform grid over
+   the whole run, so unbounded runs keep bounded artifacts while short
+   runs keep full resolution.  Deterministic — no clocks, no randomness —
+   so instrumented runs stay bit-identical across hosts. *)
+let decimate t =
+  let kept, _ =
+    List.fold_left
+      (fun (acc, i) s -> ((if i land 1 = 0 then s :: acc else acc), i + 1))
+      ([], 0) (List.rev t.samples)
+  in
+  t.samples <- kept;
+  t.sample_count <- (t.sample_count + 1) / 2;
+  t.sample_every <- t.sample_every * 2
 
 let open_span_count t =
   Array.fold_left (fun acc o -> acc + if o <> None then 1 else 0) 0 t.open_spans
@@ -264,7 +283,7 @@ let take_sample t =
     s_retransmits = (System.stats sys).Run_stats.retransmits;
   }
 
-let attach ?(sample_every = 0) system =
+let attach ?(sample_every = 0) ?(max_samples = 4096) system =
   let t =
     {
       system;
@@ -274,8 +293,10 @@ let attach ?(sample_every = 0) system =
       recoveries = [];
       aborted_spans = 0;
       samples = [];
+      sample_count = 0;
       next_sample_at = 0;
       sample_every;
+      max_samples = max 2 max_samples;
     }
   in
   System.on_issue system (fun ~time ~node ~kind ~line ->
@@ -295,7 +316,9 @@ let attach ?(sample_every = 0) system =
         let now = Sim.now sim in
         if now >= t.next_sample_at then begin
           t.samples <- take_sample t :: t.samples;
-          t.next_sample_at <- now + sample_every
+          t.sample_count <- t.sample_count + 1;
+          if t.sample_count >= t.max_samples then decimate t;
+          t.next_sample_at <- now + t.sample_every
         end)
   end;
   t

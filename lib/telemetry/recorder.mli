@@ -43,13 +43,19 @@ type sample = {
   s_retransmits : int;  (** cumulative hub-link retransmissions *)
 }
 
-val attach : ?sample_every:int -> System.t -> t
+val attach : ?sample_every:int -> ?max_samples:int -> System.t -> t
 (** Register the recorder's hooks on a freshly created system (before
     running; spans of transactions already in flight are not recovered).
     [sample_every] > 0 also samples the occupancy gauges every that many
     cycles, piggybacking on executed events — never scheduling any — so
     the run still drains and stays bit-identical.  Default 0: no
-    sampling. *)
+    sampling.
+
+    The retained series is bounded by [max_samples] (default 4096,
+    clamped to at least 2): on hitting the cap the recorder keeps the
+    oldest-aligned every-other sample and doubles its cadence, so the
+    series is always a uniform grid over the whole run and a
+    streaming-scale run ([10^8]+ events) still yields a small artifact. *)
 
 val spans : t -> Span.t list
 (** Closed spans, oldest first. *)
@@ -66,7 +72,12 @@ val aborted_span_count : t -> int
     post-restart re-submission opens a fresh span. *)
 
 val samples : t -> sample list
-(** Occupancy samples, oldest first (empty unless [sample_every] > 0). *)
+(** Occupancy samples, oldest first (empty unless [sample_every] > 0).
+    At most [max_samples]; see {!attach} for the decimation rule. *)
+
+val sample_cadence : t -> int
+(** The current sampling cadence in cycles: the [sample_every] passed to
+    {!attach}, doubled once per decimation. *)
 
 val open_span_count : t -> int
 (** Transactions issued but not yet committed (0 once a run drains). *)

@@ -1,0 +1,323 @@
+(* Compact binary program traces.
+
+   Layout (version 1, all integers LEB128 varints unless noted):
+
+     header  := "PCCT" | u8 version | varint nodes
+     chunk   := varint node | varint nrecords | varint nbytes | payload
+     payload := one varint per record, the Op_stream packing
+     index   := varint nchunks
+              | (varint node, varint payload_offset, varint nbytes,
+                 varint nrecords)*
+     trailer := u64le index_offset | "PCCX"
+
+   Chunks hold records of a single node in program order; chunks of
+   different nodes interleave in whatever order the writer's per-node
+   buffers fill.  The index makes the file seekable per node: a reader
+   cursor jumps straight to its node's next chunk without scanning.  The
+   writer stages everything in a temp file and renames on [close], so a
+   crashed producer never leaves a half-written trace behind; any
+   truncation is caught by the trailer magic. *)
+
+open Pcc_core
+
+let magic = "PCCT"
+
+let trailer_magic = "PCCX"
+
+let version = 1
+
+let rec put_varint buf v =
+  if v < 0x80 then Buffer.add_char buf (Char.chr v)
+  else begin
+    Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7f)));
+    put_varint buf (v lsr 7)
+  end
+
+let put_u64le buf v =
+  for i = 0 to 7 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+module Writer = struct
+  type pending = { p_buf : Buffer.t; mutable p_records : int }
+
+  type t = {
+    w_path : string;
+    w_tmp : string;
+    w_oc : out_channel;
+    w_nodes : int;
+    w_chunk_records : int;
+    w_pending : pending array;
+    (* (node, payload_offset, nbytes, nrecords), in file order *)
+    mutable w_index : (int * int * int * int) list;
+    mutable w_offset : int;
+    mutable w_closed : bool;
+  }
+
+  let create ?(chunk_records = 8192) ~path ~nodes () =
+    if nodes <= 0 then invalid_arg "Btrace.Writer.create: nodes must be positive";
+    if chunk_records <= 0 then
+      invalid_arg "Btrace.Writer.create: chunk_records must be positive";
+    let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+    let oc = open_out_bin tmp in
+    let header = Buffer.create 16 in
+    Buffer.add_string header magic;
+    Buffer.add_char header (Char.chr version);
+    put_varint header nodes;
+    Buffer.output_buffer oc header;
+    {
+      w_path = path;
+      w_tmp = tmp;
+      w_oc = oc;
+      w_nodes = nodes;
+      w_chunk_records = chunk_records;
+      w_pending = Array.init nodes (fun _ -> { p_buf = Buffer.create 256; p_records = 0 });
+      w_index = [];
+      w_offset = Buffer.length header;
+      w_closed = false;
+    }
+
+  let flush_node w node =
+    let p = w.w_pending.(node) in
+    if p.p_records > 0 then begin
+      let nbytes = Buffer.length p.p_buf in
+      let head = Buffer.create 16 in
+      put_varint head node;
+      put_varint head p.p_records;
+      put_varint head nbytes;
+      Buffer.output_buffer w.w_oc head;
+      Buffer.output_buffer w.w_oc p.p_buf;
+      let payload_offset = w.w_offset + Buffer.length head in
+      w.w_index <- (node, payload_offset, nbytes, p.p_records) :: w.w_index;
+      w.w_offset <- payload_offset + nbytes;
+      Buffer.clear p.p_buf;
+      p.p_records <- 0
+    end
+
+  let add w ~node packed =
+    if w.w_closed then invalid_arg "Btrace.Writer.add: writer is closed";
+    if node < 0 || node >= w.w_nodes then invalid_arg "Btrace.Writer.add: node out of range";
+    if packed < 0 then invalid_arg "Btrace.Writer.add: negative packed op";
+    let p = w.w_pending.(node) in
+    put_varint p.p_buf packed;
+    p.p_records <- p.p_records + 1;
+    if p.p_records >= w.w_chunk_records then flush_node w node
+
+  let add_op w ~node op = add w ~node (Op_stream.pack_op op)
+
+  let close w =
+    if not w.w_closed then begin
+      w.w_closed <- true;
+      for node = 0 to w.w_nodes - 1 do
+        flush_node w node
+      done;
+      let index_offset = w.w_offset in
+      let tail = Buffer.create 256 in
+      let chunks = List.rev w.w_index in
+      put_varint tail (List.length chunks);
+      List.iter
+        (fun (node, offset, nbytes, nrecords) ->
+          put_varint tail node;
+          put_varint tail offset;
+          put_varint tail nbytes;
+          put_varint tail nrecords)
+        chunks;
+      put_u64le tail index_offset;
+      Buffer.add_string tail trailer_magic;
+      Buffer.output_buffer w.w_oc tail;
+      close_out w.w_oc;
+      Sys.rename w.w_tmp w.w_path
+    end
+
+  let abort w =
+    if not w.w_closed then begin
+      w.w_closed <- true;
+      close_out_noerr w.w_oc;
+      try Sys.remove w.w_tmp with Sys_error _ -> ()
+    end
+end
+
+type chunk = { c_offset : int; c_nbytes : int; c_nrecords : int }
+
+type reader = {
+  r_path : string;
+  r_nodes : int;
+  r_chunks : chunk array array;  (* per node, in program order *)
+  r_records : int;
+}
+
+let read_error path fmt = Printf.ksprintf (fun m -> Error (path ^ ": " ^ m)) fmt
+
+(* Varint decode from [Bytes] with a hard limit; returns [(value, pos')]
+   or raises [Exit] on overrun/overflow. *)
+let get_varint bytes pos limit =
+  let v = ref 0 and shift = ref 0 and pos = ref pos and fin = ref false in
+  while not !fin do
+    if !pos >= limit || !shift > 56 then raise Exit;
+    let b = Char.code (Bytes.unsafe_get bytes !pos) in
+    incr pos;
+    v := !v lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if b < 0x80 then fin := true
+  done;
+  (!v, !pos)
+
+let with_ic path f =
+  match open_in_bin path with
+  | exception Sys_error m -> Error m
+  | ic ->
+      let r = try f ic with e -> close_in_noerr ic; raise e in
+      close_in_noerr ic;
+      r
+
+let open_file path =
+  with_ic path (fun ic ->
+      let size = in_channel_length ic in
+      let header_min = String.length magic + 1 + 1 in
+      let trailer_len = 8 + String.length trailer_magic in
+      if size < header_min + trailer_len then read_error path "truncated (too short)"
+      else begin
+        let head = Bytes.create 16 in
+        let head_len = min 16 size in
+        really_input ic head 0 head_len;
+        if Bytes.sub_string head 0 4 <> magic then read_error path "bad magic (not a pcc binary trace)"
+        else if Char.code (Bytes.get head 4) <> version then
+          read_error path "unsupported version %d (expected %d)" (Char.code (Bytes.get head 4)) version
+        else
+          match get_varint head 5 head_len with
+          | exception Exit -> read_error path "corrupt node count"
+          | nodes, _ ->
+              if nodes <= 0 || nodes > 1 lsl 20 then read_error path "corrupt node count %d" nodes
+              else begin
+                seek_in ic (size - trailer_len);
+                let tail = Bytes.create trailer_len in
+                really_input ic tail 0 trailer_len;
+                if Bytes.sub_string tail 8 4 <> trailer_magic then
+                  read_error path "missing trailer (truncated or partial write)"
+                else begin
+                  let index_offset = ref 0 in
+                  for i = 7 downto 0 do
+                    index_offset := (!index_offset lsl 8) lor Char.code (Bytes.get tail i)
+                  done;
+                  let index_offset = !index_offset in
+                  if index_offset < header_min || index_offset > size - trailer_len then
+                    read_error path "corrupt index offset"
+                  else begin
+                    let index_len = size - trailer_len - index_offset in
+                    seek_in ic index_offset;
+                    let index = Bytes.create index_len in
+                    really_input ic index 0 index_len;
+                    match
+                      let nchunks, pos = get_varint index 0 index_len in
+                      let per_node = Array.make nodes [] in
+                      let records = ref 0 in
+                      let pos = ref pos in
+                      for _ = 1 to nchunks do
+                        let node, p = get_varint index !pos index_len in
+                        let offset, p = get_varint index p index_len in
+                        let nbytes, p = get_varint index p index_len in
+                        let nrecords, p = get_varint index p index_len in
+                        pos := p;
+                        if node < 0 || node >= nodes then raise Exit;
+                        if offset < 0 || nbytes < 0 || offset + nbytes > index_offset then raise Exit;
+                        records := !records + nrecords;
+                        per_node.(node) <-
+                          { c_offset = offset; c_nbytes = nbytes; c_nrecords = nrecords }
+                          :: per_node.(node)
+                      done;
+                      ( Array.map (fun chunks -> Array.of_list (List.rev chunks)) per_node,
+                        !records )
+                    with
+                    | exception Exit -> read_error path "corrupt chunk index"
+                    | chunks, records -> Ok { r_path = path; r_nodes = nodes; r_chunks = chunks; r_records = records }
+                  end
+                end
+              end
+      end)
+
+let nodes r = r.r_nodes
+
+let records r = r.r_records
+
+(* One streaming pass over the trace.  A per-node cursor holds the
+   current chunk in a reusable [Bytes] buffer (sized once to the node's
+   largest chunk); decoding a record is an in-buffer varint read, so
+   steady-state pulls do not allocate.  Chunk loads seek on a channel
+   private to this stream. *)
+type cursor = {
+  mutable cbuf : Bytes.t;
+  mutable cpos : int;
+  mutable clen : int;
+  mutable cremaining : int;  (* records left in the loaded chunk *)
+  mutable cnext : int;  (* next chunk slot in r_chunks.(node) *)
+}
+
+let stream r =
+  let ic = open_in_bin r.r_path in
+  let cursors =
+    Array.map
+      (fun chunks ->
+        let max_bytes = Array.fold_left (fun acc c -> max acc c.c_nbytes) 0 chunks in
+        { cbuf = Bytes.create (max 1 max_bytes); cpos = 0; clen = 0; cremaining = 0; cnext = 0 })
+      r.r_chunks
+  in
+  let corrupt () = failwith (r.r_path ^ ": corrupt chunk payload") in
+  let next node =
+    let c = cursors.(node) in
+    if c.cremaining = 0 then begin
+      let chunks = r.r_chunks.(node) in
+      if c.cnext >= Array.length chunks then Op_stream.end_of_stream
+      else begin
+        let chunk = chunks.(c.cnext) in
+        c.cnext <- c.cnext + 1;
+        seek_in ic chunk.c_offset;
+        really_input ic c.cbuf 0 chunk.c_nbytes;
+        c.cpos <- 0;
+        c.clen <- chunk.c_nbytes;
+        c.cremaining <- chunk.c_nrecords;
+        match get_varint c.cbuf c.cpos c.clen with
+        | exception Exit -> corrupt ()
+        | v, pos ->
+            c.cpos <- pos;
+            c.cremaining <- c.cremaining - 1;
+            v
+      end
+    end
+    else
+      match get_varint c.cbuf c.cpos c.clen with
+      | exception Exit -> corrupt ()
+      | v, pos ->
+          c.cpos <- pos;
+          c.cremaining <- c.cremaining - 1;
+          v
+  in
+  { Op_stream.nodes = r.r_nodes; next }
+
+(* Tee: pass a feed through while appending every pulled op to a writer
+   (pcc_sim --record).  End-of-stream is not recorded. *)
+let recording w (feed : Op_stream.t) =
+  let next node =
+    let packed = feed.Op_stream.next node in
+    if packed <> Op_stream.end_of_stream then Writer.add w ~node packed;
+    packed
+  in
+  { Op_stream.nodes = feed.Op_stream.nodes; next }
+
+let write ?chunk_records ~path programs =
+  let w = Writer.create ?chunk_records ~path ~nodes:(Array.length programs) () in
+  (try
+     Array.iteri
+       (fun node program -> List.iter (fun op -> Writer.add_op w ~node op) program)
+       programs
+   with e ->
+     Writer.abort w;
+     raise e);
+  Writer.close w
+
+let read ~path =
+  match open_file path with
+  | Error _ as e -> e
+  | Ok r -> (
+      match Op_stream.to_programs (stream r) with
+      | programs -> Ok programs
+      | exception Failure m -> Error m)

@@ -84,6 +84,54 @@ let check_flight_record () =
        always-on recorder must stay allocation-free"
       words events
 
+(* The streaming feed path: a run fed by Workload.stream — generator
+   refills or binary-trace chunk decoding included — must hold the same
+   order of per-commit allocation as the materialized path, or 10^8-event
+   runs stop being feasible.  Measured ~40-50 words/commit for both feeds
+   (the machine itself dominates); 500 matches the materialized budget. *)
+let streaming_words_per_commit workload =
+  let w = workload () in
+  let config = Config.small_full ~nodes:(Pcc_workload.Workload.nodes w) () in
+  let sys = System.create ~config () in
+  let commits = ref 0 in
+  System.on_commit sys (fun _ -> incr commits);
+  let feed = Pcc_workload.Workload.stream w in
+  Gc.full_major ();
+  let before = Gc.minor_words () in
+  let (_ : System.result) = System.run_stream sys feed in
+  let words = Gc.minor_words () -. before in
+  (words /. float_of_int (max 1 !commits), !commits)
+
+let check_streaming name budget workload () =
+  let per_commit, commits = streaming_words_per_commit workload in
+  if commits < 1000 then
+    Alcotest.failf "%s: only %d commits — feed too small to measure" name commits;
+  if per_commit > budget then
+    Alcotest.failf
+      "%s: %.1f minor words per committed op exceeds the %.0f-word budget — the \
+       streaming next_event path added allocation"
+      name per_commit budget
+
+let generator_workload () =
+  match
+    Pcc_workload.Workload.of_spec ~nodes ~scale:0.1 ~seed:7 "kv:events=60000"
+  with
+  | Ok w -> w
+  | Error m -> Alcotest.fail m
+
+(* staged through a temp file so the budget covers varint decode and
+   chunk refill, not just the generator arithmetic *)
+let trace_workload () =
+  let path = Filename.temp_file "pcc_alloc" ".pcct" in
+  at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+  Pcc_workload.Btrace.write ~path
+    (Pcc_workload.Apps.(programs em3d) ~scale:0.3 ~nodes ());
+  match
+    Pcc_workload.Workload.of_spec ~nodes ~scale:0.1 ~seed:7 ("trace:file=" ^ path)
+  with
+  | Ok w -> w
+  | Error m -> Alcotest.fail m
+
 let suite =
   [
     Alcotest.test_case "flight record path allocation-free" `Quick check_flight_record;
@@ -97,4 +145,8 @@ let suite =
          (Config.with_faults
             (Config.small_full ~nodes ())
             (Pcc_interconnect.Fault.drops ~seed:7)));
+    Alcotest.test_case "streaming generator feed under budget" `Quick
+      (check_streaming "kv generator" 500.0 generator_workload);
+    Alcotest.test_case "streaming trace feed under budget" `Quick
+      (check_streaming "trace replay" 500.0 trace_workload);
   ]

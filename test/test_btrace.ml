@@ -1,0 +1,207 @@
+(* Binary trace codec: qcheck round-trip (encode -> decode = id) across
+   chunk boundaries, writer atomicity, truncation/corruption rejection,
+   the recording tee, and the registry's trace: replay entry. *)
+
+module Q = QCheck
+module Btrace = Pcc_workload.Btrace
+module Workload = Pcc_workload.Workload
+open Pcc_core
+
+let temp_path () = Filename.temp_file "pcc_btrace" ".pcct"
+
+let with_temp f =
+  let path = temp_path () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+(* ------------------------------------------------------------------ *)
+(* Random programs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Ops as generated workloads produce them: non-negative compute delays,
+   valid layout lines, non-negative barrier ids.  (Negative compute
+   cycles are clamped at pack time, so they would round-trip to the
+   clamp — covered separately below.) *)
+let op_gen nodes =
+  Q.Gen.(
+    frequency
+      [
+        (2, map (fun c -> Types.Compute c) (int_bound 40));
+        ( 4,
+          map2
+            (fun home index -> Types.Access (Types.Load, Types.Layout.make_line ~home ~index))
+            (int_bound (nodes - 1)) (int_bound 4096) );
+        ( 3,
+          map2
+            (fun home index ->
+              Types.Access (Types.Store, Types.Layout.make_line ~home ~index))
+            (int_bound (nodes - 1)) (int_bound 4096) );
+        (1, map (fun b -> Types.Barrier b) (int_bound 1000));
+      ])
+
+let programs_gen =
+  Q.Gen.(
+    int_range 1 4 >>= fun nodes ->
+    let program = list_size (int_bound 60) (op_gen nodes) in
+    map Array.of_list (list_repeat nodes program))
+
+let pp_programs p =
+  Printf.sprintf "%d nodes, %s ops"
+    (Array.length p)
+    (String.concat "+" (Array.to_list (Array.map (fun l -> string_of_int (List.length l)) p)))
+
+let programs_arbitrary = Q.make ~print:pp_programs programs_gen
+
+(* chunk_records 1..5 forces chunk boundaries inside almost every
+   program; 8192 (the default) exercises the single-chunk path *)
+let chunked_roundtrip =
+  Q.Test.make ~count:200 ~name:"btrace round-trip (encode -> decode = id)"
+    (Q.pair programs_arbitrary (Q.make Q.Gen.(int_range 1 5)))
+    (fun (programs, chunk_records) ->
+      with_temp (fun path ->
+          Btrace.write ~chunk_records ~path programs;
+          match Btrace.read ~path with
+          | Ok reloaded -> reloaded = programs
+          | Error message -> Q.Test.fail_reportf "decode failed: %s" message))
+
+let default_chunk_roundtrip =
+  Q.Test.make ~count:50 ~name:"btrace round-trip (default chunking)"
+    programs_arbitrary
+    (fun programs ->
+      with_temp (fun path ->
+          Btrace.write ~path programs;
+          Btrace.read ~path = Ok programs))
+
+(* ------------------------------------------------------------------ *)
+(* Unit cases                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sample_programs () =
+  let line home index = Types.Layout.make_line ~home ~index in
+  [|
+    [ Types.Access (Types.Store, line 0 1); Types.Barrier 1; Types.Compute 7 ];
+    [ Types.Barrier 1; Types.Access (Types.Load, line 0 1) ];
+    List.init 40 (fun i -> Types.Access (Types.Load, line 1 i));
+  |]
+
+let test_negative_compute_clamps () =
+  (* pack clamps Compute delays to >= 0 so every packed op stays
+     distinguishable from the end-of-stream sentinel *)
+  with_temp (fun path ->
+      Btrace.write ~path [| [ Types.Compute (-5); Types.Compute 3 ] |];
+      match Btrace.read ~path with
+      | Ok [| [ Types.Compute 0; Types.Compute 3 ] |] -> ()
+      | Ok p -> Alcotest.failf "unexpected decode: %s" (pp_programs p)
+      | Error m -> Alcotest.fail m)
+
+let test_empty_node_programs () =
+  with_temp (fun path ->
+      let programs = [| []; []; [] |] in
+      Btrace.write ~path programs;
+      match Btrace.open_file path with
+      | Error m -> Alcotest.fail m
+      | Ok r ->
+          Alcotest.(check int) "nodes" 3 (Btrace.nodes r);
+          Alcotest.(check int) "records" 0 (Btrace.records r);
+          Alcotest.(check bool) "drains" true (Btrace.read ~path = Ok programs))
+
+let test_truncation_rejected () =
+  with_temp (fun path ->
+      Btrace.write ~chunk_records:3 ~path (sample_programs ());
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      let expect_error label bytes =
+        Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc bytes);
+        match Btrace.open_file path with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.failf "%s: truncated trace accepted" label
+      in
+      (* below the header, mid-payload, index chopped, trailer chopped *)
+      List.iter
+        (fun k ->
+          let len = String.length full * k / 8 in
+          expect_error (Printf.sprintf "%d/8 of the file" k) (String.sub full 0 len))
+        [ 0; 1; 3; 5; 7 ];
+      expect_error "missing last byte"
+        (String.sub full 0 (String.length full - 1)))
+
+let test_garbage_rejected () =
+  with_temp (fun path ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc "definitely not a trace file");
+      match Btrace.open_file path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "garbage accepted");
+  match Btrace.open_file "/nonexistent/path/x.pcct" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file accepted"
+
+let test_writer_atomic () =
+  (* nothing appears at the destination until close; abort leaves no
+     temp files behind *)
+  with_temp (fun path ->
+      Sys.remove path;
+      let w = Btrace.Writer.create ~path ~nodes:2 () in
+      Btrace.Writer.add_op w ~node:0 (Types.Compute 1);
+      Alcotest.(check bool) "not published before close" false (Sys.file_exists path);
+      Btrace.Writer.close w;
+      Alcotest.(check bool) "published on close" true (Sys.file_exists path);
+      let w2 = Btrace.Writer.create ~path:(path ^ ".second") ~nodes:2 () in
+      Btrace.Writer.add_op w2 ~node:1 (Types.Barrier 3);
+      Btrace.Writer.abort w2;
+      Alcotest.(check bool) "abort publishes nothing" false
+        (Sys.file_exists (path ^ ".second")))
+
+let test_recording_tee () =
+  (* recording a fed stream reproduces it exactly *)
+  with_temp (fun path ->
+      Sys.remove path;
+      let programs = sample_programs () in
+      let w = Btrace.Writer.create ~chunk_records:4 ~path ~nodes:3 () in
+      let feed = Btrace.recording w (Op_stream.of_programs programs) in
+      (* drain like a run would: round-robin pulls until every node ends *)
+      let live = Array.make 3 true in
+      let rec drain () =
+        let pulled = ref false in
+        for node = 0 to 2 do
+          if live.(node) then
+            if Op_stream.(feed.next node = end_of_stream) then live.(node) <- false
+            else pulled := true
+        done;
+        if !pulled || Array.exists Fun.id live then drain ()
+      in
+      drain ();
+      Btrace.Writer.close w;
+      Alcotest.(check bool) "tee reproduced the feed" true
+        (Btrace.read ~path = Ok programs))
+
+let test_registry_trace_replay () =
+  (* trace:file=... resolves through the registry, carries the file's
+     node count, and a run over it matches a run over the original *)
+  with_temp (fun path ->
+      let programs = Pcc_workload.Apps.(programs em3d) ~scale:0.05 ~nodes:4 () in
+      Btrace.write ~path programs;
+      match Workload.of_spec ~nodes:16 ~scale:1.0 ~seed:1 ("trace:file=" ^ path) with
+      | Error m -> Alcotest.fail m
+      | Ok w ->
+          Alcotest.(check int) "nodes from file" 4 (Workload.nodes w);
+          let config = Config.small_full ~nodes:4 () in
+          let direct = System.run ~config ~programs () in
+          let sys = System.create ~config () in
+          let replayed = System.run_stream sys (Workload.stream w) in
+          Alcotest.(check string) "replay bit-identical to direct run"
+            (Run_export.to_string ~key:"k" direct)
+            (Run_export.to_string ~key:"k" replayed))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest chunked_roundtrip;
+    QCheck_alcotest.to_alcotest default_chunk_roundtrip;
+    Alcotest.test_case "negative compute clamps" `Quick test_negative_compute_clamps;
+    Alcotest.test_case "empty node programs" `Quick test_empty_node_programs;
+    Alcotest.test_case "truncation rejected" `Quick test_truncation_rejected;
+    Alcotest.test_case "garbage rejected" `Quick test_garbage_rejected;
+    Alcotest.test_case "writer atomic publish" `Quick test_writer_atomic;
+    Alcotest.test_case "recording tee" `Quick test_recording_tee;
+    Alcotest.test_case "registry trace replay" `Quick test_registry_trace_replay;
+  ]

@@ -174,6 +174,57 @@ let test_repeated_run_stability () =
   Alcotest.(check (list string)) "stable across repeats" first second;
   Alcotest.(check (list string)) "stable across widths" first third
 
+(* ------------------------------------------------------------------ *)
+(* Trace-driven runs: streaming replay is jobs-level bit-identical       *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_replay_bit_identity () =
+  (* record an app to a binary trace, then fan trace-driven streaming
+     runs across the pool: jobs 1 and jobs 2 must produce the same bytes
+     as each other and as the direct materialized run *)
+  let path = Filename.temp_file "pcc_det" ".pcct" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let programs =
+        Apps.programs Apps.em3d ~scale:matrix_scale ~nodes:matrix_nodes ()
+      in
+      Pcc_workload.Btrace.write ~path programs;
+      let spec = "trace:file=" ^ path in
+      let tasks () =
+        List.map
+          (fun config ->
+            let key = Printf.sprintf "trace/%s" (Config.describe config) in
+            (* resolve per task in the main domain; the worker only pulls
+               the stream (a fresh channel per call, no shared state) *)
+            let workload =
+              match
+                Pcc_workload.Workload.of_spec ~nodes:matrix_nodes
+                  ~scale:matrix_scale ~seed:1 spec
+              with
+              | Ok w -> w
+              | Error m -> Alcotest.fail m
+            in
+            ( key,
+              fun () ->
+                let sys = System.create ~config () in
+                Run_export.to_string ~key
+                  (System.run_stream sys (Pcc_workload.Workload.stream workload)) ))
+          (matrix_configs ())
+      in
+      let sequential = Pool.run_keyed ~jobs:1 (tasks ()) in
+      let parallel = Pool.run_keyed ~jobs:2 (tasks ()) in
+      Alcotest.(check (list string)) "jobs 1 = jobs 2" sequential parallel;
+      let direct =
+        List.map
+          (fun config ->
+            let key = Printf.sprintf "trace/%s" (Config.describe config) in
+            Run_export.to_string ~key (System.run ~config ~programs ()))
+          (matrix_configs ())
+      in
+      Alcotest.(check (list string)) "replay = direct materialized run" direct
+        sequential)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest event_queue_model;
@@ -182,4 +233,6 @@ let suite =
       test_matrix_bit_identity;
     Alcotest.test_case "repeated runs stable under the pool" `Slow
       test_repeated_run_stability;
+    Alcotest.test_case "trace replay bit-identical across jobs levels" `Quick
+      test_trace_replay_bit_identity;
   ]

@@ -13,6 +13,7 @@ let () =
       ("delegation", Test_delegation.suite);
       ("updates", Test_updates.suite);
       ("workload", Test_workload.suite);
+      ("btrace", Test_btrace.suite);
       ("mcheck", Test_mcheck.suite);
       ("litmus", Test_litmus.suite);
       ("properties", Test_properties.suite);

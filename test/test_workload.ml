@@ -179,6 +179,106 @@ let test_trace_runs () =
       Alcotest.(check int) "coherent" 0 r.System.violations;
       Alcotest.(check int) "one remote read" 1 r.System.stats.Run_stats.remote_2hop
 
+(* ------------------------------------------------------------------ *)
+(* Workload registry (Workload.of_spec) and streaming generators        *)
+(* ------------------------------------------------------------------ *)
+
+module Workload = Pcc_workload.Workload
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  scan 0
+
+let resolve spec =
+  match Workload.of_spec ~nodes:8 ~scale:0.1 ~seed:5 spec with
+  | Ok w -> w
+  | Error m -> Alcotest.failf "%s: %s" spec m
+
+let test_registry_resolves_all () =
+  (* every registered name except trace (which requires file=) resolves
+     with defaults, and its describe string re-resolves to itself *)
+  List.iter
+    (fun name ->
+      if name <> "trace" then begin
+        let w = resolve name in
+        Alcotest.(check bool)
+          (name ^ " nodes positive") true
+          (Workload.nodes w > 0);
+        let described = Workload.describe w in
+        let w' = resolve described in
+        Alcotest.(check string)
+          (name ^ " describe respawnable") described (Workload.describe w')
+      end)
+    (Workload.names ())
+
+let test_registry_rejects_unknown_name () =
+  match Workload.of_spec ~nodes:8 ~scale:0.1 ~seed:5 "nosuchworkload" with
+  | Ok _ -> Alcotest.fail "unknown name accepted"
+  | Error m ->
+      Alcotest.(check bool) "names the offender" true
+        (contains ~needle:"nosuchworkload" m);
+      (* the full valid-name list is part of the contract *)
+      List.iter
+        (fun name ->
+          Alcotest.(check bool) ("lists " ^ name) true (contains ~needle:name m))
+        (Workload.names ())
+
+let test_registry_suggests_close_name () =
+  match Workload.of_spec ~nodes:8 ~scale:0.1 ~seed:5 "pubsup" with
+  | Ok _ -> Alcotest.fail "misspelling accepted"
+  | Error m ->
+      Alcotest.(check bool) "suggests pubsub" true (contains ~needle:"pubsub" m)
+
+let test_registry_rejects_unknown_key () =
+  match Workload.of_spec ~nodes:8 ~scale:0.1 ~seed:5 "kv:bogus=1" with
+  | Ok _ -> Alcotest.fail "unknown key accepted"
+  | Error m ->
+      Alcotest.(check bool) "names the key" true (contains ~needle:"bogus" m);
+      Alcotest.(check bool) "lists a valid key" true (contains ~needle:"skew" m)
+
+let test_registry_rejects_malformed_value () =
+  match Workload.of_spec ~nodes:8 ~scale:0.1 ~seed:5 "kv:skew=banana" with
+  | Ok _ -> Alcotest.fail "malformed value accepted"
+  | Error _ -> ()
+
+let test_streaming_generator_determinism () =
+  (* same spec, two independent resolutions: the drained streams are
+     identical op for op *)
+  List.iter
+    (fun spec ->
+      let a = Workload.programs (resolve spec) in
+      let b = Workload.programs (resolve spec) in
+      Alcotest.(check bool) (spec ^ " deterministic") true (a = b))
+    [
+      "kv:events=2000,seed=3";
+      "pubsub:events=2000,seed=3";
+      "worksteal:events=2000,seed=3";
+      "mpsc:events=2000,seed=3";
+    ]
+
+let test_streaming_generator_skew_knob () =
+  (* the consumer-distribution knob actually changes the access pattern *)
+  List.iter
+    (fun name ->
+      let spec skew = Printf.sprintf "%s:events=2000,seed=3,skew=%s" name skew in
+      let flat = Workload.programs (resolve (spec "0.2")) in
+      let peaked = Workload.programs (resolve (spec "1.6")) in
+      Alcotest.(check bool) (name ^ " skew changes stream") false (flat = peaked))
+    [ "kv"; "pubsub"; "worksteal"; "mpsc" ]
+
+let test_streaming_matches_materialized () =
+  (* the legacy apps exposed through the registry stream exactly what
+     Apps.programs materializes — the bit-identity the tentpole promises *)
+  List.iter
+    (fun (name, app) ->
+      let w = resolve name in
+      let via_registry = Workload.programs w in
+      let direct = Apps.programs app ~scale:0.1 ~seed:5 ~nodes:8 () in
+      Alcotest.(check bool) (name ^ " matches Apps.programs") true
+        (via_registry = direct))
+    [ ("em3d", Apps.em3d); ("ocean", Apps.ocean); ("lu", Apps.lu) ]
+
 let suite =
   [
     Alcotest.test_case "generator determinism" `Quick test_generator_determinism;
@@ -194,6 +294,21 @@ let suite =
     Alcotest.test_case "trace parse errors" `Quick test_trace_parse_errors;
     Alcotest.test_case "trace comments/blanks" `Quick test_trace_comments_and_blanks;
     Alcotest.test_case "trace runs" `Quick test_trace_runs;
+    Alcotest.test_case "registry resolves all" `Quick test_registry_resolves_all;
+    Alcotest.test_case "registry rejects unknown name" `Quick
+      test_registry_rejects_unknown_name;
+    Alcotest.test_case "registry suggests close name" `Quick
+      test_registry_suggests_close_name;
+    Alcotest.test_case "registry rejects unknown key" `Quick
+      test_registry_rejects_unknown_key;
+    Alcotest.test_case "registry rejects malformed value" `Quick
+      test_registry_rejects_malformed_value;
+    Alcotest.test_case "streaming generator determinism" `Quick
+      test_streaming_generator_determinism;
+    Alcotest.test_case "streaming generator skew knob" `Quick
+      test_streaming_generator_skew_knob;
+    Alcotest.test_case "streaming matches materialized" `Quick
+      test_streaming_matches_materialized;
     Alcotest.test_case "Table 3: Ocean" `Slow test_table3_ocean;
     Alcotest.test_case "Table 3: Em3D" `Slow test_table3_em3d;
     Alcotest.test_case "Table 3: LU" `Slow test_table3_lu;
